@@ -1,0 +1,202 @@
+use crate::{BaselineError, Result};
+
+/// Configuration of the Kim et al. unsupervised CNN segmenter.
+///
+/// [`KimConfig::reference`] reproduces the defaults of the original paper;
+/// [`KimConfig::tiny`] is a scaled-down variant used by tests and by
+/// experiment harnesses that need many runs within a small time budget.
+///
+/// # Example
+///
+/// ```rust
+/// let config = cnn_baseline::KimConfig::reference();
+/// assert_eq!(config.feature_channels, 100);
+/// assert!(config.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KimConfig {
+    /// Number of response channels (upper bound on the number of clusters).
+    pub feature_channels: usize,
+    /// Number of 3×3 convolution blocks before the 1×1 classifier.
+    pub conv_blocks: usize,
+    /// Maximum number of self-training iterations per image.
+    pub max_iterations: usize,
+    /// Training stops early once fewer than this many distinct labels remain.
+    pub min_labels: usize,
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Weight of the spatial-continuity loss relative to the
+    /// feature-similarity (cross-entropy) loss.
+    pub continuity_weight: f32,
+    /// Seed for weight initialisation.
+    pub seed: u64,
+}
+
+impl KimConfig {
+    /// Defaults matching the reference implementation of Kim et al.
+    /// (100 channels, 2 convolution blocks, up to 1000 iterations, minimum 3
+    /// labels, SGD lr 0.1 / momentum 0.9, continuity weight 1).
+    pub fn reference() -> Self {
+        Self {
+            feature_channels: 100,
+            conv_blocks: 2,
+            max_iterations: 1000,
+            min_labels: 3,
+            learning_rate: 0.1,
+            momentum: 0.9,
+            continuity_weight: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// A scaled-down configuration (16 channels, 2 blocks, 20 iterations)
+    /// that keeps the same training dynamics but runs in milliseconds on
+    /// small images. Used by unit tests and quick examples.
+    pub fn tiny() -> Self {
+        Self {
+            feature_channels: 16,
+            conv_blocks: 2,
+            max_iterations: 20,
+            min_labels: 3,
+            learning_rate: 0.1,
+            momentum: 0.9,
+            continuity_weight: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// A mid-sized configuration used by the Table I harness: large enough
+    /// to behave like the reference method on synthetic nuclei images,
+    /// small enough to run dozens of per-image trainings in a benchmark.
+    pub fn evaluation() -> Self {
+        Self {
+            feature_channels: 48,
+            conv_blocks: 2,
+            max_iterations: 60,
+            min_labels: 3,
+            learning_rate: 0.1,
+            momentum: 0.9,
+            continuity_weight: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// Returns a copy with a different seed (used to average over runs).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidConfig`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<()> {
+        if self.feature_channels < 2 {
+            return Err(BaselineError::InvalidConfig {
+                message: "feature_channels must be at least 2".to_string(),
+            });
+        }
+        if self.conv_blocks == 0 {
+            return Err(BaselineError::InvalidConfig {
+                message: "at least one convolution block is required".to_string(),
+            });
+        }
+        if self.max_iterations == 0 {
+            return Err(BaselineError::InvalidConfig {
+                message: "max_iterations must be at least 1".to_string(),
+            });
+        }
+        if self.min_labels < 2 {
+            return Err(BaselineError::InvalidConfig {
+                message: "min_labels must be at least 2".to_string(),
+            });
+        }
+        if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 {
+            return Err(BaselineError::InvalidConfig {
+                message: format!("learning_rate must be positive, got {}", self.learning_rate),
+            });
+        }
+        if !(0.0..1.0).contains(&self.momentum) {
+            return Err(BaselineError::InvalidConfig {
+                message: format!("momentum must be in [0, 1), got {}", self.momentum),
+            });
+        }
+        if !self.continuity_weight.is_finite() || self.continuity_weight < 0.0 {
+            return Err(BaselineError::InvalidConfig {
+                message: format!(
+                    "continuity_weight must be non-negative, got {}",
+                    self.continuity_weight
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for KimConfig {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid_and_match_reference_defaults() {
+        let reference = KimConfig::reference();
+        assert_eq!(reference.feature_channels, 100);
+        assert_eq!(reference.max_iterations, 1000);
+        assert_eq!(reference.min_labels, 3);
+        assert!((reference.learning_rate - 0.1).abs() < 1e-9);
+        reference.validate().unwrap();
+        KimConfig::tiny().validate().unwrap();
+        KimConfig::evaluation().validate().unwrap();
+        assert_eq!(KimConfig::default(), KimConfig::reference());
+    }
+
+    #[test]
+    fn with_seed_only_changes_the_seed() {
+        let a = KimConfig::tiny();
+        let b = a.clone().with_seed(99);
+        assert_eq!(b.seed, 99);
+        assert_eq!(a.feature_channels, b.feature_channels);
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut c = KimConfig::tiny();
+        c.feature_channels = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = KimConfig::tiny();
+        c.conv_blocks = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = KimConfig::tiny();
+        c.max_iterations = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = KimConfig::tiny();
+        c.min_labels = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = KimConfig::tiny();
+        c.learning_rate = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = KimConfig::tiny();
+        c.momentum = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = KimConfig::tiny();
+        c.continuity_weight = -1.0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the CNN baseline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// A configuration value is outside its valid domain.
+    InvalidConfig {
+        /// Human readable description.
+        message: String,
+    },
+    /// An underlying neural-network operation failed.
+    Network(neuralnet::NnError),
+    /// An underlying imaging operation failed.
+    Imaging(imaging::ImagingError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::InvalidConfig { message } => write!(f, "invalid config: {message}"),
+            BaselineError::Network(err) => write!(f, "network error: {err}"),
+            BaselineError::Imaging(err) => write!(f, "imaging error: {err}"),
+        }
+    }
+}
+
+impl Error for BaselineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BaselineError::Network(err) => Some(err),
+            BaselineError::Imaging(err) => Some(err),
+            BaselineError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<neuralnet::NnError> for BaselineError {
+    fn from(err: neuralnet::NnError) -> Self {
+        BaselineError::Network(err)
+    }
+}
+
+impl From<imaging::ImagingError> for BaselineError {
+    fn from(err: imaging::ImagingError) -> Self {
+        BaselineError::Imaging(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = BaselineError::InvalidConfig {
+            message: "zero channels".to_string(),
+        };
+        assert!(e.to_string().contains("zero channels"));
+        assert!(e.source().is_none());
+        let e = BaselineError::from(neuralnet::NnError::EmptyShape);
+        assert!(e.source().is_some());
+        let e = BaselineError::from(imaging::ImagingError::EmptyImage);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<BaselineError>();
+    }
+}

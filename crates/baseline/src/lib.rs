@@ -1,0 +1,49 @@
+//! CNN-based unsupervised segmentation baseline.
+//!
+//! This crate reimplements the method the SegHDC paper (DAC 2023) compares
+//! against: *"Unsupervised learning of image segmentation based on
+//! differentiable feature clustering"* by Kim, Kanezaki and Tanaka
+//! (IEEE TIP 2020, reference \[16\] of the paper). The method trains a small
+//! CNN **per image**:
+//!
+//! 1. the network produces a response map with `feature_channels` channels;
+//! 2. per-pixel argmax over the channels yields *self-labels*;
+//! 3. the network is updated to minimise softmax cross-entropy against its
+//!    own self-labels plus a spatial-continuity loss;
+//! 4. steps 1–3 repeat until the iteration budget is exhausted or the number
+//!    of distinct labels falls below `min_labels`.
+//!
+//! The result is an unsupervised segmentation whose cluster count adapts to
+//! the image. The implementation mirrors the reference defaults (100
+//! channels, 2 convolution blocks plus a 1×1 classifier, SGD with learning
+//! rate 0.1 and momentum 0.9) while letting the experiment harnesses scale
+//! the configuration down to fit their compute budget.
+//!
+//! # Example
+//!
+//! ```rust
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use cnn_baseline::{KimConfig, KimSegmenter};
+//! use imaging::{DynamicImage, GrayImage};
+//!
+//! let image = DynamicImage::Gray(GrayImage::filled(16, 16, 40)?);
+//! let config = KimConfig::tiny(); // scaled-down settings for quick runs
+//! let outcome = KimSegmenter::new(config)?.segment(&image)?;
+//! assert_eq!(outcome.label_map.width(), 16);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod segmenter;
+
+pub use config::KimConfig;
+pub use error::BaselineError;
+pub use segmenter::{KimOutcome, KimSegmenter};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, BaselineError>;

@@ -1,0 +1,267 @@
+use crate::{KimConfig, Result};
+use imaging::{DynamicImage, LabelMap};
+use neuralnet::{loss, BatchNorm2d, Conv2d, Layer, Relu, Sequential, Sgd, Tensor};
+
+/// Result of running the CNN baseline on one image.
+#[derive(Debug, Clone)]
+pub struct KimOutcome {
+    /// Final per-pixel cluster assignment (arbitrary cluster identifiers).
+    pub label_map: LabelMap,
+    /// Number of self-training iterations actually executed.
+    pub iterations_run: usize,
+    /// Number of distinct labels in the final assignment.
+    pub final_label_count: usize,
+    /// Combined loss (cross-entropy + weighted continuity) per iteration.
+    pub losses: Vec<f32>,
+    /// Number of learnable parameters in the network that was trained.
+    pub parameter_count: usize,
+}
+
+/// The Kim et al. unsupervised CNN segmenter.
+///
+/// Each call to [`segment`](KimSegmenter::segment) builds a fresh network
+/// (the method trains per image) and runs the self-labelling training loop
+/// described in the crate documentation.
+///
+/// # Example
+///
+/// ```rust
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use cnn_baseline::{KimConfig, KimSegmenter};
+/// use imaging::{DynamicImage, GrayImage};
+///
+/// let mut image = GrayImage::filled(12, 12, 30)?;
+/// for y in 0..12 {
+///     for x in 6..12 {
+///         image.set(x, y, 220)?;
+///     }
+/// }
+/// let outcome = KimSegmenter::new(KimConfig::tiny())?.segment(&DynamicImage::Gray(image))?;
+/// assert!(outcome.final_label_count >= 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KimSegmenter {
+    config: KimConfig,
+}
+
+impl KimSegmenter {
+    /// Creates a segmenter with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::BaselineError::InvalidConfig`] if the configuration
+    /// is inconsistent.
+    pub fn new(config: KimConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The configuration this segmenter runs with.
+    pub fn config(&self) -> &KimConfig {
+        &self.config
+    }
+
+    /// Converts an image to a normalised `[1, C, H, W]` tensor in `[0, 1]`.
+    fn image_to_tensor(image: &DynamicImage) -> Result<Tensor> {
+        let (width, height, channels) = (image.width(), image.height(), image.channels());
+        let mut data = vec![0.0f32; channels * height * width];
+        for y in 0..height {
+            for x in 0..width {
+                let px = image.channels_at(x, y)?;
+                for c in 0..channels {
+                    data[(c * height + y) * width + x] = f32::from(px[c]) / 255.0;
+                }
+            }
+        }
+        Ok(Tensor::from_vec([1, channels, height, width], data)?)
+    }
+
+    /// Builds the per-image network:
+    /// `conv_blocks` × (3×3 conv → BN → ReLU) followed by a 1×1 conv → BN
+    /// classifier with `feature_channels` outputs.
+    fn build_network(&self, in_channels: usize) -> Result<Sequential> {
+        let f = self.config.feature_channels;
+        let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+        let mut current_in = in_channels;
+        for block in 0..self.config.conv_blocks {
+            layers.push(Box::new(Conv2d::new(
+                current_in,
+                f,
+                3,
+                self.config.seed.wrapping_add(block as u64 * 3 + 1),
+            )?));
+            layers.push(Box::new(BatchNorm2d::new(f)?));
+            layers.push(Box::new(Relu::new()));
+            current_in = f;
+        }
+        layers.push(Box::new(Conv2d::new(
+            current_in,
+            f,
+            1,
+            self.config.seed.wrapping_add(1000),
+        )?));
+        layers.push(Box::new(BatchNorm2d::new(f)?));
+        Ok(Sequential::new(layers))
+    }
+
+    /// Runs unsupervised per-image training and returns the final labels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network and imaging errors; these do not occur for images
+    /// produced by the [`imaging`] crate and validated configurations.
+    pub fn segment(&self, image: &DynamicImage) -> Result<KimOutcome> {
+        let input = Self::image_to_tensor(image)?;
+        let mut network = self.build_network(image.channels())?;
+        let parameter_count = network.parameter_count();
+        let mut optimizer = Sgd::new(self.config.learning_rate, self.config.momentum)?;
+
+        let (width, height) = (image.width(), image.height());
+        let mut losses = Vec::with_capacity(self.config.max_iterations);
+        let mut labels: Vec<usize> = vec![0; width * height];
+        let mut iterations_run = 0;
+
+        for _ in 0..self.config.max_iterations {
+            let response = network.forward(&input)?;
+            labels = response.argmax_channels(0)?;
+            let distinct = distinct_count(&labels);
+            iterations_run += 1;
+
+            let (ce_loss, ce_grad) = loss::softmax_cross_entropy(&response, &labels)?;
+            let (cont_loss, cont_grad) = loss::spatial_continuity(&response)?;
+            let mut grad = ce_grad;
+            grad.add_scaled(&cont_grad, self.config.continuity_weight)?;
+            losses.push(ce_loss + self.config.continuity_weight * cont_loss);
+
+            network.zero_grad();
+            network.backward(&grad)?;
+            optimizer.step(network.parameters_mut())?;
+
+            if distinct < self.config.min_labels {
+                break;
+            }
+        }
+
+        // Final assignment after the last update.
+        let response = network.forward(&input)?;
+        labels = response.argmax_channels(0)?;
+
+        let mut label_map = LabelMap::new(width, height)?;
+        for (i, &label) in labels.iter().enumerate() {
+            label_map.set(i % width, i / width, label as u32)?;
+        }
+        Ok(KimOutcome {
+            final_label_count: label_map.distinct_labels(),
+            label_map,
+            iterations_run,
+            losses,
+            parameter_count,
+        })
+    }
+}
+
+fn distinct_count(labels: &[usize]) -> usize {
+    let mut seen = std::collections::BTreeSet::new();
+    for &l in labels {
+        seen.insert(l);
+    }
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imaging::{metrics, GrayImage};
+
+    fn two_region_image(width: usize, height: usize) -> (DynamicImage, LabelMap) {
+        let mut image = GrayImage::filled(width, height, 30).unwrap();
+        let mut truth = LabelMap::new(width, height).unwrap();
+        for y in 0..height {
+            for x in width / 2..width {
+                image.set(x, y, 220).unwrap();
+                truth.set(x, y, 1).unwrap();
+            }
+        }
+        (DynamicImage::Gray(image), truth)
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let mut config = KimConfig::tiny();
+        config.feature_channels = 0;
+        assert!(KimSegmenter::new(config).is_err());
+    }
+
+    #[test]
+    fn tensor_conversion_normalises_and_preserves_layout() {
+        let mut image = GrayImage::new(3, 2).unwrap();
+        image.set(2, 1, 255).unwrap();
+        let tensor = KimSegmenter::image_to_tensor(&DynamicImage::Gray(image)).unwrap();
+        assert_eq!(tensor.shape(), [1, 1, 2, 3]);
+        assert_eq!(tensor.get(0, 0, 1, 2).unwrap(), 1.0);
+        assert_eq!(tensor.get(0, 0, 0, 0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn segmentation_separates_high_contrast_regions() {
+        let (image, truth) = two_region_image(16, 12);
+        let outcome = KimSegmenter::new(KimConfig::tiny())
+            .unwrap()
+            .segment(&image)
+            .unwrap();
+        assert_eq!(outcome.label_map.width(), 16);
+        assert_eq!(outcome.label_map.height(), 12);
+        assert!(outcome.iterations_run >= 1);
+        assert_eq!(outcome.losses.len(), outcome.iterations_run);
+        let iou = metrics::matched_binary_iou(&outcome.label_map, &truth).unwrap();
+        assert!(iou > 0.6, "IoU {iou}");
+    }
+
+    #[test]
+    fn training_loss_trends_downwards() {
+        let (image, _) = two_region_image(16, 16);
+        let mut config = KimConfig::tiny();
+        config.max_iterations = 15;
+        // Disable the early-stop so we observe the full loss curve.
+        config.min_labels = 2;
+        let outcome = KimSegmenter::new(config).unwrap().segment(&image).unwrap();
+        let first = outcome.losses.first().copied().unwrap();
+        let last = outcome.losses.last().copied().unwrap();
+        assert!(last <= first, "losses {first} -> {last}");
+    }
+
+    #[test]
+    fn early_stop_respects_min_labels() {
+        let (image, _) = two_region_image(12, 12);
+        let mut config = KimConfig::tiny();
+        config.min_labels = 16; // every run starts below this, so stop at once
+        let outcome = KimSegmenter::new(config).unwrap().segment(&image).unwrap();
+        assert_eq!(outcome.iterations_run, 1);
+    }
+
+    #[test]
+    fn rgb_images_are_supported() {
+        let (gray, _) = two_region_image(10, 10);
+        let rgb = DynamicImage::Rgb(gray.to_rgb());
+        let outcome = KimSegmenter::new(KimConfig::tiny()).unwrap().segment(&rgb).unwrap();
+        assert_eq!(outcome.label_map.pixel_count(), 100);
+        assert!(outcome.parameter_count > 0);
+    }
+
+    #[test]
+    fn same_seed_gives_identical_segmentations() {
+        let (image, _) = two_region_image(12, 8);
+        let a = KimSegmenter::new(KimConfig::tiny()).unwrap().segment(&image).unwrap();
+        let b = KimSegmenter::new(KimConfig::tiny()).unwrap().segment(&image).unwrap();
+        assert_eq!(a.label_map, b.label_map);
+        let c = KimSegmenter::new(KimConfig::tiny().with_seed(7))
+            .unwrap()
+            .segment(&image)
+            .unwrap();
+        // A different seed is allowed to give a different clustering; we only
+        // check that it still produces a full-size map.
+        assert_eq!(c.label_map.pixel_count(), 96);
+    }
+}

@@ -1,0 +1,66 @@
+//! Benchmarks of the CNN baseline's per-image training cost: how it scales
+//! with image size and with the number of feature channels. Together with
+//! the `end_to_end` SegHDC benchmarks these back the speedup column of
+//! Table II (the baseline's per-iteration cost is orders of magnitude higher
+//! than a full SegHDC run).
+
+use cnn_baseline::{KimConfig, KimSegmenter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imaging::DynamicImage;
+use std::hint::black_box;
+use synthdata::{DatasetProfile, NucleiImageGenerator};
+
+fn sample_image(width: usize, height: usize) -> DynamicImage {
+    let profile = DatasetProfile::dsb2018_like().scaled(width, height);
+    NucleiImageGenerator::new(profile, 13)
+        .expect("profile is valid")
+        .generate(0)
+        .expect("generation succeeds")
+        .image
+}
+
+fn short_config(feature_channels: usize) -> KimConfig {
+    KimConfig {
+        feature_channels,
+        max_iterations: 3,
+        ..KimConfig::tiny()
+    }
+}
+
+fn bench_by_image_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_train_by_image_size");
+    group.sample_size(10);
+    for &(width, height) in &[(32usize, 32usize), (48, 48), (64, 64)] {
+        let image = sample_image(width, height);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{width}x{height}")),
+            &image,
+            |bencher, image| {
+                let segmenter = KimSegmenter::new(short_config(16)).expect("config is valid");
+                bencher.iter(|| black_box(segmenter.segment(image).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_by_channel_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_train_by_feature_channels");
+    group.sample_size(10);
+    let image = sample_image(48, 48);
+    for &channels in &[8usize, 16, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(channels),
+            &channels,
+            |bencher, &channels| {
+                let segmenter =
+                    KimSegmenter::new(short_config(channels)).expect("config is valid");
+                bencher.iter(|| black_box(segmenter.segment(&image).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_by_image_size, bench_by_channel_count);
+criterion_main!(benches);

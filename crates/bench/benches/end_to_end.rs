@@ -1,0 +1,65 @@
+//! End-to-end SegHDC pipeline benchmarks: the full encode-plus-cluster cost
+//! as a function of image size (the quantity behind both rows of Table II)
+//! and of the iteration count (Fig. 7a).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imaging::DynamicImage;
+use seghdc::{SegHdc, SegHdcConfig};
+use std::hint::black_box;
+use synthdata::{DatasetProfile, NucleiImageGenerator};
+
+fn sample_image(width: usize, height: usize) -> DynamicImage {
+    let profile = DatasetProfile::dsb2018_like().scaled(width, height);
+    NucleiImageGenerator::new(profile, 9)
+        .expect("profile is valid")
+        .generate(0)
+        .expect("generation succeeds")
+        .image
+}
+
+fn edge_config(iterations: usize) -> SegHdcConfig {
+    SegHdcConfig::builder()
+        .dimension(800)
+        .alpha(1.0)
+        .beta(8)
+        .iterations(iterations)
+        .build()
+        .expect("parameters are valid")
+}
+
+fn bench_by_image_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seghdc_end_to_end_by_image_size");
+    group.sample_size(10);
+    for &(width, height) in &[(32usize, 32usize), (64, 64), (96, 96)] {
+        let image = sample_image(width, height);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{width}x{height}")),
+            &image,
+            |bencher, image| {
+                let pipeline = SegHdc::new(edge_config(3)).expect("config is valid");
+                bencher.iter(|| black_box(pipeline.segment(image).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_by_iterations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seghdc_end_to_end_by_iterations");
+    group.sample_size(10);
+    let image = sample_image(64, 64);
+    for &iterations in &[1usize, 5, 10] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(iterations),
+            &iterations,
+            |bencher, &iterations| {
+                let pipeline = SegHdc::new(edge_config(iterations)).expect("config is valid");
+                bencher.iter(|| black_box(pipeline.segment(&image).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_by_image_size, bench_by_iterations);
+criterion_main!(benches);

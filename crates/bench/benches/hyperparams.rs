@@ -1,0 +1,89 @@
+//! Hyper-parameter ablation benchmarks: the cost impact of the block size
+//! `β` and the colour weighting `γ` — the remaining design choices listed in
+//! DESIGN.md. (Their *accuracy* impact is covered by the Table I harness and
+//! the unit tests; these benches track the latency side.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imaging::DynamicImage;
+use seghdc::{SegHdc, SegHdcConfig};
+use std::hint::black_box;
+use synthdata::{DatasetProfile, NucleiImageGenerator};
+
+fn sample_image() -> DynamicImage {
+    let profile = DatasetProfile::dsb2018_like().scaled(64, 64);
+    NucleiImageGenerator::new(profile, 21)
+        .expect("profile is valid")
+        .generate(0)
+        .expect("generation succeeds")
+        .image
+}
+
+fn bench_beta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seghdc_by_beta");
+    group.sample_size(10);
+    let image = sample_image();
+    for &beta in &[1usize, 8, 26] {
+        group.bench_with_input(BenchmarkId::from_parameter(beta), &beta, |bencher, &beta| {
+            let config = SegHdcConfig::builder()
+                .dimension(800)
+                .beta(beta)
+                .iterations(3)
+                .build()
+                .expect("parameters are valid");
+            let pipeline = SegHdc::new(config).expect("pipeline builds");
+            bencher.iter(|| black_box(pipeline.segment(&image).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gamma(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seghdc_by_gamma");
+    group.sample_size(10);
+    let image = sample_image();
+    for &gamma in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(gamma),
+            &gamma,
+            |bencher, &gamma| {
+                let config = SegHdcConfig::builder()
+                    .dimension(800)
+                    .beta(8)
+                    .gamma(gamma)
+                    .iterations(3)
+                    .build()
+                    .expect("parameters are valid");
+                let pipeline = SegHdc::new(config).expect("pipeline builds");
+                bencher.iter(|| black_box(pipeline.segment(&image).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cluster_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seghdc_by_cluster_count");
+    group.sample_size(10);
+    let image = sample_image();
+    for &clusters in &[2usize, 3] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(clusters),
+            &clusters,
+            |bencher, &clusters| {
+                let config = SegHdcConfig::builder()
+                    .dimension(800)
+                    .beta(8)
+                    .clusters(clusters)
+                    .iterations(3)
+                    .build()
+                    .expect("parameters are valid");
+                let pipeline = SegHdc::new(config).expect("pipeline builds");
+                bencher.iter(|| black_box(pipeline.segment(&image).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_beta, bench_gamma, bench_cluster_count);
+criterion_main!(benches);

@@ -1,0 +1,282 @@
+//! Shared harness code for the experiment binaries that regenerate every
+//! table and figure of the SegHDC paper.
+//!
+//! Each binary (`table1`, `table2`, `figure3`, `figure6`, `figure7a`,
+//! `figure7b`, `figure8`) prints the rows or series of the corresponding
+//! table/figure. By default the harnesses run a **scaled** workload (smaller
+//! images, fewer samples and a lower hypervector dimension) so the whole
+//! suite finishes in minutes on a laptop; pass `--full` to run at the
+//! paper's original scale. `EXPERIMENTS.md` records both the paper values
+//! and the values measured with the scaled defaults.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cnn_baseline::{KimConfig, KimSegmenter};
+use imaging::{metrics, LabelMap};
+use seghdc::{ColorEncoding, PositionEncoding, SegHdc, SegHdcConfig};
+use synthdata::{DatasetProfile, SyntheticDataset};
+
+/// Scale at which an experiment harness runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced image sizes / sample counts / dimensions; finishes in minutes.
+    Quick,
+    /// The paper's original image sizes and parameters.
+    Full,
+}
+
+impl Scale {
+    /// Parses the scale from command-line arguments (`--full` selects
+    /// [`Scale::Full`], everything else defaults to [`Scale::Quick`]).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+}
+
+/// The three evaluation datasets of the paper, with the image size used at
+/// the given scale.
+pub fn dataset_profiles(scale: Scale) -> Vec<DatasetProfile> {
+    let profiles = vec![
+        DatasetProfile::bbbc005_like(),
+        DatasetProfile::dsb2018_like(),
+        DatasetProfile::monuseg_like(),
+    ];
+    match scale {
+        Scale::Full => profiles,
+        Scale::Quick => profiles.into_iter().map(|p| p.scaled(96, 96)).collect(),
+    }
+}
+
+/// Number of images evaluated per dataset at the given scale.
+pub fn samples_per_dataset(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 4,
+        Scale::Full => 20,
+    }
+}
+
+/// SegHDC configuration for a dataset profile, following Table I's
+/// hyper-parameters (`α = 0.2`, `γ = 1`, `β = 21/26`, 2 or 3 clusters), with
+/// the dimension reduced in quick mode.
+pub fn seghdc_config_for(profile: &DatasetProfile, scale: Scale) -> SegHdcConfig {
+    let mut config = if profile.name.starts_with("BBBC005") {
+        SegHdcConfig::bbbc005()
+    } else if profile.name.starts_with("MoNuSeg") {
+        SegHdcConfig::monuseg()
+    } else {
+        SegHdcConfig::dsb2018()
+    };
+    if scale == Scale::Quick {
+        config.dimension = 2000;
+        config.iterations = 5;
+        // β scales with the image: the paper's 21/26 blocks on ~256-pixel
+        // axes correspond to ~8 blocks on a 96-pixel axis.
+        config.beta = (config.beta * 96 / 256).max(1);
+    }
+    config
+}
+
+/// CNN-baseline configuration at the given scale.
+pub fn baseline_config_for(scale: Scale) -> KimConfig {
+    match scale {
+        Scale::Quick => KimConfig::evaluation(),
+        Scale::Full => KimConfig::reference(),
+    }
+}
+
+/// Which segmentation method a Table I column refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// The CNN baseline of Kim et al. (column "BL").
+    CnnBaseline,
+    /// SegHDC with random position hypervectors (column "RPos").
+    RandomPosition,
+    /// SegHDC with random colour hypervectors (column "RColor").
+    RandomColor,
+    /// The full SegHDC pipeline.
+    SegHdc,
+}
+
+impl Method {
+    /// All Table I columns in presentation order.
+    pub fn all() -> [Method; 4] {
+        [
+            Method::CnnBaseline,
+            Method::RandomPosition,
+            Method::RandomColor,
+            Method::SegHdc,
+        ]
+    }
+
+    /// The column label used in the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::CnnBaseline => "BL [16]",
+            Method::RandomPosition => "RPos",
+            Method::RandomColor => "RColor",
+            Method::SegHdc => "SegHDC",
+        }
+    }
+}
+
+/// Runs one method on one image and returns the matched binary IoU against
+/// the ground truth.
+///
+/// # Errors
+///
+/// Returns a boxed error if segmentation or scoring fails.
+pub fn evaluate_method(
+    method: Method,
+    image: &imaging::DynamicImage,
+    truth: &LabelMap,
+    seghdc_config: &SegHdcConfig,
+    baseline_config: &KimConfig,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let binary_truth = truth.to_binary();
+    let prediction = match method {
+        Method::CnnBaseline => {
+            KimSegmenter::new(baseline_config.clone())?
+                .segment(image)?
+                .label_map
+        }
+        Method::SegHdc => SegHdc::new(seghdc_config.clone())?.segment(image)?.label_map,
+        Method::RandomPosition => {
+            let config = SegHdcConfig {
+                position_encoding: PositionEncoding::Random,
+                ..seghdc_config.clone()
+            };
+            SegHdc::new(config)?.segment(image)?.label_map
+        }
+        Method::RandomColor => {
+            let config = SegHdcConfig {
+                color_encoding: ColorEncoding::Random,
+                ..seghdc_config.clone()
+            };
+            SegHdc::new(config)?.segment(image)?.label_map
+        }
+    };
+    Ok(metrics::matched_binary_iou(&prediction, &binary_truth)?)
+}
+
+/// Mean IoU of one method over the first `samples` images of a dataset.
+///
+/// # Errors
+///
+/// Returns a boxed error if dataset generation or evaluation fails.
+pub fn mean_iou_over_dataset(
+    method: Method,
+    dataset: &SyntheticDataset,
+    samples: usize,
+    seghdc_config: &SegHdcConfig,
+    baseline_config: &KimConfig,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let count = samples.min(dataset.len());
+    let mut total = 0.0;
+    for index in 0..count {
+        let sample = dataset.sample(index)?;
+        total += evaluate_method(
+            method,
+            &sample.image,
+            &sample.ground_truth,
+            seghdc_config,
+            baseline_config,
+        )?;
+    }
+    Ok(total / count as f64)
+}
+
+/// Formats a duration in seconds with one decimal, as in the paper's tables.
+pub fn format_seconds(duration: std::time::Duration) -> String {
+    format!("{:.1}s", duration.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_profiles_are_smaller_than_full_profiles() {
+        let quick = dataset_profiles(Scale::Quick);
+        let full = dataset_profiles(Scale::Full);
+        assert_eq!(quick.len(), 3);
+        assert_eq!(full.len(), 3);
+        for (q, f) in quick.iter().zip(&full) {
+            assert!(q.width < f.width);
+            assert_eq!(q.name, f.name);
+        }
+        assert!(samples_per_dataset(Scale::Quick) < samples_per_dataset(Scale::Full));
+    }
+
+    #[test]
+    fn per_dataset_configs_follow_table_one() {
+        let full = dataset_profiles(Scale::Full);
+        let bbbc = seghdc_config_for(&full[0], Scale::Full);
+        let dsb = seghdc_config_for(&full[1], Scale::Full);
+        let monu = seghdc_config_for(&full[2], Scale::Full);
+        assert_eq!(bbbc.beta, 21);
+        assert_eq!(dsb.beta, 26);
+        assert_eq!(monu.clusters, 3);
+        // Quick mode shrinks the dimension but keeps the cluster counts.
+        let quick = seghdc_config_for(&full[2], Scale::Quick);
+        assert_eq!(quick.clusters, 3);
+        assert!(quick.dimension < monu.dimension);
+        quick.validate().unwrap();
+    }
+
+    #[test]
+    fn method_labels_match_the_paper_columns() {
+        let labels: Vec<&str> = Method::all().iter().map(|m| m.label()).collect();
+        assert_eq!(labels, vec!["BL [16]", "RPos", "RColor", "SegHDC"]);
+    }
+
+    #[test]
+    fn evaluate_method_runs_seghdc_on_a_tiny_sample() {
+        let profile = DatasetProfile::bbbc005_like().scaled(48, 48);
+        let dataset = SyntheticDataset::new(profile.clone(), 3, 1).unwrap();
+        let sample = dataset.sample(0).unwrap();
+        let mut config = seghdc_config_for(&profile, Scale::Quick);
+        config.dimension = 1000;
+        config.iterations = 3;
+        let iou = evaluate_method(
+            Method::SegHdc,
+            &sample.image,
+            &sample.ground_truth,
+            &config,
+            &KimConfig::tiny(),
+        )
+        .unwrap();
+        assert!((0.0..=1.0).contains(&iou));
+        assert!(iou > 0.5, "SegHDC should segment the easy profile well: {iou}");
+    }
+
+    #[test]
+    fn mean_iou_over_dataset_averages_multiple_samples() {
+        let profile = DatasetProfile::bbbc005_like().scaled(40, 40);
+        let dataset = SyntheticDataset::new(profile.clone(), 5, 2).unwrap();
+        let mut config = seghdc_config_for(&profile, Scale::Quick);
+        config.dimension = 800;
+        config.iterations = 2;
+        let mean = mean_iou_over_dataset(
+            Method::SegHdc,
+            &dataset,
+            2,
+            &config,
+            &KimConfig::tiny(),
+        )
+        .unwrap();
+        assert!((0.0..=1.0).contains(&mean));
+    }
+
+    #[test]
+    fn format_seconds_produces_one_decimal() {
+        assert_eq!(
+            format_seconds(std::time::Duration::from_millis(1234)),
+            "1.2s"
+        );
+    }
+}

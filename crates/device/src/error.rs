@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the device cost model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// The workload's peak memory exceeds the device's usable memory — the
+    /// condition reported as `×*` (out of memory) in Table II of the paper.
+    OutOfMemory {
+        /// Peak bytes required by the workload.
+        required_bytes: u64,
+        /// Usable bytes available on the device.
+        available_bytes: u64,
+    },
+    /// A parameter is outside of its valid domain.
+    InvalidParameter {
+        /// Human readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfMemory {
+                required_bytes,
+                available_bytes,
+            } => write!(
+                f,
+                "workload needs {required_bytes} bytes but only {available_bytes} are usable (out of memory)"
+            ),
+            DeviceError::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_reports_both_sizes() {
+        let e = DeviceError::OutOfMemory {
+            required_bytes: 5_000,
+            available_bytes: 4_000,
+        };
+        let s = e.to_string();
+        assert!(s.contains("5000"));
+        assert!(s.contains("4000"));
+        assert!(s.contains("out of memory"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<DeviceError>();
+    }
+}

@@ -1,0 +1,52 @@
+//! Analytical edge-device cost model.
+//!
+//! The SegHDC paper measures latency and memory behaviour on a Raspberry Pi
+//! 4 Model B with 4 GB of RAM. This crate replaces the physical board with
+//! an analytical model:
+//!
+//! * [`Workload`] — operation and memory accounting for the two algorithms
+//!   under study, derived from their configurations and the image shape
+//!   ([`Workload::seghdc`] and [`Workload::cnn_unsupervised`]).
+//! * [`DeviceProfile`] — sustained throughput and usable memory of a device
+//!   ([`DeviceProfile::raspberry_pi_4`] and [`DeviceProfile::desktop_host`]).
+//! * [`DeviceProfile::estimate`] — converts a workload into an estimated
+//!   latency, or reports an out-of-memory condition exactly like the `×*`
+//!   entry of Table II.
+//! * [`DeviceProfile::scale_measurement`] — rescales a wall-clock time
+//!   measured on one device to another device, used by the Table II harness
+//!   to translate host measurements of the Rust SegHDC implementation into
+//!   Raspberry-Pi-class numbers.
+//!
+//! The conclusions reproduced from the paper are *relative* (SegHDC is two
+//! to three orders of magnitude cheaper than the CNN baseline; the baseline
+//! does not fit in 4 GB on a 520×696 image), so the model only needs
+//! order-of-magnitude throughput constants, which are documented on each
+//! profile.
+//!
+//! # Example
+//!
+//! ```rust
+//! use edge_device::{DeviceProfile, Workload};
+//!
+//! let pi = DeviceProfile::raspberry_pi_4();
+//! // The CNN baseline on the paper's BBBC005 image does not fit in memory.
+//! let cnn = Workload::cnn_unsupervised(696, 520, 1, 100, 2, 1000);
+//! assert!(pi.estimate(&cnn).is_err());
+//! // SegHDC on the same image fits comfortably.
+//! let seghdc = Workload::seghdc(696, 520, 1, 2000, 2, 3);
+//! assert!(pi.estimate(&seghdc).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod profile;
+mod workload;
+
+pub use error::DeviceError;
+pub use profile::{DeviceProfile, LatencyEstimate};
+pub use workload::Workload;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DeviceError>;

@@ -1,0 +1,314 @@
+use crate::{BinaryHypervector, HdcError, Result};
+
+/// An integer "bundled" hypervector: the element-wise sum of binary
+/// hypervectors.
+///
+/// The SegHDC clusterer updates each K-Means centroid by summing all pixel
+/// hypervectors assigned to it. Because cosine distance ignores vector
+/// length, the raw integer sum can be compared against binary pixel vectors
+/// directly without normalisation — exactly the argument given in §III-4 of
+/// the paper for choosing cosine over Hamming distance.
+///
+/// # Example
+///
+/// ```rust
+/// # fn main() -> Result<(), hdc::HdcError> {
+/// use hdc::{Accumulator, BinaryHypervector, HdcRng};
+///
+/// let mut rng = HdcRng::seed_from(1);
+/// let a = BinaryHypervector::random(512, &mut rng);
+/// let mut acc = Accumulator::zeros(512)?;
+/// acc.add(&a)?;
+/// acc.add(&a)?;
+/// // A centroid made only of copies of `a` is maximally similar to `a`.
+/// assert!((acc.cosine_similarity(&a)? - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Accumulator {
+    counts: Vec<u32>,
+    items: usize,
+}
+
+impl Accumulator {
+    /// Creates an all-zero accumulator of dimension `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ZeroDimension`] if `dim == 0`.
+    pub fn zeros(dim: usize) -> Result<Self> {
+        if dim == 0 {
+            return Err(HdcError::ZeroDimension);
+        }
+        Ok(Self {
+            counts: vec![0; dim],
+            items: 0,
+        })
+    }
+
+    /// Creates an accumulator seeded with a single binary hypervector.
+    pub fn from_binary(hv: &BinaryHypervector) -> Self {
+        let mut acc = Self {
+            counts: vec![0; hv.dim()],
+            items: 0,
+        };
+        acc.add(hv).expect("dimensions match by construction");
+        acc
+    }
+
+    /// Returns the dimension of the accumulator.
+    pub fn dim(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Returns the number of hypervectors accumulated so far.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Returns the per-element counts.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Resets the accumulator to all zeros.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.items = 0;
+    }
+
+    /// Adds a binary hypervector element-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn add(&mut self, hv: &BinaryHypervector) -> Result<()> {
+        if hv.dim() != self.dim() {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim(),
+                right: hv.dim(),
+            });
+        }
+        for idx in hv.iter_ones() {
+            self.counts[idx] += 1;
+        }
+        self.items += 1;
+        Ok(())
+    }
+
+    /// Merges another accumulator into this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn merge(&mut self, other: &Self) -> Result<()> {
+        if other.dim() != self.dim() {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim(),
+                right: other.dim(),
+            });
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.items += other.items;
+        Ok(())
+    }
+
+    /// Dot product with a binary hypervector (sum of counts at set bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn dot(&self, hv: &BinaryHypervector) -> Result<u64> {
+        if hv.dim() != self.dim() {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim(),
+                right: hv.dim(),
+            });
+        }
+        Ok(hv.iter_ones().map(|i| u64::from(self.counts[i])).sum())
+    }
+
+    /// Euclidean norm of the integer count vector.
+    pub fn norm(&self) -> f64 {
+        self.counts
+            .iter()
+            .map(|&c| f64::from(c) * f64::from(c))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Cosine similarity between this accumulator and a binary hypervector,
+    /// as defined in Eq. 7 of the SegHDC paper.
+    ///
+    /// Zero vectors have zero similarity with everything by convention.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn cosine_similarity(&self, hv: &BinaryHypervector) -> Result<f64> {
+        let dot = self.dot(hv)? as f64;
+        let n_acc = self.norm();
+        let n_hv = (hv.count_ones() as f64).sqrt();
+        if n_acc == 0.0 || n_hv == 0.0 {
+            return Ok(0.0);
+        }
+        Ok(dot / (n_acc * n_hv))
+    }
+
+    /// Cosine distance (`1 - cosine_similarity`), the clustering metric used
+    /// by SegHDC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn cosine_distance(&self, hv: &BinaryHypervector) -> Result<f64> {
+        Ok(1.0 - self.cosine_similarity(hv)?)
+    }
+
+    /// Thresholds the accumulator back into a binary hypervector with the
+    /// classical HDC majority rule: a bit is one if it was set in more than
+    /// half of the accumulated vectors (ties broken towards zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::EmptyInput`] if nothing has been accumulated.
+    pub fn to_majority(&self) -> Result<BinaryHypervector> {
+        if self.items == 0 {
+            return Err(HdcError::EmptyInput);
+        }
+        let threshold = self.items as u32;
+        let bits: Vec<bool> = self.counts.iter().map(|&c| 2 * c > threshold).collect();
+        BinaryHypervector::from_bits(&bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HdcRng;
+
+    #[test]
+    fn zero_dim_rejected() {
+        assert_eq!(Accumulator::zeros(0).unwrap_err(), HdcError::ZeroDimension);
+    }
+
+    #[test]
+    fn add_counts_set_bits() {
+        let hv = BinaryHypervector::from_bits(&[true, false, true, true]).unwrap();
+        let mut acc = Accumulator::zeros(4).unwrap();
+        acc.add(&hv).unwrap();
+        acc.add(&hv).unwrap();
+        assert_eq!(acc.counts(), &[2, 0, 2, 2]);
+        assert_eq!(acc.items(), 2);
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let hv = BinaryHypervector::zeros(8).unwrap();
+        let mut acc = Accumulator::zeros(4).unwrap();
+        assert!(acc.add(&hv).is_err());
+        assert!(acc.dot(&hv).is_err());
+        assert!(acc.cosine_similarity(&hv).is_err());
+        let other = Accumulator::zeros(8).unwrap();
+        assert!(acc.merge(&other).is_err());
+    }
+
+    #[test]
+    fn cosine_similarity_matches_manual_computation() {
+        let hv = BinaryHypervector::from_bits(&[true, true, false, false]).unwrap();
+        let mut acc = Accumulator::zeros(4).unwrap();
+        acc.add(&BinaryHypervector::from_bits(&[true, false, true, false]).unwrap())
+            .unwrap();
+        acc.add(&BinaryHypervector::from_bits(&[true, true, false, false]).unwrap())
+            .unwrap();
+        // counts = [2, 1, 1, 0]; dot with hv = 2 + 1 = 3
+        // |acc| = sqrt(4+1+1) = sqrt(6); |hv| = sqrt(2)
+        let expected = 3.0 / (6.0f64.sqrt() * 2.0f64.sqrt());
+        let got = acc.cosine_similarity(&hv).unwrap();
+        assert!((got - expected).abs() < 1e-12);
+        assert!((acc.cosine_distance(&hv).unwrap() - (1.0 - expected)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_invariance_of_cosine() {
+        // Adding the same member set twice must not change the cosine
+        // similarity — the property the paper uses to justify skipping
+        // centroid normalisation.
+        let mut rng = HdcRng::seed_from(3);
+        let members: Vec<BinaryHypervector> =
+            (0..5).map(|_| BinaryHypervector::random(1024, &mut rng)).collect();
+        let probe = BinaryHypervector::random(1024, &mut rng);
+        let mut once = Accumulator::zeros(1024).unwrap();
+        let mut twice = Accumulator::zeros(1024).unwrap();
+        for m in &members {
+            once.add(m).unwrap();
+            twice.add(m).unwrap();
+            twice.add(m).unwrap();
+        }
+        let s1 = once.cosine_similarity(&probe).unwrap();
+        let s2 = twice.cosine_similarity(&probe).unwrap();
+        assert!((s1 - s2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_sequential_adds() {
+        let mut rng = HdcRng::seed_from(4);
+        let hvs: Vec<BinaryHypervector> =
+            (0..6).map(|_| BinaryHypervector::random(256, &mut rng)).collect();
+        let mut all = Accumulator::zeros(256).unwrap();
+        for hv in &hvs {
+            all.add(hv).unwrap();
+        }
+        let mut left = Accumulator::zeros(256).unwrap();
+        let mut right = Accumulator::zeros(256).unwrap();
+        for hv in &hvs[..3] {
+            left.add(hv).unwrap();
+        }
+        for hv in &hvs[3..] {
+            right.add(hv).unwrap();
+        }
+        left.merge(&right).unwrap();
+        assert_eq!(left, all);
+    }
+
+    #[test]
+    fn majority_of_identical_vectors_is_that_vector() {
+        let mut rng = HdcRng::seed_from(5);
+        let hv = BinaryHypervector::random(300, &mut rng);
+        let mut acc = Accumulator::zeros(300).unwrap();
+        for _ in 0..3 {
+            acc.add(&hv).unwrap();
+        }
+        assert_eq!(acc.to_majority().unwrap(), hv);
+    }
+
+    #[test]
+    fn majority_of_empty_accumulator_errors() {
+        let acc = Accumulator::zeros(16).unwrap();
+        assert_eq!(acc.to_majority().unwrap_err(), HdcError::EmptyInput);
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let hv = BinaryHypervector::ones(32).unwrap();
+        let mut acc = Accumulator::from_binary(&hv);
+        assert_eq!(acc.items(), 1);
+        acc.clear();
+        assert_eq!(acc.items(), 0);
+        assert!(acc.counts().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn cosine_with_zero_operands_is_zero() {
+        let acc = Accumulator::zeros(16).unwrap();
+        let hv = BinaryHypervector::ones(16).unwrap();
+        assert_eq!(acc.cosine_similarity(&hv).unwrap(), 0.0);
+        let zero_hv = BinaryHypervector::zeros(16).unwrap();
+        let nonzero = Accumulator::from_binary(&hv);
+        assert_eq!(nonzero.cosine_similarity(&zero_hv).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by hypervector operations.
+///
+/// All fallible operations in this crate return [`HdcError`]; the most common
+/// cause is combining hypervectors of different dimensionality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HdcError {
+    /// Two hypervectors with different dimensions were combined.
+    DimensionMismatch {
+        /// Dimension of the left-hand operand.
+        left: usize,
+        /// Dimension of the right-hand operand.
+        right: usize,
+    },
+    /// A dimension of zero was requested.
+    ZeroDimension,
+    /// A bit index or bit range fell outside of the hypervector.
+    IndexOutOfBounds {
+        /// The offending index (or end of range).
+        index: usize,
+        /// The hypervector dimension.
+        dim: usize,
+    },
+    /// An empty collection was supplied where at least one element is required.
+    EmptyInput,
+    /// A parameter value is outside of its valid domain.
+    InvalidParameter {
+        /// Human readable description of the parameter and constraint.
+        message: String,
+    },
+}
+
+impl fmt::Display for HdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdcError::DimensionMismatch { left, right } => {
+                write!(f, "hypervector dimension mismatch: {left} vs {right}")
+            }
+            HdcError::ZeroDimension => write!(f, "hypervector dimension must be non-zero"),
+            HdcError::IndexOutOfBounds { index, dim } => {
+                write!(f, "bit index {index} out of bounds for dimension {dim}")
+            }
+            HdcError::EmptyInput => write!(f, "expected at least one hypervector"),
+            HdcError::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+        }
+    }
+}
+
+impl Error for HdcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = HdcError::DimensionMismatch { left: 8, right: 16 };
+        assert_eq!(err.to_string(), "hypervector dimension mismatch: 8 vs 16");
+        let err = HdcError::IndexOutOfBounds { index: 99, dim: 64 };
+        assert!(err.to_string().contains("99"));
+        assert!(err.to_string().contains("64"));
+        let err = HdcError::ZeroDimension;
+        assert!(err.to_string().contains("non-zero"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<HdcError>();
+    }
+}

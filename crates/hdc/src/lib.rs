@@ -1,0 +1,57 @@
+//! Brain-inspired hyperdimensional computing (HDC) substrate.
+//!
+//! This crate provides the low-level vector machinery used by the SegHDC
+//! segmentation pipeline (DAC 2023):
+//!
+//! * [`BinaryHypervector`] — a densely packed (64 bits per word) binary
+//!   hypervector with XOR binding, bit flipping, Hamming/cosine similarity
+//!   and deterministic random generation.
+//! * [`Accumulator`] — an integer "bundled" hypervector used as a K-Means
+//!   centroid: the element-wise sum of many binary hypervectors, with cosine
+//!   similarity against binary vectors.
+//! * [`ItemMemory`] / [`LevelMemory`] — classical HDC codebooks: random
+//!   (pseudo-orthogonal) item memories and linearly-correlated level
+//!   memories built by progressive bit flipping.
+//! * [`similarity`] — free functions for Hamming and cosine metrics.
+//! * [`permutation`] — cyclic rotations used for sequence binding.
+//!
+//! # Example
+//!
+//! ```rust
+//! # fn main() -> Result<(), hdc::HdcError> {
+//! use hdc::{BinaryHypervector, HdcRng};
+//!
+//! let mut rng = HdcRng::seed_from(42);
+//! let a = BinaryHypervector::random(1024, &mut rng);
+//! let b = BinaryHypervector::random(1024, &mut rng);
+//!
+//! // Random hypervectors are pseudo-orthogonal: normalized Hamming ≈ 0.5.
+//! let nh = a.normalized_hamming(&b)?;
+//! assert!((nh - 0.5).abs() < 0.1);
+//!
+//! // XOR binding is its own inverse.
+//! let bound = a.xor(&b)?;
+//! assert_eq!(bound.xor(&b)?, a);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accumulator;
+mod binary;
+mod error;
+mod item_memory;
+pub mod permutation;
+mod rng;
+pub mod similarity;
+
+pub use accumulator::Accumulator;
+pub use binary::BinaryHypervector;
+pub use error::HdcError;
+pub use item_memory::{ItemMemory, LevelMemory};
+pub use rng::HdcRng;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, HdcError>;

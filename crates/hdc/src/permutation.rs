@@ -1,0 +1,96 @@
+//! Cyclic permutation (rotation) of hypervectors.
+//!
+//! Rotation is the classical HDC operation for encoding order or sequence
+//! position. SegHDC itself binds positions through its Manhattan-distance
+//! codebooks instead, but rotation is provided for completeness and is used
+//! by the ablation benchmarks to contrast with permutation-based position
+//! encodings.
+
+use crate::{BinaryHypervector, Result};
+
+/// Rotates a hypervector left (towards lower bit indices) by `amount` bits.
+///
+/// The rotation is cyclic: bits shifted off the front reappear at the back.
+/// Rotation preserves pairwise Hamming distances and popcount.
+///
+/// # Example
+///
+/// ```rust
+/// # fn main() -> Result<(), hdc::HdcError> {
+/// use hdc::{permutation, BinaryHypervector};
+/// let hv = BinaryHypervector::from_bits(&[true, false, false, false])?;
+/// let rotated = permutation::rotate_left(&hv, 1)?;
+/// assert_eq!(rotated.to_bits(), vec![false, false, false, true]);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// This function currently cannot fail but returns `Result` for uniformity
+/// with the rest of the crate API.
+pub fn rotate_left(hv: &BinaryHypervector, amount: usize) -> Result<BinaryHypervector> {
+    let dim = hv.dim();
+    let amount = amount % dim;
+    if amount == 0 {
+        return Ok(hv.clone());
+    }
+    let bits = hv.to_bits();
+    let mut rotated = vec![false; dim];
+    for (i, &b) in bits.iter().enumerate() {
+        rotated[(i + dim - amount) % dim] = b;
+    }
+    BinaryHypervector::from_bits(&rotated)
+}
+
+/// Rotates a hypervector right (towards higher bit indices) by `amount` bits.
+///
+/// # Errors
+///
+/// This function currently cannot fail but returns `Result` for uniformity
+/// with the rest of the crate API.
+pub fn rotate_right(hv: &BinaryHypervector, amount: usize) -> Result<BinaryHypervector> {
+    let dim = hv.dim();
+    rotate_left(hv, dim - (amount % dim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HdcRng;
+
+    #[test]
+    fn rotate_by_zero_is_identity() {
+        let hv = BinaryHypervector::random(100, &mut HdcRng::seed_from(1));
+        assert_eq!(rotate_left(&hv, 0).unwrap(), hv);
+        assert_eq!(rotate_left(&hv, 100).unwrap(), hv);
+    }
+
+    #[test]
+    fn left_then_right_is_identity() {
+        let hv = BinaryHypervector::random(257, &mut HdcRng::seed_from(2));
+        for amount in [1, 13, 64, 200] {
+            let round = rotate_right(&rotate_left(&hv, amount).unwrap(), amount).unwrap();
+            assert_eq!(round, hv, "amount={amount}");
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_popcount_and_distance() {
+        let mut rng = HdcRng::seed_from(3);
+        let a = BinaryHypervector::random(512, &mut rng);
+        let b = BinaryHypervector::random(512, &mut rng);
+        let ra = rotate_left(&a, 37).unwrap();
+        let rb = rotate_left(&b, 37).unwrap();
+        assert_eq!(ra.count_ones(), a.count_ones());
+        assert_eq!(ra.hamming(&rb).unwrap(), a.hamming(&b).unwrap());
+    }
+
+    #[test]
+    fn rotation_decorrelates_a_vector_from_itself() {
+        let hv = BinaryHypervector::random(10_000, &mut HdcRng::seed_from(4));
+        let rotated = rotate_left(&hv, 1).unwrap();
+        let nh = hv.normalized_hamming(&rotated).unwrap();
+        assert!((nh - 0.5).abs() < 0.05, "rotation should look random: {nh}");
+    }
+}

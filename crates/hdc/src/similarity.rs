@@ -1,0 +1,171 @@
+//! Free-function similarity and distance metrics between hypervectors.
+//!
+//! The methods on [`BinaryHypervector`] and [`Accumulator`](crate::Accumulator)
+//! cover the common cases; this module adds batch helpers used by the
+//! clusterer and the experiment harnesses.
+
+use crate::{BinaryHypervector, HdcError, Result};
+
+/// Hamming distance between two binary hypervectors.
+///
+/// # Errors
+///
+/// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+///
+/// # Example
+///
+/// ```rust
+/// # fn main() -> Result<(), hdc::HdcError> {
+/// use hdc::{similarity, BinaryHypervector};
+/// let a = BinaryHypervector::from_bits(&[true, false, true])?;
+/// let b = BinaryHypervector::from_bits(&[true, true, false])?;
+/// assert_eq!(similarity::hamming(&a, &b)?, 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn hamming(a: &BinaryHypervector, b: &BinaryHypervector) -> Result<usize> {
+    a.hamming(b)
+}
+
+/// Normalized Hamming distance in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+pub fn normalized_hamming(a: &BinaryHypervector, b: &BinaryHypervector) -> Result<f64> {
+    a.normalized_hamming(b)
+}
+
+/// Cosine similarity between two binary hypervectors.
+///
+/// # Errors
+///
+/// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+pub fn cosine(a: &BinaryHypervector, b: &BinaryHypervector) -> Result<f64> {
+    a.cosine_similarity(b)
+}
+
+/// Cosine distance (`1 - cosine similarity`) between two binary hypervectors.
+///
+/// # Errors
+///
+/// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+pub fn cosine_distance(a: &BinaryHypervector, b: &BinaryHypervector) -> Result<f64> {
+    Ok(1.0 - a.cosine_similarity(b)?)
+}
+
+/// Index of the candidate with the smallest Hamming distance to `query`.
+///
+/// Ties are resolved in favour of the lowest index, which keeps the result
+/// deterministic.
+///
+/// # Errors
+///
+/// Returns [`HdcError::EmptyInput`] if `candidates` is empty, or
+/// [`HdcError::DimensionMismatch`] if any candidate has a different dimension.
+pub fn nearest_by_hamming(
+    query: &BinaryHypervector,
+    candidates: &[BinaryHypervector],
+) -> Result<usize> {
+    if candidates.is_empty() {
+        return Err(HdcError::EmptyInput);
+    }
+    let mut best = 0;
+    let mut best_dist = usize::MAX;
+    for (i, c) in candidates.iter().enumerate() {
+        let d = query.hamming(c)?;
+        if d < best_dist {
+            best_dist = d;
+            best = i;
+        }
+    }
+    Ok(best)
+}
+
+/// Pairwise Hamming distance matrix (row-major, `n x n`) of a set of
+/// hypervectors. Used to regenerate the distance grids of Fig. 3.
+///
+/// # Errors
+///
+/// Returns [`HdcError::DimensionMismatch`] if the vectors do not all share
+/// the same dimension.
+pub fn hamming_matrix(hvs: &[BinaryHypervector]) -> Result<Vec<Vec<usize>>> {
+    let n = hvs.len();
+    let mut out = vec![vec![0usize; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = hvs[i].hamming(&hvs[j])?;
+            out[i][j] = d;
+            out[j][i] = d;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HdcRng;
+
+    #[test]
+    fn free_functions_agree_with_methods() {
+        let mut rng = HdcRng::seed_from(11);
+        let a = BinaryHypervector::random(512, &mut rng);
+        let b = BinaryHypervector::random(512, &mut rng);
+        assert_eq!(hamming(&a, &b).unwrap(), a.hamming(&b).unwrap());
+        assert_eq!(
+            normalized_hamming(&a, &b).unwrap(),
+            a.normalized_hamming(&b).unwrap()
+        );
+        assert!(
+            (cosine(&a, &b).unwrap() + cosine_distance(&a, &b).unwrap() - 1.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn nearest_by_hamming_finds_self() {
+        let mut rng = HdcRng::seed_from(12);
+        let candidates: Vec<BinaryHypervector> =
+            (0..8).map(|_| BinaryHypervector::random(1024, &mut rng)).collect();
+        for (i, c) in candidates.iter().enumerate() {
+            assert_eq!(nearest_by_hamming(c, &candidates).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn nearest_by_hamming_empty_candidates_error() {
+        let q = BinaryHypervector::zeros(8).unwrap();
+        assert_eq!(
+            nearest_by_hamming(&q, &[]).unwrap_err(),
+            HdcError::EmptyInput
+        );
+    }
+
+    #[test]
+    fn nearest_by_hamming_prefers_lowest_index_on_tie() {
+        let z = BinaryHypervector::zeros(8).unwrap();
+        let candidates = vec![z.clone(), z.clone()];
+        assert_eq!(nearest_by_hamming(&z, &candidates).unwrap(), 0);
+    }
+
+    #[test]
+    fn hamming_matrix_is_symmetric_with_zero_diagonal() {
+        let mut rng = HdcRng::seed_from(13);
+        let hvs: Vec<BinaryHypervector> =
+            (0..5).map(|_| BinaryHypervector::random(256, &mut rng)).collect();
+        let m = hamming_matrix(&hvs).unwrap();
+        for i in 0..5 {
+            assert_eq!(m[i][i], 0);
+            for j in 0..5 {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_matrix_dimension_mismatch_errors() {
+        let a = BinaryHypervector::zeros(8).unwrap();
+        let b = BinaryHypervector::zeros(16).unwrap();
+        assert!(hamming_matrix(&[a, b]).is_err());
+    }
+}

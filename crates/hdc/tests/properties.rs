@@ -1,0 +1,124 @@
+//! Property-based tests for the hypervector substrate.
+
+use hdc::{similarity, Accumulator, BinaryHypervector, HdcRng};
+use proptest::prelude::*;
+
+fn arb_dim() -> impl Strategy<Value = usize> {
+    1usize..1500
+}
+
+fn arb_seed() -> impl Strategy<Value = u64> {
+    any::<u64>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hamming_is_a_metric(dim in arb_dim(), seed in arb_seed()) {
+        let mut rng = HdcRng::seed_from(seed);
+        let a = BinaryHypervector::random(dim, &mut rng);
+        let b = BinaryHypervector::random(dim, &mut rng);
+        let c = BinaryHypervector::random(dim, &mut rng);
+        let ab = a.hamming(&b).unwrap();
+        let ba = b.hamming(&a).unwrap();
+        let ac = a.hamming(&c).unwrap();
+        let cb = c.hamming(&b).unwrap();
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(a.hamming(&a).unwrap(), 0);
+        // Triangle inequality.
+        prop_assert!(ab <= ac + cb);
+        // Bounded by dimension.
+        prop_assert!(ab <= dim);
+    }
+
+    #[test]
+    fn xor_binding_preserves_distances(dim in arb_dim(), seed in arb_seed()) {
+        let mut rng = HdcRng::seed_from(seed);
+        let a = BinaryHypervector::random(dim, &mut rng);
+        let b = BinaryHypervector::random(dim, &mut rng);
+        let key = BinaryHypervector::random(dim, &mut rng);
+        let before = a.hamming(&b).unwrap();
+        let after = a.xor(&key).unwrap().hamming(&b.xor(&key).unwrap()).unwrap();
+        prop_assert_eq!(before, after);
+        // Unbinding recovers the original.
+        prop_assert_eq!(a.xor(&key).unwrap().xor(&key).unwrap(), a);
+    }
+
+    #[test]
+    fn flip_range_distance_equals_length(
+        dim in 64usize..2000,
+        seed in arb_seed(),
+        start_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let mut rng = HdcRng::seed_from(seed);
+        let base = BinaryHypervector::random(dim, &mut rng);
+        let start = ((dim - 1) as f64 * start_frac) as usize;
+        let len = ((dim - start) as f64 * len_frac) as usize;
+        let mut flipped = base.clone();
+        flipped.flip_range(start, len).unwrap();
+        prop_assert_eq!(base.hamming(&flipped).unwrap(), len);
+    }
+
+    #[test]
+    fn cosine_similarity_is_bounded_and_symmetric(dim in arb_dim(), seed in arb_seed()) {
+        let mut rng = HdcRng::seed_from(seed);
+        let a = BinaryHypervector::random(dim, &mut rng);
+        let b = BinaryHypervector::random(dim, &mut rng);
+        let sab = similarity::cosine(&a, &b).unwrap();
+        let sba = similarity::cosine(&b, &a).unwrap();
+        prop_assert!((sab - sba).abs() < 1e-12);
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&sab));
+    }
+
+    #[test]
+    fn accumulator_dot_matches_naive(dim in arb_dim(), seed in arb_seed(), n in 1usize..6) {
+        let mut rng = HdcRng::seed_from(seed);
+        let members: Vec<BinaryHypervector> =
+            (0..n).map(|_| BinaryHypervector::random(dim, &mut rng)).collect();
+        let probe = BinaryHypervector::random(dim, &mut rng);
+        let mut acc = Accumulator::zeros(dim).unwrap();
+        for m in &members {
+            acc.add(m).unwrap();
+        }
+        // Naive count-based dot product.
+        let mut naive = 0u64;
+        for i in 0..dim {
+            if probe.bit(i).unwrap() {
+                let count = members.iter().filter(|m| m.bit(i).unwrap()).count() as u64;
+                naive += count;
+            }
+        }
+        prop_assert_eq!(acc.dot(&probe).unwrap(), naive);
+    }
+
+    #[test]
+    fn majority_bundle_is_closer_to_members_than_random(seed in arb_seed()) {
+        let dim = 2048usize;
+        let mut rng = HdcRng::seed_from(seed);
+        let members: Vec<BinaryHypervector> =
+            (0..5).map(|_| BinaryHypervector::random(dim, &mut rng)).collect();
+        let outsider = BinaryHypervector::random(dim, &mut rng);
+        let mut acc = Accumulator::zeros(dim).unwrap();
+        for m in &members {
+            acc.add(m).unwrap();
+        }
+        let bundle = acc.to_majority().unwrap();
+        let mean_member: f64 = members
+            .iter()
+            .map(|m| bundle.hamming(m).unwrap() as f64)
+            .sum::<f64>()
+            / members.len() as f64;
+        let outsider_dist = bundle.hamming(&outsider).unwrap() as f64;
+        prop_assert!(mean_member < outsider_dist);
+    }
+
+    #[test]
+    fn to_bits_from_bits_roundtrip(dim in arb_dim(), seed in arb_seed()) {
+        let mut rng = HdcRng::seed_from(seed);
+        let hv = BinaryHypervector::random(dim, &mut rng);
+        let rebuilt = BinaryHypervector::from_bits(&hv.to_bits()).unwrap();
+        prop_assert_eq!(hv, rebuilt);
+    }
+}

@@ -1,0 +1,90 @@
+//! Colour space conversions.
+
+use crate::{GrayImage, RgbImage};
+
+/// ITU-R BT.601 luma of an RGB triple, rounded to the nearest integer.
+///
+/// # Example
+///
+/// ```rust
+/// assert_eq!(imaging::colorspace::luma(255, 255, 255), 255);
+/// assert_eq!(imaging::colorspace::luma(0, 0, 0), 0);
+/// ```
+pub fn luma(r: u8, g: u8, b: u8) -> u8 {
+    let y = 0.299 * f64::from(r) + 0.587 * f64::from(g) + 0.114 * f64::from(b);
+    y.round().clamp(0.0, 255.0) as u8
+}
+
+/// Converts an RGB image to grayscale using [`luma`].
+pub fn rgb_to_gray(image: &RgbImage) -> GrayImage {
+    let data: Vec<u8> = image
+        .as_raw()
+        .chunks_exact(3)
+        .map(|px| luma(px[0], px[1], px[2]))
+        .collect();
+    GrayImage::from_raw(image.width(), image.height(), data)
+        .expect("gray buffer has one value per rgb pixel")
+}
+
+/// Converts a grayscale image to RGB by channel replication.
+pub fn gray_to_rgb(image: &GrayImage) -> RgbImage {
+    image.to_rgb()
+}
+
+/// Linearly stretches the intensity range of a grayscale image so that the
+/// darkest pixel becomes 0 and the brightest becomes 255 (contrast
+/// normalisation). Constant images are returned unchanged.
+pub fn stretch_contrast(image: &GrayImage) -> GrayImage {
+    let (min, max) = image.min_max();
+    if min == max {
+        return image.clone();
+    }
+    let span = f64::from(max) - f64::from(min);
+    let data = image
+        .as_raw()
+        .iter()
+        .map(|&v| (((f64::from(v) - f64::from(min)) / span) * 255.0).round() as u8)
+        .collect();
+    GrayImage::from_raw(image.width(), image.height(), data)
+        .expect("output buffer has the same size as the input")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luma_matches_reference_weights() {
+        assert_eq!(luma(255, 0, 0), 76);
+        assert_eq!(luma(0, 255, 0), 150);
+        assert_eq!(luma(0, 0, 255), 29);
+        assert_eq!(luma(128, 128, 128), 128);
+    }
+
+    #[test]
+    fn rgb_gray_roundtrip_for_neutral_colors() {
+        let mut rgb = RgbImage::new(2, 1).unwrap();
+        rgb.set(0, 0, [40, 40, 40]).unwrap();
+        rgb.set(1, 0, [200, 200, 200]).unwrap();
+        let gray = rgb_to_gray(&rgb);
+        assert_eq!(gray.get(0, 0).unwrap(), 40);
+        assert_eq!(gray.get(1, 0).unwrap(), 200);
+        let back = gray_to_rgb(&gray);
+        assert_eq!(back.get(1, 0).unwrap(), [200, 200, 200]);
+    }
+
+    #[test]
+    fn stretch_contrast_expands_to_full_range() {
+        let img = GrayImage::from_raw(3, 1, vec![100, 150, 200]).unwrap();
+        let stretched = stretch_contrast(&img);
+        assert_eq!(stretched.get(0, 0).unwrap(), 0);
+        assert_eq!(stretched.get(1, 0).unwrap(), 128);
+        assert_eq!(stretched.get(2, 0).unwrap(), 255);
+    }
+
+    #[test]
+    fn stretch_contrast_leaves_constant_images_alone() {
+        let img = GrayImage::filled(2, 2, 99).unwrap();
+        assert_eq!(stretch_contrast(&img), img);
+    }
+}

@@ -1,0 +1,122 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by image construction, indexing, I/O and metrics.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ImagingError {
+    /// An image with zero width or height was requested.
+    EmptyImage,
+    /// The supplied pixel buffer does not match `width * height * channels`.
+    BufferSizeMismatch {
+        /// Number of elements expected.
+        expected: usize,
+        /// Number of elements provided.
+        actual: usize,
+    },
+    /// A pixel coordinate fell outside of the image.
+    OutOfBounds {
+        /// Requested x coordinate.
+        x: usize,
+        /// Requested y coordinate.
+        y: usize,
+        /// Image width.
+        width: usize,
+        /// Image height.
+        height: usize,
+    },
+    /// Two images/label maps that must share a shape do not.
+    ShapeMismatch {
+        /// Shape of the left operand (width, height).
+        left: (usize, usize),
+        /// Shape of the right operand (width, height).
+        right: (usize, usize),
+    },
+    /// A parameter is outside its valid domain.
+    InvalidParameter {
+        /// Human readable description.
+        message: String,
+    },
+    /// A PNM file could not be parsed.
+    ParsePnm {
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ImagingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImagingError::EmptyImage => write!(f, "image dimensions must be non-zero"),
+            ImagingError::BufferSizeMismatch { expected, actual } => {
+                write!(f, "pixel buffer has {actual} elements, expected {expected}")
+            }
+            ImagingError::OutOfBounds {
+                x,
+                y,
+                width,
+                height,
+            } => write!(f, "pixel ({x}, {y}) out of bounds for {width}x{height} image"),
+            ImagingError::ShapeMismatch { left, right } => write!(
+                f,
+                "shape mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            ImagingError::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+            ImagingError::ParsePnm { message } => write!(f, "failed to parse pnm: {message}"),
+            ImagingError::Io(err) => write!(f, "i/o error: {err}"),
+        }
+    }
+}
+
+impl Error for ImagingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ImagingError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ImagingError {
+    fn from(err: std::io::Error) -> Self {
+        ImagingError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_describe_the_problem() {
+        assert!(ImagingError::EmptyImage.to_string().contains("non-zero"));
+        let e = ImagingError::OutOfBounds {
+            x: 5,
+            y: 6,
+            width: 3,
+            height: 3,
+        };
+        assert!(e.to_string().contains("(5, 6)"));
+        let e = ImagingError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+        };
+        assert!(e.to_string().contains("2x3"));
+    }
+
+    #[test]
+    fn io_errors_are_wrapped_with_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e = ImagingError::from(io);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<ImagingError>();
+    }
+}

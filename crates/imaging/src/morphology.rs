@@ -1,0 +1,274 @@
+//! Binary morphology and connected-component labelling.
+
+use crate::{LabelMap, Result};
+
+/// Labels the 4-connected components of the foreground (non-zero labels) of
+/// a map. The output assigns consecutive labels `1..=n` to components and `0`
+/// to background.
+///
+/// # Example
+///
+/// ```rust
+/// # fn main() -> Result<(), imaging::ImagingError> {
+/// use imaging::{morphology, LabelMap};
+/// // Two separate foreground pixels on a 3x1 strip.
+/// let map = LabelMap::from_raw(3, 1, vec![1, 0, 1])?;
+/// let labeled = morphology::connected_components(&map)?;
+/// assert_eq!(labeled.distinct_labels(), 3); // background + 2 components
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// This function cannot currently fail but returns `Result` for uniformity
+/// with the rest of the crate.
+pub fn connected_components(map: &LabelMap) -> Result<LabelMap> {
+    let width = map.width();
+    let height = map.height();
+    let mut out = LabelMap::new(width, height)?;
+    let mut next_label = 0u32;
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+
+    for start_y in 0..height {
+        for start_x in 0..width {
+            if map.get(start_x, start_y)? == 0 || out.get(start_x, start_y)? != 0 {
+                continue;
+            }
+            next_label += 1;
+            stack.push((start_x, start_y));
+            out.set(start_x, start_y, next_label)?;
+            while let Some((x, y)) = stack.pop() {
+                let visit = |nx: usize, ny: usize,
+                                 out: &mut LabelMap,
+                                 stack: &mut Vec<(usize, usize)>|
+                 -> Result<()> {
+                    if map.get(nx, ny)? != 0 && out.get(nx, ny)? == 0 {
+                        out.set(nx, ny, next_label)?;
+                        stack.push((nx, ny));
+                    }
+                    Ok(())
+                };
+                if x > 0 {
+                    visit(x - 1, y, &mut out, &mut stack)?;
+                }
+                if x + 1 < width {
+                    visit(x + 1, y, &mut out, &mut stack)?;
+                }
+                if y > 0 {
+                    visit(x, y - 1, &mut out, &mut stack)?;
+                }
+                if y + 1 < height {
+                    visit(x, y + 1, &mut out, &mut stack)?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Counts the 4-connected foreground components of a map.
+///
+/// # Errors
+///
+/// Propagates errors from [`connected_components`].
+pub fn count_components(map: &LabelMap) -> Result<usize> {
+    let labeled = connected_components(map)?;
+    Ok(labeled
+        .label_histogram()
+        .keys()
+        .filter(|&&label| label != 0)
+        .count())
+}
+
+/// Binary erosion with a 3×3 cross (4-neighbourhood) structuring element:
+/// a pixel stays foreground only if all of its 4-neighbours (and itself) are
+/// foreground. Border pixels treat out-of-image neighbours as background.
+///
+/// # Errors
+///
+/// This function cannot currently fail but returns `Result` for uniformity.
+pub fn erode(map: &LabelMap) -> Result<LabelMap> {
+    let width = map.width();
+    let height = map.height();
+    let mut out = LabelMap::new(width, height)?;
+    for y in 0..height {
+        for x in 0..width {
+            let is_fg = |x: isize, y: isize| -> bool {
+                if x < 0 || y < 0 || x >= width as isize || y >= height as isize {
+                    return false;
+                }
+                map.get(x as usize, y as usize).map(|l| l != 0).unwrap_or(false)
+            };
+            let xi = x as isize;
+            let yi = y as isize;
+            let keep = is_fg(xi, yi)
+                && is_fg(xi - 1, yi)
+                && is_fg(xi + 1, yi)
+                && is_fg(xi, yi - 1)
+                && is_fg(xi, yi + 1);
+            if keep {
+                out.set(x, y, 1)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Binary dilation with a 3×3 cross (4-neighbourhood) structuring element:
+/// a pixel becomes foreground if it or any 4-neighbour is foreground.
+///
+/// # Errors
+///
+/// This function cannot currently fail but returns `Result` for uniformity.
+pub fn dilate(map: &LabelMap) -> Result<LabelMap> {
+    let width = map.width();
+    let height = map.height();
+    let mut out = LabelMap::new(width, height)?;
+    for y in 0..height {
+        for x in 0..width {
+            let is_fg = |x: isize, y: isize| -> bool {
+                if x < 0 || y < 0 || x >= width as isize || y >= height as isize {
+                    return false;
+                }
+                map.get(x as usize, y as usize).map(|l| l != 0).unwrap_or(false)
+            };
+            let xi = x as isize;
+            let yi = y as isize;
+            let set = is_fg(xi, yi)
+                || is_fg(xi - 1, yi)
+                || is_fg(xi + 1, yi)
+                || is_fg(xi, yi - 1)
+                || is_fg(xi, yi + 1);
+            if set {
+                out.set(x, y, 1)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Morphological opening (erosion followed by dilation); removes isolated
+/// foreground specks smaller than the structuring element.
+///
+/// # Errors
+///
+/// Propagates errors from [`erode`] / [`dilate`].
+pub fn open(map: &LabelMap) -> Result<LabelMap> {
+    dilate(&erode(map)?)
+}
+
+/// Morphological closing (dilation followed by erosion); fills small holes.
+///
+/// # Errors
+///
+/// Propagates errors from [`erode`] / [`dilate`].
+pub fn close(map: &LabelMap) -> Result<LabelMap> {
+    erode(&dilate(map)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_from(rows: &[&[u32]]) -> LabelMap {
+        let height = rows.len();
+        let width = rows[0].len();
+        let flat: Vec<u32> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        LabelMap::from_raw(width, height, flat).unwrap()
+    }
+
+    #[test]
+    fn single_blob_is_one_component() {
+        let map = map_from(&[
+            &[0, 1, 1, 0],
+            &[0, 1, 1, 0],
+            &[0, 0, 0, 0],
+        ]);
+        assert_eq!(count_components(&map).unwrap(), 1);
+    }
+
+    #[test]
+    fn diagonal_blobs_are_separate_under_4_connectivity() {
+        let map = map_from(&[
+            &[1, 0, 0],
+            &[0, 1, 0],
+            &[0, 0, 1],
+        ]);
+        assert_eq!(count_components(&map).unwrap(), 3);
+    }
+
+    #[test]
+    fn components_receive_consecutive_labels() {
+        let map = map_from(&[
+            &[1, 0, 2],
+            &[0, 0, 2],
+        ]);
+        let labeled = connected_components(&map).unwrap();
+        let hist = labeled.label_histogram();
+        assert_eq!(hist.len(), 3); // 0, 1, 2
+        assert_eq!(hist[&1], 1);
+        assert_eq!(hist[&2], 2);
+    }
+
+    #[test]
+    fn empty_map_has_no_components() {
+        let map = LabelMap::new(5, 5).unwrap();
+        assert_eq!(count_components(&map).unwrap(), 0);
+    }
+
+    #[test]
+    fn full_map_is_one_component() {
+        let map = LabelMap::from_raw(4, 4, vec![3; 16]).unwrap();
+        assert_eq!(count_components(&map).unwrap(), 1);
+    }
+
+    #[test]
+    fn erosion_removes_single_pixels() {
+        let map = map_from(&[
+            &[0, 0, 0],
+            &[0, 1, 0],
+            &[0, 0, 0],
+        ]);
+        let eroded = erode(&map).unwrap();
+        assert_eq!(eroded.foreground_pixels(), 0);
+    }
+
+    #[test]
+    fn dilation_grows_by_one_ring() {
+        let map = map_from(&[
+            &[0, 0, 0],
+            &[0, 1, 0],
+            &[0, 0, 0],
+        ]);
+        let dilated = dilate(&map).unwrap();
+        assert_eq!(dilated.foreground_pixels(), 5);
+    }
+
+    #[test]
+    fn erosion_then_dilation_of_large_blob_is_nearly_identity() {
+        let mut map = LabelMap::new(10, 10).unwrap();
+        for y in 2..8 {
+            for x in 2..8 {
+                map.set(x, y, 1).unwrap();
+            }
+        }
+        let opened = open(&map).unwrap();
+        // A 6x6 square opened with a 3x3 cross keeps most of its area.
+        assert!(opened.foreground_pixels() >= 24);
+        assert!(opened.foreground_pixels() <= 36);
+    }
+
+    #[test]
+    fn closing_fills_single_pixel_holes() {
+        let mut map = LabelMap::new(7, 7).unwrap();
+        for y in 1..6 {
+            for x in 1..6 {
+                map.set(x, y, 1).unwrap();
+            }
+        }
+        map.set(3, 3, 0).unwrap(); // a hole
+        let closed = close(&map).unwrap();
+        assert_eq!(closed.get(3, 3).unwrap(), 1);
+    }
+}

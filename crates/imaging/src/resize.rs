@@ -1,0 +1,149 @@
+//! Image resampling.
+//!
+//! The CNN baseline of Kim et al. is routinely run on down-scaled inputs to
+//! fit edge memory budgets; these helpers provide the nearest-neighbour and
+//! bilinear resampling needed for that and for building image pyramids in
+//! the experiment harnesses.
+
+use crate::{GrayImage, ImagingError, LabelMap, Result};
+
+fn check_target(width: usize, height: usize) -> Result<()> {
+    if width == 0 || height == 0 {
+        return Err(ImagingError::InvalidParameter {
+            message: "target dimensions must be non-zero".to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Nearest-neighbour resampling of a grayscale image.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidParameter`] if either target dimension is
+/// zero.
+pub fn resize_nearest(image: &GrayImage, width: usize, height: usize) -> Result<GrayImage> {
+    check_target(width, height)?;
+    let mut out = GrayImage::new(width, height)?;
+    for y in 0..height {
+        for x in 0..width {
+            let sx = x * image.width() / width;
+            let sy = y * image.height() / height;
+            out.set(x, y, image.get(sx, sy)?)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Nearest-neighbour resampling of a label map (labels must not be blended,
+/// so nearest neighbour is the only valid choice).
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidParameter`] if either target dimension is
+/// zero.
+pub fn resize_labels_nearest(map: &LabelMap, width: usize, height: usize) -> Result<LabelMap> {
+    check_target(width, height)?;
+    let mut out = LabelMap::new(width, height)?;
+    for y in 0..height {
+        for x in 0..width {
+            let sx = x * map.width() / width;
+            let sy = y * map.height() / height;
+            out.set(x, y, map.get(sx, sy)?)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Bilinear resampling of a grayscale image.
+///
+/// # Errors
+///
+/// Returns [`ImagingError::InvalidParameter`] if either target dimension is
+/// zero.
+pub fn resize_bilinear(image: &GrayImage, width: usize, height: usize) -> Result<GrayImage> {
+    check_target(width, height)?;
+    let mut out = GrayImage::new(width, height)?;
+    let x_ratio = image.width() as f64 / width as f64;
+    let y_ratio = image.height() as f64 / height as f64;
+    for y in 0..height {
+        for x in 0..width {
+            let src_x = (x as f64 + 0.5) * x_ratio - 0.5;
+            let src_y = (y as f64 + 0.5) * y_ratio - 0.5;
+            let x0 = src_x.floor() as isize;
+            let y0 = src_y.floor() as isize;
+            let fx = src_x - x0 as f64;
+            let fy = src_y - y0 as f64;
+            let p00 = f64::from(image.get_clamped(x0, y0));
+            let p10 = f64::from(image.get_clamped(x0 + 1, y0));
+            let p01 = f64::from(image.get_clamped(x0, y0 + 1));
+            let p11 = f64::from(image.get_clamped(x0 + 1, y0 + 1));
+            let top = p00 + (p10 - p00) * fx;
+            let bottom = p01 + (p11 - p01) * fx;
+            let value = top + (bottom - top) * fy;
+            out.set(x, y, value.round().clamp(0.0, 255.0) as u8)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_resize_is_lossless() {
+        let img = GrayImage::from_raw(3, 2, vec![1, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(resize_nearest(&img, 3, 2).unwrap(), img);
+        assert_eq!(resize_bilinear(&img, 3, 2).unwrap(), img);
+    }
+
+    #[test]
+    fn upscaling_nearest_replicates_pixels() {
+        let img = GrayImage::from_raw(2, 1, vec![10, 200]).unwrap();
+        let up = resize_nearest(&img, 4, 2).unwrap();
+        assert_eq!(up.get(0, 0).unwrap(), 10);
+        assert_eq!(up.get(1, 1).unwrap(), 10);
+        assert_eq!(up.get(2, 0).unwrap(), 200);
+        assert_eq!(up.get(3, 1).unwrap(), 200);
+    }
+
+    #[test]
+    fn downscaling_preserves_constant_regions() {
+        let img = GrayImage::filled(16, 16, 99).unwrap();
+        let down_n = resize_nearest(&img, 4, 4).unwrap();
+        let down_b = resize_bilinear(&img, 4, 4).unwrap();
+        assert!(down_n.as_raw().iter().all(|&v| v == 99));
+        assert!(down_b.as_raw().iter().all(|&v| v == 99));
+    }
+
+    #[test]
+    fn bilinear_interpolates_between_values() {
+        let img = GrayImage::from_raw(2, 1, vec![0, 200]).unwrap();
+        let up = resize_bilinear(&img, 4, 1).unwrap();
+        let values = up.as_raw();
+        assert!(values.windows(2).all(|w| w[0] <= w[1]));
+        assert!(values[1] > 0 && values[2] < 200);
+    }
+
+    #[test]
+    fn zero_target_dimensions_are_rejected() {
+        let img = GrayImage::new(4, 4).unwrap();
+        assert!(resize_nearest(&img, 0, 4).is_err());
+        assert!(resize_bilinear(&img, 4, 0).is_err());
+        let map = LabelMap::new(4, 4).unwrap();
+        assert!(resize_labels_nearest(&map, 0, 0).is_err());
+    }
+
+    #[test]
+    fn label_resize_never_invents_new_labels() {
+        let map = LabelMap::from_raw(2, 2, vec![0, 1, 2, 3]).unwrap();
+        let resized = resize_labels_nearest(&map, 7, 5).unwrap();
+        let hist = resized.label_histogram();
+        for label in hist.keys() {
+            assert!(*label <= 3);
+        }
+        assert_eq!(resized.width(), 7);
+        assert_eq!(resized.height(), 5);
+    }
+}

@@ -1,0 +1,301 @@
+use crate::{Layer, NnError, Result, Tensor};
+
+/// 2-D batch normalisation over the `(N, H, W)` axes of each channel,
+/// operating in training mode (batch statistics, as in the per-image
+/// training loop of the CNN baseline).
+///
+/// # Example
+///
+/// ```rust
+/// # fn main() -> Result<(), neuralnet::NnError> {
+/// use neuralnet::{BatchNorm2d, Layer, Tensor};
+/// let mut bn = BatchNorm2d::new(2)?;
+/// let input = Tensor::from_vec([1, 2, 1, 2], vec![1.0, 3.0, -2.0, 2.0])?;
+/// let output = bn.forward(&input)?;
+/// // Each channel is normalised to zero mean.
+/// let c0_mean = (output.get(0, 0, 0, 0)? + output.get(0, 0, 0, 1)?) / 2.0;
+/// assert!(c0_mean.abs() < 1e-5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f32,
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug)]
+struct Cache {
+    normalized: Tensor,
+    std_inv: Vec<f32>,
+    shape: [usize; 4],
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature channels with the
+    /// default epsilon of `1e-5`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParameter`] if `channels == 0`.
+    pub fn new(channels: usize) -> Result<Self> {
+        if channels == 0 {
+            return Err(NnError::InvalidParameter {
+                message: "batch norm requires at least one channel".to_string(),
+            });
+        }
+        Ok(Self {
+            channels,
+            eps: 1e-5,
+            gamma: Tensor::filled([1, channels, 1, 1], 1.0)?,
+            beta: Tensor::zeros([1, channels, 1, 1])?,
+            grad_gamma: Tensor::zeros([1, channels, 1, 1])?,
+            grad_beta: Tensor::zeros([1, channels, 1, 1])?,
+            cache: None,
+        })
+    }
+
+    /// Number of channels this layer normalises.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> &str {
+        "batchnorm2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        if input.channels() != self.channels {
+            return Err(NnError::ChannelMismatch {
+                expected: self.channels,
+                actual: input.channels(),
+            });
+        }
+        let (batch, height, width) = (input.batch(), input.height(), input.width());
+        let per_channel = (batch * height * width) as f32;
+        let mut output = Tensor::zeros(input.shape())?;
+        let mut normalized = Tensor::zeros(input.shape())?;
+        let mut std_inv = vec![0.0f32; self.channels];
+
+        for c in 0..self.channels {
+            let mut mean = 0.0f32;
+            for n in 0..batch {
+                for h in 0..height {
+                    for w in 0..width {
+                        mean += input.at(n, c, h, w);
+                    }
+                }
+            }
+            mean /= per_channel;
+            let mut var = 0.0f32;
+            for n in 0..batch {
+                for h in 0..height {
+                    for w in 0..width {
+                        let d = input.at(n, c, h, w) - mean;
+                        var += d * d;
+                    }
+                }
+            }
+            var /= per_channel;
+            let inv = 1.0 / (var + self.eps).sqrt();
+            std_inv[c] = inv;
+            let g = self.gamma.at(0, c, 0, 0);
+            let b = self.beta.at(0, c, 0, 0);
+            for n in 0..batch {
+                for h in 0..height {
+                    for w in 0..width {
+                        let xhat = (input.at(n, c, h, w) - mean) * inv;
+                        *normalized.at_mut(n, c, h, w) = xhat;
+                        *output.at_mut(n, c, h, w) = g * xhat + b;
+                    }
+                }
+            }
+        }
+        self.cache = Some(Cache {
+            normalized,
+            std_inv,
+            shape: input.shape(),
+        });
+        Ok(output)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self.cache.as_ref().ok_or(NnError::BackwardBeforeForward)?;
+        if grad_output.shape() != cache.shape {
+            return Err(NnError::ShapeMismatch {
+                left: grad_output.shape(),
+                right: cache.shape,
+            });
+        }
+        let [batch, _, height, width] = cache.shape;
+        let per_channel = (batch * height * width) as f32;
+        let mut grad_input = Tensor::zeros(cache.shape)?;
+
+        for c in 0..self.channels {
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for n in 0..batch {
+                for h in 0..height {
+                    for w in 0..width {
+                        let dy = grad_output.at(n, c, h, w);
+                        sum_dy += dy;
+                        sum_dy_xhat += dy * cache.normalized.at(n, c, h, w);
+                    }
+                }
+            }
+            *self.grad_beta.at_mut(0, c, 0, 0) += sum_dy;
+            *self.grad_gamma.at_mut(0, c, 0, 0) += sum_dy_xhat;
+
+            let g = self.gamma.at(0, c, 0, 0);
+            let inv = cache.std_inv[c];
+            for n in 0..batch {
+                for h in 0..height {
+                    for w in 0..width {
+                        let dy = grad_output.at(n, c, h, w);
+                        let xhat = cache.normalized.at(n, c, h, w);
+                        // Standard batch-norm backward:
+                        // dx = gamma * inv / m * (m*dy - sum(dy) - xhat * sum(dy*xhat))
+                        *grad_input.at_mut(n, c, h, w) = g * inv / per_channel
+                            * (per_channel * dy - sum_dy - xhat * sum_dy_xhat);
+                    }
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        vec![
+            (&mut self.gamma, &mut self.grad_gamma),
+            (&mut self.beta, &mut self.grad_beta),
+        ]
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_gamma.fill_zero();
+        self.grad_beta.fill_zero();
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.gamma.len() + self.beta.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn forward_normalises_each_channel() {
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let input = Tensor::randn([1, 2, 8, 8], 3.0, &mut rng).unwrap();
+        let out = bn.forward(&input).unwrap();
+        for c in 0..2 {
+            let mut mean = 0.0f32;
+            let mut var = 0.0f32;
+            for h in 0..8 {
+                for w in 0..8 {
+                    mean += out.get(0, c, h, w).unwrap();
+                }
+            }
+            mean /= 64.0;
+            for h in 0..8 {
+                for w in 0..8 {
+                    let d = out.get(0, c, h, w).unwrap() - mean;
+                    var += d * d;
+                }
+            }
+            var /= 64.0;
+            assert!(mean.abs() < 1e-4, "channel {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn backward_gradient_matches_finite_differences() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let input = Tensor::randn([1, 1, 3, 3], 1.0, &mut rng).unwrap();
+        // Loss: weighted sum of outputs so the gradient is non-uniform.
+        let weights: Vec<f32> = (0..9).map(|i| (i as f32) * 0.3 - 1.0).collect();
+        let loss_of = |bn: &mut BatchNorm2d, x: &Tensor| -> f32 {
+            bn.forward(x)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(&weights)
+                .map(|(o, w)| o * w)
+                .sum()
+        };
+        let out = bn.forward(&input).unwrap();
+        let grad_output = Tensor::from_vec(out.shape(), weights.clone()).unwrap();
+        let grad_input = bn.backward(&grad_output).unwrap();
+
+        let eps = 1e-3f32;
+        for idx in [0usize, 4, 8] {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let numeric = (loss_of(&mut bn, &plus) - loss_of(&mut bn, &minus)) / (2.0 * eps);
+            let analytic = grad_input.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 5e-2,
+                "idx {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_beta_gradients_accumulate() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        let input = Tensor::from_vec([1, 1, 1, 4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = bn.forward(&input).unwrap();
+        let grad_out = Tensor::filled(out.shape(), 1.0).unwrap();
+        bn.backward(&grad_out).unwrap();
+        // d beta = sum(dy) = 4; d gamma = sum(dy * xhat) = 0 for symmetric xhat.
+        assert!((bn.grad_beta.as_slice()[0] - 4.0).abs() < 1e-5);
+        assert!(bn.grad_gamma.as_slice()[0].abs() < 1e-4);
+        bn.zero_grad();
+        assert_eq!(bn.grad_beta.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn invalid_usage_is_rejected() {
+        assert!(BatchNorm2d::new(0).is_err());
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        let wrong = Tensor::zeros([1, 3, 2, 2]).unwrap();
+        assert!(bn.forward(&wrong).is_err());
+        let grad = Tensor::zeros([1, 2, 2, 2]).unwrap();
+        assert!(matches!(
+            bn.backward(&grad),
+            Err(NnError::BackwardBeforeForward)
+        ));
+    }
+
+    #[test]
+    fn constant_input_does_not_blow_up() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        let input = Tensor::filled([1, 1, 4, 4], 5.0).unwrap();
+        let out = bn.forward(&input).unwrap();
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+        assert!(out.max_abs() < 1.0);
+    }
+
+    #[test]
+    fn parameter_count_is_two_per_channel() {
+        let bn = BatchNorm2d::new(7).unwrap();
+        assert_eq!(bn.parameter_count(), 14);
+        assert_eq!(bn.channels(), 7);
+    }
+}

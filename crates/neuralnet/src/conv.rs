@@ -1,0 +1,427 @@
+use crate::{Layer, NnError, Result, Tensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// A 2-D convolution with square kernels, stride 1 and "same" zero padding.
+///
+/// Weights are initialised with Kaiming-He scaling
+/// (`std = sqrt(2 / (in_channels * k * k))`), which is what the reference
+/// implementation of the CNN baseline uses. The layer supports an explicit
+/// backward pass that accumulates weight/bias gradients and returns the
+/// gradient with respect to its input.
+///
+/// # Example
+///
+/// ```rust
+/// # fn main() -> Result<(), neuralnet::NnError> {
+/// use neuralnet::{Conv2d, Layer, Tensor};
+/// let mut conv = Conv2d::new(1, 4, 3, 42)?;
+/// let input = Tensor::zeros([1, 1, 8, 8])?;
+/// let output = conv.forward(&input)?;
+/// assert_eq!(output.shape(), [1, 4, 8, 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with `kernel x kernel` filters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParameter`] if any of `in_channels`,
+    /// `out_channels` or `kernel` is zero, or if `kernel` is even (odd
+    /// kernels are required for symmetric "same" padding).
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, seed: u64) -> Result<Self> {
+        if in_channels == 0 || out_channels == 0 || kernel == 0 {
+            return Err(NnError::InvalidParameter {
+                message: "channel counts and kernel size must be non-zero".to_string(),
+            });
+        }
+        if kernel % 2 == 0 {
+            return Err(NnError::InvalidParameter {
+                message: format!("kernel size must be odd for same padding, got {kernel}"),
+            });
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let std = (2.0 / (in_channels * kernel * kernel) as f32).sqrt();
+        let weight = Tensor::randn([out_channels, in_channels, kernel, kernel], std, &mut rng)?;
+        Ok(Self {
+            in_channels,
+            out_channels,
+            kernel,
+            grad_weight: Tensor::zeros(weight.shape())?,
+            weight,
+            bias: Tensor::zeros([1, out_channels, 1, 1])?,
+            grad_bias: Tensor::zeros([1, out_channels, 1, 1])?,
+            cached_input: None,
+        })
+    }
+
+    /// Number of input channels expected by this layer.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels produced by this layer.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Read access to the weight tensor (for tests and serialisation).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<()> {
+        if input.channels() != self.in_channels {
+            return Err(NnError::ChannelMismatch {
+                expected: self.in_channels,
+                actual: input.channels(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        self.check_input(input)?;
+        let (batch, height, width) = (input.batch(), input.height(), input.width());
+        let pad = (self.kernel / 2) as isize;
+        let k = self.kernel;
+        let in_c = self.in_channels;
+        let out_c = self.out_channels;
+        let weight = &self.weight;
+        let bias = &self.bias;
+
+        let mut output = Tensor::zeros([batch, out_c, height, width])?;
+        for n in 0..batch {
+            // Each output channel is independent: parallelise across them.
+            let planes: Vec<Vec<f32>> = (0..out_c)
+                .into_par_iter()
+                .map(|oc| {
+                    let mut plane = vec![0.0f32; height * width];
+                    let b = bias.at(0, oc, 0, 0);
+                    for h in 0..height {
+                        for w in 0..width {
+                            let mut acc = b;
+                            for ic in 0..in_c {
+                                for kh in 0..k {
+                                    let ih = h as isize + kh as isize - pad;
+                                    if ih < 0 || ih >= height as isize {
+                                        continue;
+                                    }
+                                    for kw in 0..k {
+                                        let iw = w as isize + kw as isize - pad;
+                                        if iw < 0 || iw >= width as isize {
+                                            continue;
+                                        }
+                                        acc += weight.at(oc, ic, kh, kw)
+                                            * input.at(n, ic, ih as usize, iw as usize);
+                                    }
+                                }
+                            }
+                            plane[h * width + w] = acc;
+                        }
+                    }
+                    plane
+                })
+                .collect();
+            for (oc, plane) in planes.into_iter().enumerate() {
+                for h in 0..height {
+                    for w in 0..width {
+                        *output.at_mut(n, oc, h, w) = plane[h * width + w];
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(output)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward)?;
+        let (batch, height, width) = (input.batch(), input.height(), input.width());
+        let expected = [batch, self.out_channels, height, width];
+        if grad_output.shape() != expected {
+            return Err(NnError::ShapeMismatch {
+                left: grad_output.shape(),
+                right: expected,
+            });
+        }
+        let pad = (self.kernel / 2) as isize;
+        let k = self.kernel;
+        let in_c = self.in_channels;
+        let out_c = self.out_channels;
+
+        // Bias gradient: sum of grad_output per output channel.
+        for oc in 0..out_c {
+            let mut acc = 0.0f32;
+            for n in 0..batch {
+                for h in 0..height {
+                    for w in 0..width {
+                        acc += grad_output.at(n, oc, h, w);
+                    }
+                }
+            }
+            *self.grad_bias.at_mut(0, oc, 0, 0) += acc;
+        }
+
+        // Weight gradient, parallel over output channels.
+        let weight_updates: Vec<Vec<f32>> = (0..out_c)
+            .into_par_iter()
+            .map(|oc| {
+                let mut local = vec![0.0f32; in_c * k * k];
+                for n in 0..batch {
+                    for h in 0..height {
+                        for w in 0..width {
+                            let go = grad_output.at(n, oc, h, w);
+                            if go == 0.0 {
+                                continue;
+                            }
+                            for ic in 0..in_c {
+                                for kh in 0..k {
+                                    let ih = h as isize + kh as isize - pad;
+                                    if ih < 0 || ih >= height as isize {
+                                        continue;
+                                    }
+                                    for kw in 0..k {
+                                        let iw = w as isize + kw as isize - pad;
+                                        if iw < 0 || iw >= width as isize {
+                                            continue;
+                                        }
+                                        local[(ic * k + kh) * k + kw] +=
+                                            go * input.at(n, ic, ih as usize, iw as usize);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                local
+            })
+            .collect();
+        for (oc, local) in weight_updates.into_iter().enumerate() {
+            for ic in 0..in_c {
+                for kh in 0..k {
+                    for kw in 0..k {
+                        *self.grad_weight.at_mut(oc, ic, kh, kw) += local[(ic * k + kh) * k + kw];
+                    }
+                }
+            }
+        }
+
+        // Input gradient, parallel over input channels.
+        let weight = &self.weight;
+        let mut grad_input = Tensor::zeros(input.shape())?;
+        for n in 0..batch {
+            let planes: Vec<Vec<f32>> = (0..in_c)
+                .into_par_iter()
+                .map(|ic| {
+                    let mut plane = vec![0.0f32; height * width];
+                    for oc in 0..out_c {
+                        for h in 0..height {
+                            for w in 0..width {
+                                let go = grad_output.at(n, oc, h, w);
+                                if go == 0.0 {
+                                    continue;
+                                }
+                                for kh in 0..k {
+                                    let ih = h as isize + kh as isize - pad;
+                                    if ih < 0 || ih >= height as isize {
+                                        continue;
+                                    }
+                                    for kw in 0..k {
+                                        let iw = w as isize + kw as isize - pad;
+                                        if iw < 0 || iw >= width as isize {
+                                            continue;
+                                        }
+                                        plane[ih as usize * width + iw as usize] +=
+                                            go * weight.at(oc, ic, kh, kw);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    plane
+                })
+                .collect();
+            for (ic, plane) in planes.into_iter().enumerate() {
+                for h in 0..height {
+                    for w in 0..width {
+                        *grad_input.at_mut(n, ic, h, w) = plane[h * width + w];
+                    }
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        vec![
+            (&mut self.weight, &mut self.grad_weight),
+            (&mut self.bias, &mut self.grad_bias),
+        ]
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_weight.fill_zero();
+        self.grad_bias.fill_zero();
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerically checks `d loss / d x` for a scalar loss `sum(conv(x))`.
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut conv = Conv2d::new(2, 3, 3, 7).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let input = Tensor::randn([1, 2, 5, 5], 1.0, &mut rng).unwrap();
+        let output = conv.forward(&input).unwrap();
+        // Loss = sum of outputs, so grad_output is all ones.
+        let grad_output = Tensor::filled(output.shape(), 1.0).unwrap();
+        let grad_input = conv.backward(&grad_output).unwrap();
+
+        let eps = 1e-3f32;
+        for &idx in &[0usize, 7, 13, 24, 40] {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let f_plus: f32 = conv.forward(&plus).unwrap().as_slice().iter().sum();
+            let f_minus: f32 = conv.forward(&minus).unwrap().as_slice().iter().sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let analytic = grad_input.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "idx {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences() {
+        let mut conv = Conv2d::new(1, 2, 3, 11).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let input = Tensor::randn([1, 1, 4, 4], 1.0, &mut rng).unwrap();
+        let output = conv.forward(&input).unwrap();
+        let grad_output = Tensor::filled(output.shape(), 1.0).unwrap();
+        conv.zero_grad();
+        conv.backward(&grad_output).unwrap();
+        let analytic_grad = conv.grad_weight.clone();
+
+        let eps = 1e-3f32;
+        for &idx in &[0usize, 4, 9, 17] {
+            let original = conv.weight.as_slice()[idx];
+            conv.weight.as_mut_slice()[idx] = original + eps;
+            let f_plus: f32 = conv.forward(&input).unwrap().as_slice().iter().sum();
+            conv.weight.as_mut_slice()[idx] = original - eps;
+            let f_minus: f32 = conv.forward(&input).unwrap().as_slice().iter().sum();
+            conv.weight.as_mut_slice()[idx] = original;
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let analytic = analytic_grad.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "idx {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_by_one_kernel_is_a_pixelwise_linear_map() {
+        let mut conv = Conv2d::new(2, 1, 1, 1).unwrap();
+        // Set weights manually: out = 2*c0 - 1*c1 + bias(0.5)
+        conv.weight.as_mut_slice()[0] = 2.0;
+        conv.weight.as_mut_slice()[1] = -1.0;
+        conv.bias.as_mut_slice()[0] = 0.5;
+        let input = Tensor::from_vec([1, 2, 1, 2], vec![1.0, 3.0, 4.0, 2.0]).unwrap();
+        let out = conv.forward(&input).unwrap();
+        assert_eq!(out.shape(), [1, 1, 1, 2]);
+        assert!((out.get(0, 0, 0, 0).unwrap() - (2.0 - 4.0 + 0.5)).abs() < 1e-6);
+        assert!((out.get(0, 0, 0, 1).unwrap() - (6.0 - 2.0 + 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn same_padding_preserves_spatial_shape() {
+        let mut conv = Conv2d::new(3, 5, 5, 2).unwrap();
+        let input = Tensor::zeros([2, 3, 9, 7]).unwrap();
+        let out = conv.forward(&input).unwrap();
+        assert_eq!(out.shape(), [2, 5, 9, 7]);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(Conv2d::new(0, 1, 3, 0).is_err());
+        assert!(Conv2d::new(1, 0, 3, 0).is_err());
+        assert!(Conv2d::new(1, 1, 0, 0).is_err());
+        assert!(Conv2d::new(1, 1, 4, 0).is_err());
+    }
+
+    #[test]
+    fn channel_mismatch_and_missing_forward_are_rejected() {
+        let mut conv = Conv2d::new(2, 2, 3, 0).unwrap();
+        let wrong = Tensor::zeros([1, 3, 4, 4]).unwrap();
+        assert!(matches!(
+            conv.forward(&wrong),
+            Err(NnError::ChannelMismatch {
+                expected: 2,
+                actual: 3
+            })
+        ));
+        let grad = Tensor::zeros([1, 2, 4, 4]).unwrap();
+        assert!(matches!(
+            conv.backward(&grad),
+            Err(NnError::BackwardBeforeForward)
+        ));
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulated_gradients() {
+        let mut conv = Conv2d::new(1, 1, 3, 9).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let input = Tensor::randn([1, 1, 4, 4], 1.0, &mut rng).unwrap();
+        let out = conv.forward(&input).unwrap();
+        conv.backward(&Tensor::filled(out.shape(), 1.0).unwrap()).unwrap();
+        assert!(conv.grad_weight.max_abs() > 0.0);
+        conv.zero_grad();
+        assert_eq!(conv.grad_weight.max_abs(), 0.0);
+        assert_eq!(conv.grad_bias.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn parameter_count_matches_tensors() {
+        let conv = Conv2d::new(3, 8, 3, 0).unwrap();
+        assert_eq!(conv.parameter_count(), 8 * 3 * 3 * 3 + 8);
+    }
+}

@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor and layer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A tensor with a zero-sized dimension was requested.
+    EmptyShape,
+    /// The flat data buffer does not match the requested shape.
+    BufferSizeMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements provided.
+        actual: usize,
+    },
+    /// Two tensors that must share a shape do not.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: [usize; 4],
+        /// Shape of the right operand.
+        right: [usize; 4],
+    },
+    /// The input tensor has the wrong number of channels for a layer.
+    ChannelMismatch {
+        /// Channels expected by the layer.
+        expected: usize,
+        /// Channels found in the input.
+        actual: usize,
+    },
+    /// A layer's backward pass was called before its forward pass.
+    BackwardBeforeForward,
+    /// A parameter value is outside of its valid domain.
+    InvalidParameter {
+        /// Human readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::EmptyShape => write!(f, "tensor dimensions must be non-zero"),
+            NnError::BufferSizeMismatch { expected, actual } => {
+                write!(f, "buffer has {actual} elements, shape implies {expected}")
+            }
+            NnError::ShapeMismatch { left, right } => {
+                write!(f, "tensor shape mismatch: {left:?} vs {right:?}")
+            }
+            NnError::ChannelMismatch { expected, actual } => {
+                write!(f, "layer expects {expected} input channels, got {actual}")
+            }
+            NnError::BackwardBeforeForward => {
+                write!(f, "backward called before forward; no cached activations")
+            }
+            NnError::InvalidParameter { message } => write!(f, "invalid parameter: {message}"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let e = NnError::ShapeMismatch {
+            left: [1, 2, 3, 4],
+            right: [1, 2, 3, 5],
+        };
+        assert!(e.to_string().contains('5'));
+        assert!(NnError::BackwardBeforeForward.to_string().contains("backward"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<NnError>();
+    }
+}

@@ -1,0 +1,45 @@
+use crate::{Result, Tensor};
+
+/// A differentiable network layer with explicit forward and backward passes.
+///
+/// Layers cache whatever activations they need during [`forward`](Layer::forward)
+/// and consume that cache in [`backward`](Layer::backward), which returns the
+/// gradient with respect to the layer input and accumulates gradients with
+/// respect to the layer's own parameters.
+///
+/// The trait is object-safe so that heterogeneous layers can be chained in a
+/// [`Sequential`](crate::Sequential) container.
+pub trait Layer: Send {
+    /// Human readable layer name used in debug output.
+    fn name(&self) -> &str;
+
+    /// Runs the layer on `input` and returns its output, caching anything
+    /// needed for the backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor>;
+
+    /// Propagates `grad_output` (gradient of the loss with respect to this
+    /// layer's output) back through the layer, accumulating parameter
+    /// gradients and returning the gradient with respect to the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::BackwardBeforeForward`] if called without a
+    /// preceding forward pass, or a shape error if `grad_output` does not
+    /// match the cached forward output.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
+    /// Returns mutable `(parameter, gradient)` pairs for the optimiser.
+    /// Layers without learnable parameters return an empty vector.
+    fn parameters_mut(&mut self) -> Vec<(&mut Tensor, &mut Tensor)>;
+
+    /// Clears the accumulated parameter gradients.
+    fn zero_grad(&mut self);
+
+    /// Number of learnable scalar parameters (used by the device cost model
+    /// to estimate memory footprints).
+    fn parameter_count(&self) -> usize;
+}

@@ -1,0 +1,63 @@
+//! Minimal CPU convolutional-network training framework.
+//!
+//! The SegHDC paper compares against the CNN-based unsupervised segmentation
+//! of Kim et al. (IEEE TIP 2020), whose reference implementation runs on
+//! PyTorch. This crate provides the small slice of a deep-learning framework
+//! that baseline actually needs, implemented from scratch:
+//!
+//! * [`Tensor`] — a dense `f32` NCHW tensor.
+//! * [`Conv2d`], [`BatchNorm2d`], [`Relu`] — layers with explicit forward
+//!   and backward passes (no tape/autograd; gradients are derived by hand).
+//! * [`loss`] — per-pixel softmax cross-entropy against argmax
+//!   self-labels and the spatial-continuity loss of the baseline paper.
+//! * [`Sgd`] — stochastic gradient descent with momentum.
+//! * [`Sequential`] — a container chaining layers for whole-network
+//!   forward/backward passes.
+//!
+//! The framework favours clarity over raw speed, but convolutions are
+//! parallelised across output channels with `rayon`, which is enough to
+//! train the baseline on the workload sizes used by the experiment
+//! harnesses.
+//!
+//! # Example
+//!
+//! ```rust
+//! # fn main() -> Result<(), neuralnet::NnError> {
+//! use neuralnet::{Conv2d, Layer, Relu, Sequential, Tensor};
+//!
+//! let mut net = Sequential::new(vec![
+//!     Box::new(Conv2d::new(3, 8, 3, 1)?),
+//!     Box::new(Relu::new()),
+//!     Box::new(Conv2d::new(8, 4, 1, 2)?),
+//! ]);
+//! let input = Tensor::zeros([1, 3, 16, 16])?;
+//! let output = net.forward(&input)?;
+//! assert_eq!(output.shape(), [1, 4, 16, 16]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batchnorm;
+mod conv;
+mod error;
+mod layer;
+pub mod loss;
+mod optim;
+mod relu;
+mod sequential;
+mod tensor;
+
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use error::NnError;
+pub use layer::Layer;
+pub use optim::Sgd;
+pub use relu::Relu;
+pub use sequential::Sequential;
+pub use tensor::Tensor;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NnError>;

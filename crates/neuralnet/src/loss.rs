@@ -1,0 +1,262 @@
+//! Loss functions for the unsupervised CNN segmentation baseline.
+//!
+//! Kim et al. (TIP 2020) train their network per image with two terms:
+//!
+//! 1. a **feature-similarity loss** — the per-pixel softmax cross-entropy
+//!    between the network response and the *argmax self-labels* derived from
+//!    that same response ([`softmax_cross_entropy`]), and
+//! 2. a **spatial-continuity loss** — the L1 norm of the differences between
+//!    horizontally and vertically adjacent responses
+//!    ([`spatial_continuity`]).
+//!
+//! Both functions return the scalar loss *and* the gradient with respect to
+//! the network output so the caller can backpropagate.
+
+use crate::{NnError, Result, Tensor};
+
+/// Per-pixel softmax cross-entropy against integer class targets.
+///
+/// `logits` must have shape `[1, classes, height, width]`; `targets` holds
+/// one class index per pixel in row-major order. Returns
+/// `(mean loss, gradient)` where the gradient has the same shape as `logits`
+/// and is already divided by the number of pixels.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidParameter`] if the target length does not match
+/// the spatial size or a target index is out of range, and
+/// [`NnError::InvalidParameter`] if the batch size is not 1 (the baseline
+/// trains on a single image at a time).
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> Result<(f32, Tensor)> {
+    if logits.batch() != 1 {
+        return Err(NnError::InvalidParameter {
+            message: format!("expected batch size 1, got {}", logits.batch()),
+        });
+    }
+    let classes = logits.channels();
+    let height = logits.height();
+    let width = logits.width();
+    if targets.len() != height * width {
+        return Err(NnError::InvalidParameter {
+            message: format!(
+                "expected {} targets, got {}",
+                height * width,
+                targets.len()
+            ),
+        });
+    }
+    if let Some(&bad) = targets.iter().find(|&&t| t >= classes) {
+        return Err(NnError::InvalidParameter {
+            message: format!("target class {bad} out of range for {classes} classes"),
+        });
+    }
+
+    let mut grad = Tensor::zeros(logits.shape())?;
+    let mut total_loss = 0.0f64;
+    let pixel_count = (height * width) as f32;
+
+    for h in 0..height {
+        for w in 0..width {
+            // Numerically stable softmax over channels.
+            let mut max_logit = f32::NEG_INFINITY;
+            for c in 0..classes {
+                max_logit = max_logit.max(logits.at(0, c, h, w));
+            }
+            let mut denom = 0.0f32;
+            for c in 0..classes {
+                denom += (logits.at(0, c, h, w) - max_logit).exp();
+            }
+            let target = targets[h * width + w];
+            let target_prob =
+                (logits.at(0, target, h, w) - max_logit).exp() / denom;
+            total_loss += -f64::from(target_prob.max(1e-12).ln());
+            for c in 0..classes {
+                let p = (logits.at(0, c, h, w) - max_logit).exp() / denom;
+                let indicator = if c == target { 1.0 } else { 0.0 };
+                *grad.at_mut(0, c, h, w) = (p - indicator) / pixel_count;
+            }
+        }
+    }
+    Ok(((total_loss / f64::from(pixel_count)) as f32, grad))
+}
+
+/// Spatial-continuity loss: mean L1 difference between horizontally and
+/// vertically adjacent responses of the network output.
+///
+/// Returns `(loss, gradient)`; the gradient has the same shape as `response`.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidParameter`] if the batch size is not 1.
+pub fn spatial_continuity(response: &Tensor) -> Result<(f32, Tensor)> {
+    if response.batch() != 1 {
+        return Err(NnError::InvalidParameter {
+            message: format!("expected batch size 1, got {}", response.batch()),
+        });
+    }
+    let channels = response.channels();
+    let height = response.height();
+    let width = response.width();
+    let mut grad = Tensor::zeros(response.shape())?;
+    let mut total = 0.0f64;
+    let mut terms = 0usize;
+
+    // Subgradient of |d| that is 0 at d == 0 (f32::signum(0.0) is 1.0, which
+    // would inject spurious gradient into perfectly smooth regions).
+    fn l1_sign(d: f32) -> f32 {
+        if d > 0.0 {
+            1.0
+        } else if d < 0.0 {
+            -1.0
+        } else {
+            0.0
+        }
+    }
+
+    for c in 0..channels {
+        for h in 0..height {
+            for w in 0..width {
+                let v = response.at(0, c, h, w);
+                if w + 1 < width {
+                    let r = response.at(0, c, h, w + 1);
+                    total += f64::from((v - r).abs());
+                    terms += 1;
+                    let sign = l1_sign(v - r);
+                    *grad.at_mut(0, c, h, w) += sign;
+                    *grad.at_mut(0, c, h, w + 1) -= sign;
+                }
+                if h + 1 < height {
+                    let d = response.at(0, c, h + 1, w);
+                    total += f64::from((v - d).abs());
+                    terms += 1;
+                    let sign = l1_sign(v - d);
+                    *grad.at_mut(0, c, h, w) += sign;
+                    *grad.at_mut(0, c, h + 1, w) -= sign;
+                }
+            }
+        }
+    }
+    if terms == 0 {
+        return Ok((0.0, grad));
+    }
+    let scale = 1.0 / terms as f32;
+    grad.scale(scale);
+    Ok(((total / terms as f64) as f32, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn cross_entropy_is_low_for_confident_correct_predictions() {
+        // Two pixels, two classes; logits strongly favour the target class.
+        let logits =
+            Tensor::from_vec([1, 2, 1, 2], vec![10.0, -10.0, -10.0, 10.0]).unwrap();
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1]).unwrap();
+        assert!(loss < 1e-3, "loss {loss}");
+        assert!(grad.max_abs() < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_is_high_for_wrong_predictions() {
+        let logits =
+            Tensor::from_vec([1, 2, 1, 2], vec![10.0, -10.0, -10.0, 10.0]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&logits, &[1, 0]).unwrap();
+        assert!(loss > 5.0, "loss {loss}");
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let logits = Tensor::randn([1, 3, 2, 2], 1.0, &mut rng).unwrap();
+        let targets = vec![0usize, 2, 1, 1];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets).unwrap();
+        let eps = 1e-3f32;
+        for idx in [0usize, 3, 7, 11] {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let (lp, _) = softmax_cross_entropy(&plus, &targets).unwrap();
+            let (lm, _) = softmax_cross_entropy(&minus, &targets).unwrap();
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "idx {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_validates_inputs() {
+        let logits = Tensor::zeros([1, 2, 2, 2]).unwrap();
+        assert!(softmax_cross_entropy(&logits, &[0, 1, 0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 1, 0, 5]).is_err());
+        let batched = Tensor::zeros([2, 2, 1, 1]).unwrap();
+        assert!(softmax_cross_entropy(&batched, &[0]).is_err());
+    }
+
+    #[test]
+    fn continuity_loss_is_zero_for_constant_maps() {
+        let response = Tensor::filled([1, 4, 5, 5], 3.0).unwrap();
+        let (loss, grad) = spatial_continuity(&response).unwrap();
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn continuity_loss_grows_with_checkerboard_patterns() {
+        let mut smooth = Tensor::zeros([1, 1, 4, 4]).unwrap();
+        let mut checker = Tensor::zeros([1, 1, 4, 4]).unwrap();
+        for h in 0..4 {
+            for w in 0..4 {
+                smooth.set(0, 0, h, w, (h + w) as f32 * 0.01).unwrap();
+                checker.set(0, 0, h, w, ((h + w) % 2) as f32).unwrap();
+            }
+        }
+        let (smooth_loss, _) = spatial_continuity(&smooth).unwrap();
+        let (checker_loss, _) = spatial_continuity(&checker).unwrap();
+        assert!(checker_loss > smooth_loss * 10.0);
+    }
+
+    #[test]
+    fn continuity_gradient_matches_finite_differences_away_from_kinks() {
+        // Use well-separated values so the |.| derivative is smooth at the
+        // evaluation points.
+        let response =
+            Tensor::from_vec([1, 1, 2, 2], vec![0.0, 1.0, 3.0, 6.0]).unwrap();
+        let (_, grad) = spatial_continuity(&response).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..4 {
+            let mut plus = response.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = response.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let (lp, _) = spatial_continuity(&plus).unwrap();
+            let (lm, _) = spatial_continuity(&minus).unwrap();
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "idx {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn continuity_rejects_batched_input() {
+        let response = Tensor::zeros([2, 1, 2, 2]).unwrap();
+        assert!(spatial_continuity(&response).is_err());
+    }
+
+    #[test]
+    fn single_pixel_map_has_zero_continuity_loss() {
+        let response = Tensor::filled([1, 3, 1, 1], 2.0).unwrap();
+        let (loss, _) = spatial_continuity(&response).unwrap();
+        assert_eq!(loss, 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+use crate::{NnError, Result, Tensor};
+
+/// Stochastic gradient descent with classical momentum.
+///
+/// The optimiser keeps one velocity buffer per parameter tensor, identified
+/// by position in the parameter list, so the same network must be passed in
+/// the same layer order on every step (which [`crate::Sequential::parameters_mut`]
+/// guarantees).
+///
+/// # Example
+///
+/// ```rust
+/// # fn main() -> Result<(), neuralnet::NnError> {
+/// use neuralnet::{Sgd, Tensor};
+/// let mut param = Tensor::filled([1, 1, 1, 1], 1.0)?;
+/// let mut grad = Tensor::filled([1, 1, 1, 1], 0.5)?;
+/// let mut sgd = Sgd::new(0.1, 0.0)?;
+/// sgd.step(vec![(&mut param, &mut grad)])?;
+/// assert!((param.as_slice()[0] - 0.95).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Sgd {
+    learning_rate: f32,
+    momentum: f32,
+    velocities: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParameter`] if the learning rate is not
+    /// strictly positive and finite, or if momentum is outside `[0, 1)`.
+    pub fn new(learning_rate: f32, momentum: f32) -> Result<Self> {
+        if !learning_rate.is_finite() || learning_rate <= 0.0 {
+            return Err(NnError::InvalidParameter {
+                message: format!("learning rate must be positive and finite, got {learning_rate}"),
+            });
+        }
+        if !(0.0..1.0).contains(&momentum) {
+            return Err(NnError::InvalidParameter {
+                message: format!("momentum must be in [0, 1), got {momentum}"),
+            });
+        }
+        Ok(Self {
+            learning_rate,
+            momentum,
+            velocities: Vec::new(),
+        })
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    /// The configured momentum coefficient.
+    pub fn momentum(&self) -> f32 {
+        self.momentum
+    }
+
+    /// Applies one update step to every `(parameter, gradient)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParameter`] if the number or size of the
+    /// parameter tensors changes between steps.
+    pub fn step(&mut self, params: Vec<(&mut Tensor, &mut Tensor)>) -> Result<()> {
+        if self.velocities.is_empty() {
+            self.velocities = params.iter().map(|(p, _)| vec![0.0; p.len()]).collect();
+        }
+        if self.velocities.len() != params.len() {
+            return Err(NnError::InvalidParameter {
+                message: format!(
+                    "optimiser was initialised with {} parameter tensors, got {}",
+                    self.velocities.len(),
+                    params.len()
+                ),
+            });
+        }
+        for ((param, grad), velocity) in params.into_iter().zip(&mut self.velocities) {
+            if param.len() != velocity.len() {
+                return Err(NnError::InvalidParameter {
+                    message: "parameter tensor size changed between optimiser steps".to_string(),
+                });
+            }
+            for ((p, g), v) in param
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad.as_slice())
+                .zip(velocity.iter_mut())
+            {
+                *v = self.momentum * *v - self.learning_rate * g;
+                *p += *v;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_hyperparameters() {
+        assert!(Sgd::new(0.1, 0.9).is_ok());
+        assert!(Sgd::new(0.0, 0.9).is_err());
+        assert!(Sgd::new(-0.1, 0.9).is_err());
+        assert!(Sgd::new(f32::NAN, 0.9).is_err());
+        assert!(Sgd::new(0.1, 1.0).is_err());
+        assert!(Sgd::new(0.1, -0.1).is_err());
+    }
+
+    #[test]
+    fn vanilla_sgd_moves_against_the_gradient() {
+        let mut param = Tensor::filled([1, 1, 1, 2], 1.0).unwrap();
+        let mut grad = Tensor::from_vec([1, 1, 1, 2], vec![1.0, -2.0]).unwrap();
+        let mut sgd = Sgd::new(0.5, 0.0).unwrap();
+        sgd.step(vec![(&mut param, &mut grad)]).unwrap();
+        assert!((param.as_slice()[0] - 0.5).abs() < 1e-6);
+        assert!((param.as_slice()[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut param = Tensor::filled([1, 1, 1, 1], 0.0).unwrap();
+        let mut grad = Tensor::filled([1, 1, 1, 1], 1.0).unwrap();
+        let mut sgd = Sgd::new(0.1, 0.5).unwrap();
+        sgd.step(vec![(&mut param, &mut grad)]).unwrap();
+        let after_one = param.as_slice()[0];
+        sgd.step(vec![(&mut param, &mut grad)]).unwrap();
+        let after_two = param.as_slice()[0];
+        // First step moves by -0.1, second by -(0.5*0.1 + 0.1) = -0.15.
+        assert!((after_one - -0.1).abs() < 1e-6);
+        assert!((after_two - -0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimises_a_simple_quadratic() {
+        // f(x) = (x - 3)^2; gradient = 2 (x - 3).
+        let mut x = Tensor::filled([1, 1, 1, 1], 0.0).unwrap();
+        let mut sgd = Sgd::new(0.1, 0.8).unwrap();
+        for _ in 0..100 {
+            let g = 2.0 * (x.as_slice()[0] - 3.0);
+            let mut grad = Tensor::filled([1, 1, 1, 1], g).unwrap();
+            sgd.step(vec![(&mut x, &mut grad)]).unwrap();
+        }
+        assert!((x.as_slice()[0] - 3.0).abs() < 1e-2, "x = {}", x.as_slice()[0]);
+    }
+
+    #[test]
+    fn changing_parameter_layout_is_rejected() {
+        let mut a = Tensor::filled([1, 1, 1, 1], 0.0).unwrap();
+        let mut ga = Tensor::filled([1, 1, 1, 1], 1.0).unwrap();
+        let mut b = Tensor::filled([1, 1, 1, 2], 0.0).unwrap();
+        let mut gb = Tensor::filled([1, 1, 1, 2], 1.0).unwrap();
+        let mut sgd = Sgd::new(0.1, 0.0).unwrap();
+        sgd.step(vec![(&mut a, &mut ga)]).unwrap();
+        assert!(sgd.step(vec![(&mut a, &mut ga), (&mut b, &mut gb)]).is_err());
+        assert!(sgd.step(vec![(&mut b, &mut gb)]).is_err());
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let sgd = Sgd::new(0.05, 0.25).unwrap();
+        assert_eq!(sgd.learning_rate(), 0.05);
+        assert_eq!(sgd.momentum(), 0.25);
+    }
+}

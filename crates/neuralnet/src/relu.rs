@@ -1,0 +1,113 @@
+use crate::{Layer, NnError, Result, Tensor};
+
+/// Rectified linear unit activation (`max(0, x)` element-wise).
+///
+/// # Example
+///
+/// ```rust
+/// # fn main() -> Result<(), neuralnet::NnError> {
+/// use neuralnet::{Layer, Relu, Tensor};
+/// let mut relu = Relu::new();
+/// let input = Tensor::from_vec([1, 1, 1, 3], vec![-1.0, 0.0, 2.0])?;
+/// let output = relu.forward(&input)?;
+/// assert_eq!(output.as_slice(), &[0.0, 0.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a new ReLU activation layer.
+    pub fn new() -> Self {
+        Self { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        "relu"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let mut output = input.clone();
+        let mask: Vec<bool> = input.as_slice().iter().map(|&v| v > 0.0).collect();
+        for (value, &keep) in output.as_mut_slice().iter_mut().zip(&mask) {
+            if !keep {
+                *value = 0.0;
+            }
+        }
+        self.mask = Some(mask);
+        Ok(output)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mask = self.mask.as_ref().ok_or(NnError::BackwardBeforeForward)?;
+        if mask.len() != grad_output.len() {
+            return Err(NnError::ShapeMismatch {
+                left: grad_output.shape(),
+                right: grad_output.shape(),
+            });
+        }
+        let mut grad_input = grad_output.clone();
+        for (value, &keep) in grad_input.as_mut_slice().iter_mut().zip(mask) {
+            if !keep {
+                *value = 0.0;
+            }
+        }
+        Ok(grad_input)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+
+    fn zero_grad(&mut self) {}
+
+    fn parameter_count(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut relu = Relu::new();
+        let input = Tensor::from_vec([1, 1, 2, 2], vec![-3.0, -0.0, 0.5, 7.0]).unwrap();
+        let out = relu.forward(&input).unwrap();
+        assert_eq!(out.as_slice(), &[0.0, 0.0, 0.5, 7.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradients() {
+        let mut relu = Relu::new();
+        let input = Tensor::from_vec([1, 1, 1, 4], vec![-1.0, 2.0, -3.0, 4.0]).unwrap();
+        relu.forward(&input).unwrap();
+        let grad_out = Tensor::filled([1, 1, 1, 4], 1.0).unwrap();
+        let grad_in = relu.backward(&grad_out).unwrap();
+        assert_eq!(grad_in.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut relu = Relu::new();
+        let grad = Tensor::zeros([1, 1, 1, 1]).unwrap();
+        assert!(matches!(
+            relu.backward(&grad),
+            Err(NnError::BackwardBeforeForward)
+        ));
+    }
+
+    #[test]
+    fn relu_has_no_parameters() {
+        let mut relu = Relu::new();
+        assert!(relu.parameters_mut().is_empty());
+        assert_eq!(relu.parameter_count(), 0);
+        relu.zero_grad();
+    }
+}

@@ -1,0 +1,179 @@
+use crate::{Layer, Result, Tensor};
+
+/// A container chaining layers into a network.
+///
+/// `Sequential` implements [`Layer`] itself, so whole sub-networks compose.
+///
+/// # Example
+///
+/// ```rust
+/// # fn main() -> Result<(), neuralnet::NnError> {
+/// use neuralnet::{BatchNorm2d, Conv2d, Layer, Relu, Sequential, Tensor};
+/// let mut net = Sequential::new(vec![
+///     Box::new(Conv2d::new(1, 4, 3, 0)?),
+///     Box::new(BatchNorm2d::new(4)?),
+///     Box::new(Relu::new()),
+/// ]);
+/// let out = net.forward(&Tensor::zeros([1, 1, 6, 6])?)?;
+/// assert_eq!(out.shape(), [1, 4, 6, 6]);
+/// assert!(net.parameter_count() > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Sequential").field("layers", &names).finish()
+    }
+}
+
+impl Sequential {
+    /// Creates a network from an ordered list of layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Self { layers }
+    }
+
+    /// Number of layers in the network.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network contains no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Appends a layer to the end of the network.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+}
+
+impl Layer for Sequential {
+    fn name(&self) -> &str {
+        "sequential"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let mut current = input.clone();
+        for layer in &mut self.layers {
+            current = layer.forward(&current)?;
+        }
+        Ok(current)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let mut current = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            current = layer.backward(&current)?;
+        }
+        Ok(current)
+    }
+
+    fn parameters_mut(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        self.layers
+            .iter_mut()
+            .flat_map(|layer| layer.parameters_mut())
+            .collect()
+    }
+
+    fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.layers.iter().map(|l| l.parameter_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{loss, BatchNorm2d, Conv2d, Relu, Sgd};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_network(classes: usize) -> Sequential {
+        Sequential::new(vec![
+            Box::new(Conv2d::new(1, 6, 3, 1).unwrap()),
+            Box::new(BatchNorm2d::new(6).unwrap()),
+            Box::new(Relu::new()),
+            Box::new(Conv2d::new(6, classes, 1, 2).unwrap()),
+            Box::new(BatchNorm2d::new(classes).unwrap()),
+        ])
+    }
+
+    #[test]
+    fn forward_shapes_chain_correctly() {
+        let mut net = tiny_network(4);
+        let out = net.forward(&Tensor::zeros([1, 1, 10, 12]).unwrap()).unwrap();
+        assert_eq!(out.shape(), [1, 4, 10, 12]);
+        assert_eq!(net.len(), 5);
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn empty_network_is_the_identity() {
+        let mut net = Sequential::new(Vec::new());
+        let input = Tensor::filled([1, 2, 3, 3], 0.5).unwrap();
+        assert_eq!(net.forward(&input).unwrap(), input);
+        assert_eq!(net.backward(&input).unwrap(), input);
+        assert_eq!(net.parameter_count(), 0);
+    }
+
+    #[test]
+    fn push_extends_the_network() {
+        let mut net = Sequential::new(vec![Box::new(Relu::new())]);
+        net.push(Box::new(Relu::new()));
+        assert_eq!(net.len(), 2);
+    }
+
+    #[test]
+    fn debug_lists_layer_names() {
+        let net = tiny_network(2);
+        let s = format!("{net:?}");
+        assert!(s.contains("conv2d"));
+        assert!(s.contains("batchnorm2d"));
+    }
+
+    #[test]
+    fn end_to_end_training_reduces_the_loss() {
+        // Train the tiny network to reproduce fixed per-pixel labels — a
+        // smoke test that gradients flow through every layer type.
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let input = Tensor::randn([1, 1, 8, 8], 1.0, &mut rng).unwrap();
+        // Target derivable from the input: class 1 where the pixel is positive.
+        let targets: Vec<usize> = input
+            .as_slice()
+            .iter()
+            .map(|&v| usize::from(v > 0.0))
+            .collect();
+        let mut net = tiny_network(2);
+        let mut sgd = Sgd::new(0.05, 0.9).unwrap();
+
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..80 {
+            let logits = net.forward(&input).unwrap();
+            let (loss_value, grad) = loss::softmax_cross_entropy(&logits, &targets).unwrap();
+            if first_loss.is_none() {
+                first_loss = Some(loss_value);
+            }
+            last_loss = loss_value;
+            net.zero_grad();
+            net.backward(&grad).unwrap();
+            sgd.step(net.parameters_mut()).unwrap();
+        }
+        let first_loss = first_loss.unwrap();
+        assert!(
+            last_loss < first_loss * 0.5,
+            "loss did not decrease: {first_loss} -> {last_loss}"
+        );
+    }
+}

@@ -1,0 +1,378 @@
+use crate::{NnError, Result};
+use rand::Rng;
+
+/// A dense `f32` tensor in NCHW layout (batch, channel, height, width).
+///
+/// The layout is fixed because every layer in this crate operates on image
+/// feature maps. Indexing is row-major within a channel:
+/// `data[((n * C + c) * H + h) * W + w]`.
+///
+/// # Example
+///
+/// ```rust
+/// # fn main() -> Result<(), neuralnet::NnError> {
+/// use neuralnet::Tensor;
+/// let mut t = Tensor::zeros([1, 2, 3, 3])?;
+/// t.set(0, 1, 2, 2, 5.0)?;
+/// assert_eq!(t.get(0, 1, 2, 2)?, 5.0);
+/// assert_eq!(t.len(), 18);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: [usize; 4],
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor with the given NCHW shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyShape`] if any dimension is zero.
+    pub fn zeros(shape: [usize; 4]) -> Result<Self> {
+        if shape.iter().any(|&d| d == 0) {
+            return Err(NnError::EmptyShape);
+        }
+        Ok(Self {
+            shape,
+            data: vec![0.0; shape.iter().product()],
+        })
+    }
+
+    /// Creates a tensor filled with `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyShape`] if any dimension is zero.
+    pub fn filled(shape: [usize; 4], value: f32) -> Result<Self> {
+        let mut t = Self::zeros(shape)?;
+        t.data.iter_mut().for_each(|v| *v = value);
+        Ok(t)
+    }
+
+    /// Wraps an existing flat buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyShape`] for zero dimensions or
+    /// [`NnError::BufferSizeMismatch`] if the buffer length does not match
+    /// the shape.
+    pub fn from_vec(shape: [usize; 4], data: Vec<f32>) -> Result<Self> {
+        if shape.iter().any(|&d| d == 0) {
+            return Err(NnError::EmptyShape);
+        }
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(NnError::BufferSizeMismatch {
+                expected,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Creates a tensor with independent samples from `N(0, std^2)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyShape`] if any dimension is zero or
+    /// [`NnError::InvalidParameter`] if `std` is not finite.
+    pub fn randn<R: Rng>(shape: [usize; 4], std: f32, rng: &mut R) -> Result<Self> {
+        if !std.is_finite() {
+            return Err(NnError::InvalidParameter {
+                message: format!("standard deviation must be finite, got {std}"),
+            });
+        }
+        let mut t = Self::zeros(shape)?;
+        for v in &mut t.data {
+            // Box-Muller transform.
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            *v = std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        }
+        Ok(t)
+    }
+
+    /// The NCHW shape.
+    pub fn shape(&self) -> [usize; 4] {
+        self.shape
+    }
+
+    /// Batch size.
+    pub fn batch(&self) -> usize {
+        self.shape[0]
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.shape[1]
+    }
+
+    /// Feature-map height.
+    pub fn height(&self) -> usize {
+        self.shape[2]
+    }
+
+    /// Feature-map width.
+    pub fn width(&self) -> usize {
+        self.shape[3]
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (never true for a successfully
+    /// constructed tensor).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow of the flat data buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable borrow of the flat data buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    #[inline]
+    fn offset(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        ((n * self.shape[1] + c) * self.shape[2] + h) * self.shape[3] + w
+    }
+
+    fn check_index(&self, n: usize, c: usize, h: usize, w: usize) -> Result<()> {
+        if n >= self.shape[0] || c >= self.shape[1] || h >= self.shape[2] || w >= self.shape[3] {
+            return Err(NnError::InvalidParameter {
+                message: format!(
+                    "index ({n}, {c}, {h}, {w}) out of bounds for shape {:?}",
+                    self.shape
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns the element at `(n, c, h, w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParameter`] if the index is out of bounds.
+    pub fn get(&self, n: usize, c: usize, h: usize, w: usize) -> Result<f32> {
+        self.check_index(n, c, h, w)?;
+        Ok(self.data[self.offset(n, c, h, w)])
+    }
+
+    /// Sets the element at `(n, c, h, w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParameter`] if the index is out of bounds.
+    pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, value: f32) -> Result<()> {
+        self.check_index(n, c, h, w)?;
+        let i = self.offset(n, c, h, w);
+        self.data[i] = value;
+        Ok(())
+    }
+
+    /// Unchecked read used by the hot convolution loops (debug assertions
+    /// still verify the index in debug builds).
+    #[inline]
+    pub(crate) fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        debug_assert!(self.check_index(n, c, h, w).is_ok());
+        self.data[self.offset(n, c, h, w)]
+    }
+
+    /// Unchecked write used by the hot convolution loops.
+    #[inline]
+    pub(crate) fn at_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        debug_assert!(self.check_index(n, c, h, w).is_ok());
+        let i = self.offset(n, c, h, w);
+        &mut self.data[i]
+    }
+
+    fn check_same_shape(&self, other: &Self) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(NnError::ShapeMismatch {
+                left: self.shape,
+                right: other.shape,
+            });
+        }
+        Ok(())
+    }
+
+    /// Element-wise addition (`self += other`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the shapes differ.
+    pub fn add_assign(&mut self, other: &Self) -> Result<()> {
+        self.check_same_shape(other)?;
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Element-wise `self += scale * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the shapes differ.
+    pub fn add_scaled(&mut self, other: &Self, scale: f32) -> Result<()> {
+        self.check_same_shape(other)?;
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `scale`.
+    pub fn scale(&mut self, scale: f32) {
+        self.data.iter_mut().for_each(|v| *v *= scale);
+    }
+
+    /// Resets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Maximum absolute element value.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// Per-pixel argmax over the channel dimension for batch element `n`,
+    /// returned row-major as `height * width` class indices. This is the
+    /// self-labelling step of the Kim et al. baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParameter`] if `n` is out of range.
+    pub fn argmax_channels(&self, n: usize) -> Result<Vec<usize>> {
+        if n >= self.shape[0] {
+            return Err(NnError::InvalidParameter {
+                message: format!("batch index {n} out of range for {}", self.shape[0]),
+            });
+        }
+        let (channels, height, width) = (self.shape[1], self.shape[2], self.shape[3]);
+        let mut out = vec![0usize; height * width];
+        for h in 0..height {
+            for w in 0..width {
+                let mut best = 0usize;
+                let mut best_value = f32::NEG_INFINITY;
+                for c in 0..channels {
+                    let v = self.at(n, c, h, w);
+                    if v > best_value {
+                        best_value = v;
+                        best = c;
+                    }
+                }
+                out[h * width + w] = best;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn construction_and_shape_accessors() {
+        let t = Tensor::zeros([2, 3, 4, 5]).unwrap();
+        assert_eq!(t.shape(), [2, 3, 4, 5]);
+        assert_eq!(t.batch(), 2);
+        assert_eq!(t.channels(), 3);
+        assert_eq!(t.height(), 4);
+        assert_eq!(t.width(), 5);
+        assert_eq!(t.len(), 120);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn invalid_construction_is_rejected() {
+        assert_eq!(Tensor::zeros([0, 1, 1, 1]).unwrap_err(), NnError::EmptyShape);
+        assert!(matches!(
+            Tensor::from_vec([1, 1, 2, 2], vec![0.0; 3]),
+            Err(NnError::BufferSizeMismatch {
+                expected: 4,
+                actual: 3
+            })
+        ));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(Tensor::randn([1, 1, 2, 2], f32::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn get_set_roundtrip_and_bounds() {
+        let mut t = Tensor::zeros([1, 2, 2, 2]).unwrap();
+        t.set(0, 1, 1, 0, 3.5).unwrap();
+        assert_eq!(t.get(0, 1, 1, 0).unwrap(), 3.5);
+        assert!(t.get(1, 0, 0, 0).is_err());
+        assert!(t.set(0, 2, 0, 0, 1.0).is_err());
+    }
+
+    #[test]
+    fn indexing_layout_is_nchw_row_major() {
+        let data: Vec<f32> = (0..12).map(|v| v as f32).collect();
+        let t = Tensor::from_vec([1, 2, 2, 3], data).unwrap();
+        assert_eq!(t.get(0, 0, 0, 0).unwrap(), 0.0);
+        assert_eq!(t.get(0, 0, 1, 2).unwrap(), 5.0);
+        assert_eq!(t.get(0, 1, 0, 0).unwrap(), 6.0);
+        assert_eq!(t.get(0, 1, 1, 2).unwrap(), 11.0);
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let mut a = Tensor::filled([1, 1, 2, 2], 1.0).unwrap();
+        let b = Tensor::filled([1, 1, 2, 2], 2.0).unwrap();
+        a.add_assign(&b).unwrap();
+        assert!(a.as_slice().iter().all(|&v| v == 3.0));
+        a.add_scaled(&b, 0.5).unwrap();
+        assert!(a.as_slice().iter().all(|&v| v == 4.0));
+        a.scale(0.25);
+        assert!(a.as_slice().iter().all(|&v| v == 1.0));
+        assert_eq!(a.mean(), 1.0);
+        a.fill_zero();
+        assert_eq!(a.max_abs(), 0.0);
+        let c = Tensor::zeros([1, 1, 2, 3]).unwrap();
+        assert!(a.add_assign(&c).is_err());
+    }
+
+    #[test]
+    fn randn_statistics_are_plausible() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let t = Tensor::randn([1, 1, 100, 100], 2.0, &mut rng).unwrap();
+        let mean = t.mean();
+        assert!(mean.abs() < 0.2, "mean {mean}");
+        let var: f32 =
+            t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        assert!((var.sqrt() - 2.0).abs() < 0.2, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn argmax_channels_picks_strongest_response() {
+        let mut t = Tensor::zeros([1, 3, 1, 2]).unwrap();
+        t.set(0, 0, 0, 0, 0.1).unwrap();
+        t.set(0, 1, 0, 0, 0.9).unwrap();
+        t.set(0, 2, 0, 0, 0.5).unwrap();
+        t.set(0, 2, 0, 1, 2.0).unwrap();
+        let labels = t.argmax_channels(0).unwrap();
+        assert_eq!(labels, vec![1, 2]);
+        assert!(t.argmax_channels(1).is_err());
+    }
+}

@@ -1,0 +1,382 @@
+use crate::{DistanceMetric, Result, SegHdcError};
+use hdc::{Accumulator, BinaryHypervector};
+use rayon::prelude::*;
+
+/// Outcome of clustering one image's pixel hypervectors.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// Cluster index per pixel, in the same order as the input hypervectors.
+    pub labels: Vec<u32>,
+    /// Number of iterations executed.
+    pub iterations_run: usize,
+    /// Per-iteration label assignments (only populated when snapshots are
+    /// requested; used by the Fig. 8 reproduction).
+    pub snapshots: Vec<Vec<u32>>,
+    /// Number of pixels assigned to each cluster after the final iteration.
+    pub cluster_sizes: Vec<usize>,
+}
+
+/// The revised K-Means clusterer of §III-4.
+///
+/// Differences from textbook K-Means, following the paper:
+///
+/// * centroids are **integer bundles** (element-wise sums) of the member
+///   hypervectors rather than float means;
+/// * the distance is **cosine distance** (Eq. 7), which is invariant to the
+///   bundle's length so the sums never need normalising (a
+///   [`DistanceMetric::Hamming`] mode against the majority-thresholded
+///   centroid is provided for the ablation benchmarks);
+/// * the initial centroids are the pixels with the **largest colour
+///   difference** — the darkest and brightest pixels (and evenly spaced
+///   intensity quantiles for more than two clusters) — instead of random
+///   picks.
+///
+/// # Example
+///
+/// ```rust
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use hdc::{BinaryHypervector, HdcRng};
+/// use seghdc::{DistanceMetric, HvKmeans};
+///
+/// let mut rng = HdcRng::seed_from(2);
+/// let a = BinaryHypervector::random(1024, &mut rng);
+/// let b = BinaryHypervector::random(1024, &mut rng);
+/// // Two tight groups around a and b.
+/// let pixels = vec![a.clone(), a.clone(), b.clone(), b.clone()];
+/// let intensities = vec![0, 10, 240, 250];
+/// let kmeans = HvKmeans::new(2, 5, DistanceMetric::Cosine, false)?;
+/// let outcome = kmeans.cluster(&pixels, &intensities)?;
+/// assert_eq!(outcome.labels[0], outcome.labels[1]);
+/// assert_ne!(outcome.labels[0], outcome.labels[2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HvKmeans {
+    clusters: usize,
+    iterations: usize,
+    metric: DistanceMetric,
+    record_snapshots: bool,
+}
+
+impl HvKmeans {
+    /// Creates a clusterer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegHdcError::InvalidConfig`] if fewer than two clusters or
+    /// zero iterations are requested.
+    pub fn new(
+        clusters: usize,
+        iterations: usize,
+        metric: DistanceMetric,
+        record_snapshots: bool,
+    ) -> Result<Self> {
+        if clusters < 2 {
+            return Err(SegHdcError::InvalidConfig {
+                message: format!("at least 2 clusters are required, got {clusters}"),
+            });
+        }
+        if iterations == 0 {
+            return Err(SegHdcError::InvalidConfig {
+                message: "at least one iteration is required".to_string(),
+            });
+        }
+        Ok(Self {
+            clusters,
+            iterations,
+            metric,
+            record_snapshots,
+        })
+    }
+
+    /// Number of clusters.
+    pub fn clusters(&self) -> usize {
+        self.clusters
+    }
+
+    /// Number of iterations.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Picks the initial centroid pixels: the darkest pixel, the brightest
+    /// pixel, and — for more than two clusters — pixels at evenly spaced
+    /// intensity quantiles in between ("the pixels with the largest colour
+    /// difference", §III-4).
+    fn initial_indices(&self, intensities: &[u8]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..intensities.len()).collect();
+        order.sort_by_key(|&i| (intensities[i], i));
+        let mut picks = Vec::with_capacity(self.clusters);
+        for k in 0..self.clusters {
+            let quantile = if self.clusters == 1 {
+                0
+            } else {
+                k * (order.len() - 1) / (self.clusters - 1)
+            };
+            picks.push(order[quantile]);
+        }
+        picks.dedup();
+        // If intensity ties collapsed some picks, pad with distinct indices.
+        let mut next = 0usize;
+        while picks.len() < self.clusters && next < intensities.len() {
+            if !picks.contains(&next) {
+                picks.push(next);
+            }
+            next += 1;
+        }
+        picks
+    }
+
+    /// Clusters pixel hypervectors.
+    ///
+    /// `intensities` must hold one scalar intensity per pixel (used only for
+    /// centroid initialisation) in the same order as `pixels`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegHdcError::InvalidConfig`] if the input is empty, if
+    /// `pixels` and `intensities` disagree in length, or if there are fewer
+    /// pixels than clusters.
+    pub fn cluster(
+        &self,
+        pixels: &[BinaryHypervector],
+        intensities: &[u8],
+    ) -> Result<ClusterOutcome> {
+        if pixels.is_empty() {
+            return Err(SegHdcError::InvalidConfig {
+                message: "cannot cluster an empty set of pixels".to_string(),
+            });
+        }
+        if pixels.len() != intensities.len() {
+            return Err(SegHdcError::InvalidConfig {
+                message: format!(
+                    "{} pixel hypervectors but {} intensities",
+                    pixels.len(),
+                    intensities.len()
+                ),
+            });
+        }
+        if pixels.len() < self.clusters {
+            return Err(SegHdcError::InvalidConfig {
+                message: format!(
+                    "cannot form {} clusters from {} pixels",
+                    self.clusters,
+                    pixels.len()
+                ),
+            });
+        }
+        let dim = pixels[0].dim();
+
+        // Initial centroids: bundles containing a single seed pixel each.
+        let mut centroids: Vec<Accumulator> = self
+            .initial_indices(intensities)
+            .into_iter()
+            .map(|i| Accumulator::from_binary(&pixels[i]))
+            .collect();
+
+        let mut labels = vec![0u32; pixels.len()];
+        let mut snapshots = Vec::new();
+        let mut iterations_run = 0;
+
+        for _ in 0..self.iterations {
+            iterations_run += 1;
+            // Assignment step (parallel over pixels).
+            let metric = self.metric;
+            let majority: Vec<Option<BinaryHypervector>> = match metric {
+                DistanceMetric::Hamming => centroids
+                    .iter()
+                    .map(|c| c.to_majority().ok())
+                    .collect(),
+                DistanceMetric::Cosine => vec![None; centroids.len()],
+            };
+            let assignment: Vec<u32> = pixels
+                .par_iter()
+                .map(|pixel| {
+                    let mut best = 0usize;
+                    let mut best_distance = f64::INFINITY;
+                    for (k, centroid) in centroids.iter().enumerate() {
+                        let distance = match metric {
+                            DistanceMetric::Cosine => centroid
+                                .cosine_distance(pixel)
+                                .unwrap_or(f64::INFINITY),
+                            DistanceMetric::Hamming => majority[k]
+                                .as_ref()
+                                .and_then(|m| m.normalized_hamming(pixel).ok())
+                                .unwrap_or(f64::INFINITY),
+                        };
+                        if distance < best_distance {
+                            best_distance = distance;
+                            best = k;
+                        }
+                    }
+                    best as u32
+                })
+                .collect();
+            labels = assignment;
+            if self.record_snapshots {
+                snapshots.push(labels.clone());
+            }
+
+            // Update step: rebuild each centroid as the sum of its members.
+            let mut new_centroids: Vec<Accumulator> = (0..self.clusters)
+                .map(|_| Accumulator::zeros(dim))
+                .collect::<std::result::Result<_, _>>()?;
+            for (pixel, &label) in pixels.iter().zip(&labels) {
+                new_centroids[label as usize].add(pixel)?;
+            }
+            // Empty clusters keep their previous centroid so they can win
+            // pixels back in a later iteration.
+            for (k, centroid) in new_centroids.iter_mut().enumerate() {
+                if centroid.items() == 0 {
+                    *centroid = centroids[k].clone();
+                }
+            }
+            centroids = new_centroids;
+        }
+
+        let mut cluster_sizes = vec![0usize; self.clusters];
+        for &label in &labels {
+            cluster_sizes[label as usize] += 1;
+        }
+        Ok(ClusterOutcome {
+            labels,
+            iterations_run,
+            snapshots,
+            cluster_sizes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc::HdcRng;
+
+    fn noisy_copies(
+        base: &BinaryHypervector,
+        count: usize,
+        noise_bits: usize,
+        rng: &mut HdcRng,
+    ) -> Vec<BinaryHypervector> {
+        (0..count)
+            .map(|_| {
+                let mut hv = base.clone();
+                let start = (rng.next_below((base.dim() - noise_bits) as u64)) as usize;
+                hv.flip_range(start, noise_bits).unwrap();
+                hv
+            })
+            .collect()
+    }
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(HvKmeans::new(1, 5, DistanceMetric::Cosine, false).is_err());
+        assert!(HvKmeans::new(2, 0, DistanceMetric::Cosine, false).is_err());
+        assert!(HvKmeans::new(3, 10, DistanceMetric::Hamming, true).is_ok());
+    }
+
+    #[test]
+    fn separates_two_well_separated_groups() {
+        let mut rng = HdcRng::seed_from(8);
+        let centre_a = BinaryHypervector::random(2048, &mut rng);
+        let centre_b = BinaryHypervector::random(2048, &mut rng);
+        let mut pixels = noisy_copies(&centre_a, 20, 50, &mut rng);
+        pixels.extend(noisy_copies(&centre_b, 20, 50, &mut rng));
+        // Intensities correlate with the groups (dark group, bright group).
+        let intensities: Vec<u8> = (0..20).map(|_| 10).chain((0..20).map(|_| 240)).collect();
+
+        let outcome = HvKmeans::new(2, 5, DistanceMetric::Cosine, false)
+            .unwrap()
+            .cluster(&pixels, &intensities)
+            .unwrap();
+        let first = outcome.labels[0];
+        assert!(outcome.labels[..20].iter().all(|&l| l == first));
+        assert!(outcome.labels[20..].iter().all(|&l| l != first));
+        assert_eq!(outcome.cluster_sizes.iter().sum::<usize>(), 40);
+        assert_eq!(outcome.iterations_run, 5);
+    }
+
+    #[test]
+    fn hamming_metric_also_separates_groups() {
+        let mut rng = HdcRng::seed_from(9);
+        let centre_a = BinaryHypervector::random(2048, &mut rng);
+        let centre_b = BinaryHypervector::random(2048, &mut rng);
+        let mut pixels = noisy_copies(&centre_a, 10, 40, &mut rng);
+        pixels.extend(noisy_copies(&centre_b, 10, 40, &mut rng));
+        let intensities: Vec<u8> = (0..10).map(|_| 0).chain((0..10).map(|_| 255)).collect();
+        let outcome = HvKmeans::new(2, 4, DistanceMetric::Hamming, false)
+            .unwrap()
+            .cluster(&pixels, &intensities)
+            .unwrap();
+        let first = outcome.labels[0];
+        assert!(outcome.labels[..10].iter().all(|&l| l == first));
+        assert!(outcome.labels[10..].iter().all(|&l| l != first));
+    }
+
+    #[test]
+    fn snapshots_record_one_assignment_per_iteration() {
+        let mut rng = HdcRng::seed_from(10);
+        let pixels: Vec<BinaryHypervector> =
+            (0..12).map(|_| BinaryHypervector::random(512, &mut rng)).collect();
+        let intensities: Vec<u8> = (0..12).map(|i| (i * 20) as u8).collect();
+        let outcome = HvKmeans::new(3, 4, DistanceMetric::Cosine, true)
+            .unwrap()
+            .cluster(&pixels, &intensities)
+            .unwrap();
+        assert_eq!(outcome.snapshots.len(), 4);
+        assert_eq!(outcome.snapshots.last().unwrap(), &outcome.labels);
+    }
+
+    #[test]
+    fn input_validation_errors() {
+        let kmeans = HvKmeans::new(2, 2, DistanceMetric::Cosine, false).unwrap();
+        assert!(kmeans.cluster(&[], &[]).is_err());
+        let mut rng = HdcRng::seed_from(11);
+        let pixels = vec![BinaryHypervector::random(256, &mut rng)];
+        assert!(kmeans.cluster(&pixels, &[1, 2]).is_err());
+        assert!(kmeans.cluster(&pixels, &[1]).is_err()); // fewer pixels than clusters
+    }
+
+    #[test]
+    fn initial_indices_pick_extreme_intensities() {
+        let kmeans = HvKmeans::new(2, 1, DistanceMetric::Cosine, false).unwrap();
+        let intensities = vec![50u8, 200, 10, 130, 255];
+        let picks = kmeans.initial_indices(&intensities);
+        assert_eq!(picks.len(), 2);
+        assert_eq!(intensities[picks[0]], 10);
+        assert_eq!(intensities[picks[1]], 255);
+
+        let three = HvKmeans::new(3, 1, DistanceMetric::Cosine, false).unwrap();
+        let picks = three.initial_indices(&intensities);
+        assert_eq!(picks.len(), 3);
+        assert_eq!(intensities[picks[0]], 10);
+        assert_eq!(intensities[picks[2]], 255);
+    }
+
+    #[test]
+    fn constant_intensity_input_still_yields_distinct_seeds() {
+        let kmeans = HvKmeans::new(3, 2, DistanceMetric::Cosine, false).unwrap();
+        let intensities = vec![100u8; 10];
+        let picks = kmeans.initial_indices(&intensities);
+        assert_eq!(picks.len(), 3);
+        let unique: std::collections::BTreeSet<usize> = picks.iter().copied().collect();
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn all_identical_pixels_collapse_into_one_cluster_without_panicking() {
+        let mut rng = HdcRng::seed_from(12);
+        let hv = BinaryHypervector::random(512, &mut rng);
+        let pixels = vec![hv.clone(); 8];
+        let intensities = vec![128u8; 8];
+        let outcome = HvKmeans::new(2, 3, DistanceMetric::Cosine, false)
+            .unwrap()
+            .cluster(&pixels, &intensities)
+            .unwrap();
+        assert_eq!(outcome.labels.len(), 8);
+        // Everything lands in a single cluster; the other stays empty.
+        assert!(outcome.cluster_sizes.contains(&8));
+        assert!(outcome.cluster_sizes.contains(&0));
+    }
+}

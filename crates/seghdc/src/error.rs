@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the SegHDC pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SegHdcError {
+    /// A configuration value is outside its valid domain.
+    InvalidConfig {
+        /// Human readable description.
+        message: String,
+    },
+    /// An underlying hypervector operation failed.
+    Hdc(hdc::HdcError),
+    /// An underlying imaging operation failed.
+    Imaging(imaging::ImagingError),
+}
+
+impl fmt::Display for SegHdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegHdcError::InvalidConfig { message } => write!(f, "invalid config: {message}"),
+            SegHdcError::Hdc(err) => write!(f, "hypervector error: {err}"),
+            SegHdcError::Imaging(err) => write!(f, "imaging error: {err}"),
+        }
+    }
+}
+
+impl Error for SegHdcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SegHdcError::Hdc(err) => Some(err),
+            SegHdcError::Imaging(err) => Some(err),
+            SegHdcError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<hdc::HdcError> for SegHdcError {
+    fn from(err: hdc::HdcError) -> Self {
+        SegHdcError::Hdc(err)
+    }
+}
+
+impl From<imaging::ImagingError> for SegHdcError {
+    fn from(err: imaging::ImagingError) -> Self {
+        SegHdcError::Imaging(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = SegHdcError::InvalidConfig {
+            message: "dimension too small".to_string(),
+        };
+        assert!(e.to_string().contains("dimension too small"));
+        assert!(e.source().is_none());
+        let e = SegHdcError::from(hdc::HdcError::ZeroDimension);
+        assert!(e.source().is_some());
+        let e = SegHdcError::from(imaging::ImagingError::EmptyImage);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<SegHdcError>();
+    }
+}

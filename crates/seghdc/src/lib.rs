@@ -1,0 +1,71 @@
+//! SegHDC: on-device unsupervised image segmentation with hyperdimensional
+//! computing (DAC 2023).
+//!
+//! This crate implements the paper's framework end to end:
+//!
+//! * [`PositionEncoder`] — maps pixel coordinates to hypervectors whose
+//!   Hamming distances follow the (block, decayed) **Manhattan distance** of
+//!   the coordinates (§III-1 of the paper, Fig. 3). The uniform, Manhattan,
+//!   decay and block-decay variants are all available, plus the random
+//!   ablation (**RPos**).
+//! * [`ColorEncoder`] — maps 8-bit colour values to hypervectors whose
+//!   distances follow the Manhattan distance of intensities, with one
+//!   concatenated chunk per channel (§III-2, Fig. 4), plus the random
+//!   ablation (**RColor**).
+//! * [`PixelEncoder`] — binds position and colour hypervectors with XOR and
+//!   applies the `γ` colour-weighting knob (§III-3, Fig. 5).
+//! * [`HvKmeans`] — the revised K-Means clusterer over hypervectors using
+//!   cosine distance, centroids initialised from the pixels with the largest
+//!   colour difference and updated by integer bundling (§III-4, Eq. 7).
+//! * [`SegHdc`] — the full pipeline: encode every pixel, cluster, emit a
+//!   [`imaging::LabelMap`].
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use imaging::{DynamicImage, GrayImage};
+//! use seghdc::{SegHdc, SegHdcConfig};
+//!
+//! // A small synthetic image: dark background, bright square.
+//! let mut img = GrayImage::filled(32, 32, 20)?;
+//! for y in 8..24 {
+//!     for x in 8..24 {
+//!         img.set(x, y, 220)?;
+//!     }
+//! }
+//!
+//! let config = SegHdcConfig::builder()
+//!     .dimension(2000)
+//!     .clusters(2)
+//!     .iterations(3)
+//!     .build()?;
+//! let segmentation = SegHdc::new(config)?.segment(&DynamicImage::Gray(img))?;
+//! assert_eq!(segmentation.label_map.distinct_labels(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod color;
+mod config;
+mod error;
+mod pipeline;
+mod pixel;
+mod position;
+pub mod sweep;
+pub mod toy;
+
+pub use cluster::{ClusterOutcome, HvKmeans};
+pub use color::ColorEncoder;
+pub use config::{ColorEncoding, DistanceMetric, PositionEncoding, SegHdcConfig, SegHdcConfigBuilder};
+pub use error::SegHdcError;
+pub use pipeline::{SegHdc, Segmentation};
+pub use pixel::PixelEncoder;
+pub use position::PositionEncoder;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SegHdcError>;

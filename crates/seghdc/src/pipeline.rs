@@ -1,0 +1,311 @@
+use crate::{ColorEncoder, HvKmeans, PixelEncoder, PositionEncoder, Result, SegHdcConfig};
+use hdc::HdcRng;
+use imaging::{DynamicImage, LabelMap};
+use std::time::{Duration, Instant};
+
+/// Result of running the SegHDC pipeline on one image.
+#[derive(Debug, Clone)]
+pub struct Segmentation {
+    /// Final per-pixel cluster assignment.
+    pub label_map: LabelMap,
+    /// Label maps after each clustering iteration (only populated when
+    /// [`SegHdcConfig::record_snapshots`] is set; used for Fig. 8).
+    pub snapshots: Vec<LabelMap>,
+    /// Number of clustering iterations executed.
+    pub iterations_run: usize,
+    /// Number of pixels per cluster after the final iteration.
+    pub cluster_sizes: Vec<usize>,
+    /// Wall-clock time spent building codebooks and encoding pixels.
+    pub encode_time: Duration,
+    /// Wall-clock time spent clustering.
+    pub cluster_time: Duration,
+}
+
+impl Segmentation {
+    /// Total wall-clock time (encoding plus clustering).
+    pub fn total_time(&self) -> Duration {
+        self.encode_time + self.cluster_time
+    }
+}
+
+/// The complete SegHDC segmentation pipeline (Fig. 2 of the paper):
+/// position encoder → colour encoder → pixel HV producer → clusterer.
+///
+/// A `SegHdc` value is cheap to construct (it only stores the configuration);
+/// codebooks are built per image inside [`segment`](Self::segment) because
+/// their shape depends on the image size.
+///
+/// # Example
+///
+/// ```rust
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use imaging::{DynamicImage, GrayImage};
+/// use seghdc::{SegHdc, SegHdcConfig};
+///
+/// let mut img = GrayImage::filled(24, 24, 15)?;
+/// for y in 6..18 {
+///     for x in 6..18 {
+///         img.set(x, y, 230)?;
+///     }
+/// }
+/// let config = SegHdcConfig::builder().dimension(1024).iterations(3).build()?;
+/// let result = SegHdc::new(config)?.segment(&DynamicImage::Gray(img))?;
+/// assert_eq!(result.label_map.pixel_count(), 24 * 24);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegHdc {
+    config: SegHdcConfig,
+}
+
+impl SegHdc {
+    /// Creates a pipeline from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SegHdcError::InvalidConfig`] if the configuration is
+    /// inconsistent.
+    pub fn new(config: SegHdcConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The configuration this pipeline runs with.
+    pub fn config(&self) -> &SegHdcConfig {
+        &self.config
+    }
+
+    /// Builds the pixel encoder (position + colour codebooks) for an image
+    /// of the given shape. Exposed so benchmarks can measure the encoding
+    /// and clustering stages separately.
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error if the shape is degenerate.
+    pub fn build_encoder(&self, width: usize, height: usize, channels: usize) -> Result<PixelEncoder> {
+        let root = HdcRng::seed_from(self.config.seed);
+        let mut position_rng = root.derive(1);
+        let mut color_rng = root.derive(2);
+        let position = PositionEncoder::new(
+            self.config.position_encoding,
+            self.config.dimension,
+            height,
+            width,
+            self.config.alpha,
+            self.config.beta,
+            &mut position_rng,
+        )?;
+        let color = ColorEncoder::new(
+            self.config.color_encoding,
+            self.config.dimension,
+            channels,
+            self.config.gamma,
+            &mut color_rng,
+        )?;
+        PixelEncoder::new(position, color)
+    }
+
+    /// Segments an image.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration and image shape are
+    /// incompatible (e.g. the hypervector dimension is smaller than the
+    /// number of colour channels) or if an underlying hypervector operation
+    /// fails.
+    pub fn segment(&self, image: &DynamicImage) -> Result<Segmentation> {
+        let encode_start = Instant::now();
+        let encoder = self.build_encoder(image.width(), image.height(), image.channels())?;
+        let pixel_hvs = encoder.encode_image(image)?;
+        let encode_time = encode_start.elapsed();
+
+        // Scalar intensities drive the max-colour-difference initialisation.
+        let mut intensities = Vec::with_capacity(image.pixel_count());
+        for y in 0..image.height() {
+            for x in 0..image.width() {
+                intensities.push(image.intensity_at(x, y)?);
+            }
+        }
+
+        let cluster_start = Instant::now();
+        let kmeans = HvKmeans::new(
+            self.config.clusters,
+            self.config.iterations,
+            self.config.distance_metric,
+            self.config.record_snapshots,
+        )?;
+        let outcome = kmeans.cluster(&pixel_hvs, &intensities)?;
+        let cluster_time = cluster_start.elapsed();
+
+        let width = image.width();
+        let height = image.height();
+        let to_map = |labels: &[u32]| -> Result<LabelMap> {
+            Ok(LabelMap::from_raw(width, height, labels.to_vec())?)
+        };
+        let label_map = to_map(&outcome.labels)?;
+        let snapshots = outcome
+            .snapshots
+            .iter()
+            .map(|labels| to_map(labels))
+            .collect::<Result<Vec<_>>>()?;
+
+        Ok(Segmentation {
+            label_map,
+            snapshots,
+            iterations_run: outcome.iterations_run,
+            cluster_sizes: outcome.cluster_sizes,
+            encode_time,
+            cluster_time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColorEncoding, PositionEncoding};
+    use imaging::{metrics, GrayImage, RgbImage};
+
+    /// A bright square on a dark background plus its ground truth. Both
+    /// regions carry intensity variation so that the colour codebooks are
+    /// exercised over many distinct values (as in real microscopy images),
+    /// which is what makes the RColor ablation collapse.
+    fn square_image(size: usize) -> (DynamicImage, LabelMap) {
+        let mut img = GrayImage::new(size, size).unwrap();
+        let mut truth = LabelMap::new(size, size).unwrap();
+        let lo = size / 4;
+        let hi = 3 * size / 4;
+        for y in 0..size {
+            for x in 0..size {
+                let jitter = ((x * 7 + y * 3) % 30) as u8;
+                let inside = (lo..hi).contains(&x) && (lo..hi).contains(&y);
+                if inside {
+                    img.set(x, y, 200 + jitter).unwrap();
+                    truth.set(x, y, 1).unwrap();
+                } else {
+                    img.set(x, y, 15 + jitter).unwrap();
+                }
+            }
+        }
+        (DynamicImage::Gray(img), truth)
+    }
+
+    fn fast_config() -> SegHdcConfig {
+        SegHdcConfig::builder()
+            .dimension(1024)
+            .iterations(3)
+            .beta(4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn segments_a_high_contrast_square_accurately() {
+        let (image, truth) = square_image(32);
+        let result = SegHdc::new(fast_config()).unwrap().segment(&image).unwrap();
+        let iou = metrics::matched_binary_iou(&result.label_map, &truth).unwrap();
+        assert!(iou > 0.9, "IoU {iou}");
+        assert_eq!(result.iterations_run, 3);
+        assert_eq!(result.cluster_sizes.iter().sum::<usize>(), 32 * 32);
+        assert!(result.total_time() >= result.encode_time);
+    }
+
+    #[test]
+    fn rgb_images_are_segmented_too() {
+        let (gray, truth) = square_image(24);
+        let rgb = DynamicImage::Rgb(RgbImage::from_raw(
+            24,
+            24,
+            gray.to_rgb().as_raw().to_vec(),
+        )
+        .unwrap());
+        let result = SegHdc::new(fast_config()).unwrap().segment(&rgb).unwrap();
+        let iou = metrics::matched_binary_iou(&result.label_map, &truth).unwrap();
+        assert!(iou > 0.85, "IoU {iou}");
+    }
+
+    #[test]
+    fn snapshots_are_recorded_when_requested() {
+        let (image, _) = square_image(16);
+        let config = SegHdcConfig::builder()
+            .dimension(512)
+            .iterations(4)
+            .beta(2)
+            .record_snapshots(true)
+            .build()
+            .unwrap();
+        let result = SegHdc::new(config).unwrap().segment(&image).unwrap();
+        assert_eq!(result.snapshots.len(), 4);
+        assert_eq!(result.snapshots.last().unwrap(), &result.label_map);
+        // Without the flag no snapshots are kept.
+        let result = SegHdc::new(fast_config()).unwrap().segment(&image).unwrap();
+        assert!(result.snapshots.is_empty());
+    }
+
+    #[test]
+    fn segmentation_is_deterministic_for_a_fixed_seed() {
+        let (image, _) = square_image(20);
+        let a = SegHdc::new(fast_config()).unwrap().segment(&image).unwrap();
+        let b = SegHdc::new(fast_config()).unwrap().segment(&image).unwrap();
+        assert_eq!(a.label_map, b.label_map);
+    }
+
+    #[test]
+    fn random_position_ablation_degrades_quality() {
+        // Table I, RPos column: random position hypervectors swamp the colour
+        // signal and the segmentation collapses.
+        let (image, truth) = square_image(32);
+        let good = SegHdc::new(fast_config()).unwrap().segment(&image).unwrap();
+        let rpos_config = SegHdcConfig::builder()
+            .dimension(1024)
+            .iterations(3)
+            .beta(4)
+            .position_encoding(PositionEncoding::Random)
+            .build()
+            .unwrap();
+        let rpos = SegHdc::new(rpos_config).unwrap().segment(&image).unwrap();
+        let good_iou = metrics::matched_binary_iou(&good.label_map, &truth).unwrap();
+        let rpos_iou = metrics::matched_binary_iou(&rpos.label_map, &truth).unwrap();
+        assert!(
+            good_iou > rpos_iou + 0.2,
+            "expected a clear gap: SegHDC {good_iou} vs RPos {rpos_iou}"
+        );
+    }
+
+    #[test]
+    fn random_color_ablation_degrades_quality() {
+        let (image, truth) = square_image(32);
+        let good = SegHdc::new(fast_config()).unwrap().segment(&image).unwrap();
+        let rcolor_config = SegHdcConfig::builder()
+            .dimension(1024)
+            .iterations(3)
+            .beta(4)
+            .color_encoding(ColorEncoding::Random)
+            .build()
+            .unwrap();
+        let rcolor = SegHdc::new(rcolor_config).unwrap().segment(&image).unwrap();
+        let good_iou = metrics::matched_binary_iou(&good.label_map, &truth).unwrap();
+        let rcolor_iou = metrics::matched_binary_iou(&rcolor.label_map, &truth).unwrap();
+        assert!(
+            good_iou > rcolor_iou + 0.2,
+            "expected a clear gap: SegHDC {good_iou} vs RColor {rcolor_iou}"
+        );
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected_at_construction() {
+        let config = SegHdcConfig {
+            clusters: 1,
+            ..SegHdcConfig::default()
+        };
+        assert!(SegHdc::new(config).is_err());
+    }
+
+    #[test]
+    fn config_accessor_returns_the_configuration() {
+        let config = fast_config();
+        let pipeline = SegHdc::new(config.clone()).unwrap();
+        assert_eq!(pipeline.config(), &config);
+    }
+}

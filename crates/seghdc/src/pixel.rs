@@ -1,0 +1,239 @@
+use crate::{ColorEncoder, PositionEncoder, Result, SegHdcError};
+use hdc::BinaryHypervector;
+use imaging::DynamicImage;
+use rayon::prelude::*;
+
+/// Produces pixel hypervectors by binding position and colour hypervectors
+/// with XOR (§III-3 of the paper, Fig. 5).
+///
+/// The encoder owns a [`PositionEncoder`] and a [`ColorEncoder`] built for a
+/// specific image shape; [`encode_image`](Self::encode_image) then maps every
+/// pixel of a matching image to one hypervector (in parallel across pixels).
+///
+/// # Example
+///
+/// ```rust
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use hdc::HdcRng;
+/// use imaging::{DynamicImage, GrayImage};
+/// use seghdc::{ColorEncoder, ColorEncoding, PixelEncoder, PositionEncoder, PositionEncoding};
+///
+/// let mut rng = HdcRng::seed_from(1);
+/// let position = PositionEncoder::new(PositionEncoding::Manhattan, 2048, 8, 8, 1.0, 1, &mut rng)?;
+/// let color = ColorEncoder::new(ColorEncoding::Manhattan, 2048, 1, 1, &mut rng)?;
+/// let pixel = PixelEncoder::new(position, color)?;
+///
+/// let image = DynamicImage::Gray(GrayImage::filled(8, 8, 128)?);
+/// let hvs = pixel.encode_image(&image)?;
+/// assert_eq!(hvs.len(), 64);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PixelEncoder {
+    position: PositionEncoder,
+    color: ColorEncoder,
+}
+
+impl PixelEncoder {
+    /// Combines a position encoder and a colour encoder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegHdcError::InvalidConfig`] if the two encoders use
+    /// different hypervector dimensions.
+    pub fn new(position: PositionEncoder, color: ColorEncoder) -> Result<Self> {
+        if position.dimension() != color.dimension() {
+            return Err(SegHdcError::InvalidConfig {
+                message: format!(
+                    "position encoder dimension {} differs from colour encoder dimension {}",
+                    position.dimension(),
+                    color.dimension()
+                ),
+            });
+        }
+        Ok(Self { position, color })
+    }
+
+    /// The shared hypervector dimensionality.
+    pub fn dimension(&self) -> usize {
+        self.position.dimension()
+    }
+
+    /// The position encoder half of this pixel encoder.
+    pub fn position(&self) -> &PositionEncoder {
+        &self.position
+    }
+
+    /// The colour encoder half of this pixel encoder.
+    pub fn color(&self) -> &ColorEncoder {
+        &self.color
+    }
+
+    /// Encodes the pixel at `(x, y)` of `image` as
+    /// `position(y, x) XOR colour(image[x, y])`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the coordinate lies outside the encoder's grid or
+    /// the image, or if the image channel count does not match the colour
+    /// encoder.
+    pub fn encode_pixel(&self, image: &DynamicImage, x: usize, y: usize) -> Result<BinaryHypervector> {
+        let position_hv = self.position.encode(y, x)?;
+        let channels = image.channels_at(x, y)?;
+        let color_hv = self.color.encode(&channels[..self.color.channels()])?;
+        Ok(position_hv.xor(&color_hv)?)
+    }
+
+    /// Encodes every pixel of `image` in row-major order.
+    ///
+    /// Pixels are encoded in parallel; the output order is deterministic
+    /// (index `y * width + x`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegHdcError::InvalidConfig`] if the image shape or channel
+    /// count does not match the encoders.
+    pub fn encode_image(&self, image: &DynamicImage) -> Result<Vec<BinaryHypervector>> {
+        let width = image.width();
+        let height = image.height();
+        if height != self.position.rows() || width != self.position.cols() {
+            return Err(SegHdcError::InvalidConfig {
+                message: format!(
+                    "image is {width}x{height} but the position encoder was built for {}x{}",
+                    self.position.cols(),
+                    self.position.rows()
+                ),
+            });
+        }
+        if image.channels() != self.color.channels() {
+            return Err(SegHdcError::InvalidConfig {
+                message: format!(
+                    "image has {} channels but the colour encoder was built for {}",
+                    image.channels(),
+                    self.color.channels()
+                ),
+            });
+        }
+        (0..width * height)
+            .into_par_iter()
+            .map(|index| {
+                let x = index % width;
+                let y = index / width;
+                self.encode_pixel(image, x, y)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColorEncoding, PositionEncoding};
+    use hdc::HdcRng;
+    use imaging::GrayImage;
+
+    fn encoder(dim: usize, width: usize, height: usize) -> PixelEncoder {
+        let mut rng = HdcRng::seed_from(9);
+        let position = PositionEncoder::new(
+            PositionEncoding::Manhattan,
+            dim,
+            height,
+            width,
+            1.0,
+            1,
+            &mut rng,
+        )
+        .unwrap();
+        let color = ColorEncoder::new(ColorEncoding::Manhattan, dim, 1, 1, &mut rng).unwrap();
+        PixelEncoder::new(position, color).unwrap()
+    }
+
+    fn gradient_image(width: usize, height: usize) -> DynamicImage {
+        let mut img = GrayImage::new(width, height).unwrap();
+        for y in 0..height {
+            for x in 0..width {
+                img.set(x, y, ((x * 255) / (width - 1).max(1)) as u8).unwrap();
+            }
+        }
+        DynamicImage::Gray(img)
+    }
+
+    #[test]
+    fn mismatched_dimensions_are_rejected() {
+        let mut rng = HdcRng::seed_from(1);
+        let position =
+            PositionEncoder::new(PositionEncoding::Manhattan, 1024, 4, 4, 1.0, 1, &mut rng).unwrap();
+        let color = ColorEncoder::new(ColorEncoding::Manhattan, 2048, 1, 1, &mut rng).unwrap();
+        assert!(PixelEncoder::new(position, color).is_err());
+    }
+
+    #[test]
+    fn encode_image_produces_one_hv_per_pixel_in_row_major_order() {
+        let enc = encoder(2048, 6, 4);
+        let image = gradient_image(6, 4);
+        let hvs = enc.encode_image(&image).unwrap();
+        assert_eq!(hvs.len(), 24);
+        // Spot-check against the scalar path.
+        let direct = enc.encode_pixel(&image, 5, 3).unwrap();
+        assert_eq!(hvs[3 * 6 + 5], direct);
+        assert_eq!(enc.dimension(), 2048);
+    }
+
+    #[test]
+    fn shape_and_channel_mismatches_are_rejected() {
+        let enc = encoder(2048, 6, 4);
+        let wrong_shape = gradient_image(4, 6);
+        assert!(enc.encode_image(&wrong_shape).is_err());
+        let rgb = DynamicImage::Rgb(gradient_image(6, 4).to_rgb());
+        assert!(enc.encode_image(&rgb).is_err());
+    }
+
+    #[test]
+    fn binding_preserves_color_distances_at_the_same_position() {
+        // Fig. 5(b): if only the colour hypervector changes, the pixel
+        // hypervector changes by exactly the same number of bits.
+        let enc = encoder(4096, 8, 8);
+        let mut img_a = GrayImage::filled(8, 8, 100).unwrap();
+        let mut img_b = GrayImage::filled(8, 8, 100).unwrap();
+        img_a.set(3, 3, 100).unwrap();
+        img_b.set(3, 3, 110).unwrap();
+        let hv_a = enc
+            .encode_pixel(&DynamicImage::Gray(img_a), 3, 3)
+            .unwrap();
+        let hv_b = enc
+            .encode_pixel(&DynamicImage::Gray(img_b), 3, 3)
+            .unwrap();
+        let expected = enc.color().intensity_distance(100, 110).unwrap();
+        assert_eq!(hv_a.hamming(&hv_b).unwrap(), expected);
+    }
+
+    #[test]
+    fn binding_preserves_position_distances_for_the_same_color() {
+        // Fig. 5: same colour, different position -> distance equals the
+        // position distance.
+        let enc = encoder(4096, 8, 8);
+        let image = DynamicImage::Gray(GrayImage::filled(8, 8, 77).unwrap());
+        let a = enc.encode_pixel(&image, 1, 1).unwrap();
+        let b = enc.encode_pixel(&image, 1, 5).unwrap();
+        let expected = enc
+            .position()
+            .encode(1, 1)
+            .unwrap()
+            .hamming(&enc.position().encode(5, 1).unwrap())
+            .unwrap();
+        assert_eq!(a.hamming(&b).unwrap(), expected);
+    }
+
+    #[test]
+    fn nearby_same_color_pixels_are_closer_than_distant_different_ones() {
+        // The property motivating the whole design (Fig. 1): pixels with the
+        // same colour in a small neighbourhood cluster tightly.
+        let enc = encoder(8192, 8, 8);
+        let image = gradient_image(8, 8);
+        let hvs = enc.encode_image(&image).unwrap();
+        let same_color_near = hvs[0].hamming(&hvs[8]).unwrap(); // (0,0) vs (0,1): same column
+        let diff_color_far = hvs[0].hamming(&hvs[7]).unwrap(); // (0,0) vs (7,0): other end
+        assert!(same_color_near < diff_color_far);
+    }
+}

@@ -1,0 +1,145 @@
+//! Parameter-sweep helpers used by the Fig. 7 reproductions.
+//!
+//! Fig. 7(a) of the paper sweeps the number of clustering iterations
+//! (1–10) and Fig. 7(b) sweeps the hypervector dimension (200–1000),
+//! reporting the IoU score and the latency for each setting. These helpers
+//! run those sweeps over any image with ground truth and return one record
+//! per setting.
+
+use crate::{Result, SegHdc, SegHdcConfig};
+use imaging::{metrics, DynamicImage, LabelMap};
+use std::time::Duration;
+
+/// One record of a parameter sweep: the swept value, the IoU achieved and
+/// the wall-clock latency measured on the host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter value (number of iterations or dimension).
+    pub value: usize,
+    /// Intersection-over-Union of the segmentation against the ground truth
+    /// after cluster-to-class matching.
+    pub iou: f64,
+    /// Host wall-clock time for the full pipeline at this setting.
+    pub latency: Duration,
+}
+
+/// Runs the Fig. 7(a) sweep: IoU and latency as a function of the number of
+/// clustering iterations.
+///
+/// # Errors
+///
+/// Propagates configuration and pipeline errors.
+pub fn iteration_sweep(
+    base: &SegHdcConfig,
+    iterations: impl IntoIterator<Item = usize>,
+    image: &DynamicImage,
+    truth: &LabelMap,
+) -> Result<Vec<SweepPoint>> {
+    let mut points = Vec::new();
+    for value in iterations {
+        let config = SegHdcConfig {
+            iterations: value,
+            ..base.clone()
+        };
+        let pipeline = SegHdc::new(config)?;
+        let segmentation = pipeline.segment(image)?;
+        let iou = metrics::matched_binary_iou(&segmentation.label_map, truth)?;
+        points.push(SweepPoint {
+            value,
+            iou,
+            latency: segmentation.total_time(),
+        });
+    }
+    Ok(points)
+}
+
+/// Runs the Fig. 7(b) sweep: IoU and latency as a function of the
+/// hypervector dimension.
+///
+/// # Errors
+///
+/// Propagates configuration and pipeline errors.
+pub fn dimension_sweep(
+    base: &SegHdcConfig,
+    dimensions: impl IntoIterator<Item = usize>,
+    image: &DynamicImage,
+    truth: &LabelMap,
+) -> Result<Vec<SweepPoint>> {
+    let mut points = Vec::new();
+    for value in dimensions {
+        let config = SegHdcConfig {
+            dimension: value,
+            ..base.clone()
+        };
+        let pipeline = SegHdc::new(config)?;
+        let segmentation = pipeline.segment(image)?;
+        let iou = metrics::matched_binary_iou(&segmentation.label_map, truth)?;
+        points.push(SweepPoint {
+            value,
+            iou,
+            latency: segmentation.total_time(),
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imaging::GrayImage;
+
+    fn square_image(size: usize) -> (DynamicImage, LabelMap) {
+        let mut img = GrayImage::filled(size, size, 30).unwrap();
+        let mut truth = LabelMap::new(size, size).unwrap();
+        for y in size / 4..3 * size / 4 {
+            for x in size / 4..3 * size / 4 {
+                img.set(x, y, 210).unwrap();
+                truth.set(x, y, 1).unwrap();
+            }
+        }
+        (DynamicImage::Gray(img), truth)
+    }
+
+    fn base() -> SegHdcConfig {
+        SegHdcConfig::builder()
+            .dimension(512)
+            .beta(2)
+            .iterations(3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn iteration_sweep_produces_one_point_per_setting() {
+        let (image, truth) = square_image(16);
+        let points = iteration_sweep(&base(), [1, 2, 3], &image, &truth).unwrap();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].value, 1);
+        assert_eq!(points[2].value, 3);
+        for p in &points {
+            assert!((0.0..=1.0).contains(&p.iou));
+        }
+        // More iterations should not hurt accuracy on this trivial image.
+        assert!(points[2].iou >= points[0].iou - 0.05);
+    }
+
+    #[test]
+    fn dimension_sweep_produces_one_point_per_setting() {
+        let (image, truth) = square_image(16);
+        let points = dimension_sweep(&base(), [256, 512], &image, &truth).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].value, 256);
+        assert_eq!(points[1].value, 512);
+        for p in &points {
+            assert!((0.0..=1.0).contains(&p.iou));
+            assert!(p.latency > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn invalid_sweep_values_propagate_errors() {
+        let (image, truth) = square_image(8);
+        assert!(iteration_sweep(&base(), [0], &image, &truth).is_err());
+        assert!(dimension_sweep(&base(), [8], &image, &truth).is_err());
+    }
+}

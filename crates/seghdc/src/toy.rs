@@ -1,0 +1,151 @@
+//! The 3-dimensional toy vectorisation example of Fig. 1.
+//!
+//! The paper motivates SegHDC with a 3×3 binary image whose pixels are
+//! mapped into a 3-dimensional space by summing a per-position vector
+//! (XOR of a row vector and a column vector) and a per-colour vector. White
+//! pixels land in one small region of the cube, black pixels in another.
+//! This module reproduces that construction exactly so the
+//! `toy_vectorization` example can print the same picture.
+
+use crate::{Result, SegHdcError};
+
+/// One pixel of the toy example after vectorisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ToyPixel {
+    /// Row of the pixel in the 3×3 image.
+    pub row: usize,
+    /// Column of the pixel in the 3×3 image.
+    pub col: usize,
+    /// Whether the input pixel was white (`true`) or black (`false`).
+    pub white: bool,
+    /// The 3-D coordinates the pixel maps to (sum of position and colour
+    /// vectors, element-wise).
+    pub coordinates: [u8; 3],
+}
+
+/// Vectorises a 3×3 binary image as in Fig. 1.
+///
+/// `image` is given row-major, `true` for white pixels. The row, column and
+/// colour vectors are the fixed example vectors of the figure: positions are
+/// XOR combinations of binary row/column codes and the two colours use
+/// distinct binary codes; the final coordinate is the element-wise sum of
+/// position and colour vectors, so each coordinate is in `{0, 1, 2}`.
+///
+/// # Errors
+///
+/// Returns [`SegHdcError::InvalidConfig`] if `image` does not contain
+/// exactly 9 pixels.
+///
+/// # Example
+///
+/// ```rust
+/// # fn main() -> Result<(), seghdc::SegHdcError> {
+/// // Checkerboard-ish pattern from the paper's figure.
+/// let image = [true, true, false, true, true, false, false, false, true];
+/// let pixels = seghdc::toy::vectorize_toy_image(&image)?;
+/// assert_eq!(pixels.len(), 9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn vectorize_toy_image(image: &[bool]) -> Result<Vec<ToyPixel>> {
+    if image.len() != 9 {
+        return Err(SegHdcError::InvalidConfig {
+            message: format!("the toy example is a 3x3 image; got {} pixels", image.len()),
+        });
+    }
+    // Fixed binary codes (as in the figure: short, hand-picked vectors).
+    let row_codes: [[u8; 3]; 3] = [[1, 0, 1], [1, 1, 1], [0, 1, 1]];
+    let col_codes: [[u8; 3]; 3] = [[0, 0, 0], [0, 1, 0], [1, 0, 1]];
+    let white_code: [u8; 3] = [0, 1, 1];
+    let black_code: [u8; 3] = [1, 0, 0];
+
+    let mut out = Vec::with_capacity(9);
+    for row in 0..3 {
+        for col in 0..3 {
+            let white = image[row * 3 + col];
+            let color = if white { white_code } else { black_code };
+            let mut coordinates = [0u8; 3];
+            for (i, coordinate) in coordinates.iter_mut().enumerate() {
+                let position = row_codes[row][i] ^ col_codes[col][i];
+                *coordinate = position + color[i];
+            }
+            out.push(ToyPixel {
+                row,
+                col,
+                white,
+                coordinates,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Euclidean distance between two toy-pixel coordinates.
+pub fn toy_distance(a: &ToyPixel, b: &ToyPixel) -> f64 {
+    a.coordinates
+        .iter()
+        .zip(&b.coordinates)
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure_image() -> [bool; 9] {
+        // White pixels form one group, black pixels the other (the specific
+        // pattern follows the spirit of Fig. 1 rather than its exact pixels,
+        // which the paper does not enumerate).
+        [true, true, false, true, true, false, false, false, true]
+    }
+
+    #[test]
+    fn wrong_sized_input_is_rejected() {
+        assert!(vectorize_toy_image(&[true; 4]).is_err());
+        assert!(vectorize_toy_image(&[true; 10]).is_err());
+    }
+
+    #[test]
+    fn produces_nine_pixels_with_coordinates_in_range() {
+        let pixels = vectorize_toy_image(&figure_image()).unwrap();
+        assert_eq!(pixels.len(), 9);
+        for p in &pixels {
+            assert!(p.coordinates.iter().all(|&c| c <= 2));
+        }
+    }
+
+    #[test]
+    fn same_color_pixels_are_on_average_closer_than_different_color_pixels() {
+        let pixels = vectorize_toy_image(&figure_image()).unwrap();
+        let mut same = Vec::new();
+        let mut different = Vec::new();
+        for i in 0..pixels.len() {
+            for j in (i + 1)..pixels.len() {
+                let d = toy_distance(&pixels[i], &pixels[j]);
+                if pixels[i].white == pixels[j].white {
+                    same.push(d);
+                } else {
+                    different.push(d);
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&same) < mean(&different),
+            "same {} vs different {}",
+            mean(&same),
+            mean(&different)
+        );
+    }
+
+    #[test]
+    fn distance_is_zero_only_for_identical_coordinates() {
+        let pixels = vectorize_toy_image(&figure_image()).unwrap();
+        assert_eq!(toy_distance(&pixels[0], &pixels[0]), 0.0);
+    }
+}

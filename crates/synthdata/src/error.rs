@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the synthetic dataset generators.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// A profile parameter is outside its valid domain.
+    InvalidProfile {
+        /// Description of the offending parameter.
+        message: String,
+    },
+    /// A sample index beyond the dataset length was requested.
+    SampleOutOfRange {
+        /// Requested index.
+        index: usize,
+        /// Number of samples in the dataset.
+        len: usize,
+    },
+    /// An underlying imaging operation failed.
+    Imaging(imaging::ImagingError),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::InvalidProfile { message } => write!(f, "invalid profile: {message}"),
+            SynthError::SampleOutOfRange { index, len } => {
+                write!(f, "sample index {index} out of range for dataset of {len} samples")
+            }
+            SynthError::Imaging(err) => write!(f, "imaging error: {err}"),
+        }
+    }
+}
+
+impl Error for SynthError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthError::Imaging(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<imaging::ImagingError> for SynthError {
+    fn from(err: imaging::ImagingError) -> Self {
+        SynthError::Imaging(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SynthError::SampleOutOfRange { index: 9, len: 3 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('3'));
+        let e = SynthError::InvalidProfile {
+            message: "zero nuclei".to_string(),
+        };
+        assert!(e.to_string().contains("zero nuclei"));
+    }
+
+    #[test]
+    fn imaging_errors_carry_a_source() {
+        let e = SynthError::from(imaging::ImagingError::EmptyImage);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<SynthError>();
+    }
+}

@@ -1,0 +1,53 @@
+//! Trains the Kim et al. CNN baseline on one synthetic image and prints the
+//! loss curve and the evolution of the number of self-labels — a look inside
+//! the method SegHDC is compared against.
+//!
+//! Run with: `cargo run --release --example baseline_training`
+
+use seghdc_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = DatasetProfile::dsb2018_like().scaled(64, 64);
+    let dataset = SyntheticDataset::new(profile, 5, 1)?;
+    let sample = dataset.sample(0)?;
+
+    let config = KimConfig {
+        feature_channels: 24,
+        max_iterations: 40,
+        ..KimConfig::tiny()
+    };
+    println!(
+        "training the unsupervised CNN baseline on {} ({}x{}x{})",
+        sample.name,
+        sample.image.width(),
+        sample.image.height(),
+        sample.image.channels()
+    );
+    println!(
+        "network: {} blocks, {} feature channels, lr {}, momentum {}\n",
+        config.conv_blocks, config.feature_channels, config.learning_rate, config.momentum
+    );
+
+    let start = std::time::Instant::now();
+    let outcome = KimSegmenter::new(config)?.segment(&sample.image)?;
+    let elapsed = start.elapsed();
+
+    println!("iteration  combined loss");
+    for (iteration, loss) in outcome.losses.iter().enumerate().step_by(5) {
+        println!("{:>9}  {loss:>13.4}", iteration + 1);
+    }
+    if let Some(last) = outcome.losses.last() {
+        println!("{:>9}  {last:>13.4}", outcome.iterations_run);
+    }
+
+    let iou = metrics::matched_binary_iou(&outcome.label_map, &sample.ground_truth.to_binary())?;
+    println!(
+        "\nfinished after {} iterations in {elapsed:.2?}; {} labels remain; IoU {iou:.4}",
+        outcome.iterations_run, outcome.final_label_count
+    );
+    println!(
+        "the network has {} parameters — compare with SegHDC, which trains nothing",
+        outcome.parameter_count
+    );
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Edge-latency estimation: uses the Raspberry Pi 4 cost model to compare
+//! SegHDC and the CNN baseline on the paper's two Table II image shapes,
+//! including the baseline's out-of-memory failure on the larger image.
+//!
+//! Run with: `cargo run --release --example edge_latency`
+
+use seghdc_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let pi = DeviceProfile::raspberry_pi_4();
+    println!("device: {} ({} cores @ {:.1} GHz, {:.1} GB usable)", pi.name, pi.cores, pi.clock_hz / 1e9, pi.usable_memory_bytes as f64 / 1e9);
+    println!();
+    println!(
+        "{:<34} {:>16} {:>18}",
+        "Workload", "peak memory", "est. latency"
+    );
+
+    let workloads = vec![
+        Workload::cnn_unsupervised(320, 256, 3, 100, 2, 1000),
+        Workload::seghdc(320, 256, 3, 800, 2, 3),
+        Workload::cnn_unsupervised(696, 520, 1, 100, 2, 1000),
+        Workload::seghdc(696, 520, 1, 2000, 2, 3),
+    ];
+    for workload in &workloads {
+        let memory = format!("{:.2} GB", workload.peak_memory_bytes as f64 / 1e9);
+        let latency = match pi.estimate(workload) {
+            Ok(estimate) => format!("{:.1} s", estimate.total().as_secs_f64()),
+            Err(edge_device::DeviceError::OutOfMemory { .. }) => "out of memory".to_string(),
+            Err(err) => return Err(err.into()),
+        };
+        println!("{:<34} {:>16} {:>18}", workload.name, memory, latency);
+    }
+
+    println!();
+    let cnn = &workloads[0];
+    let seghdc = &workloads[1];
+    println!(
+        "model speedup of SegHDC over the baseline on 256x320x3: {:.0}x (paper: 319.9x)",
+        pi.speedup(cnn, seghdc)?
+    );
+    println!("the baseline on 520x696x1 exceeds the Pi's memory, as in the paper's 'x*' entry");
+    Ok(())
+}

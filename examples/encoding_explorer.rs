@@ -1,0 +1,63 @@
+//! Encoding explorer: prints the Hamming-distance structure of the four
+//! position-encoding variants (Fig. 3) and of the Manhattan colour encoder,
+//! so the effect of `α`, `β` and the half-split construction can be seen
+//! directly.
+//!
+//! Run with: `cargo run --release --example encoding_explorer`
+
+use hdc::HdcRng;
+use seghdc::{ColorEncoder, ColorEncoding, PositionEncoder, PositionEncoding};
+
+fn show_position_variant(
+    title: &str,
+    encoding: PositionEncoding,
+    alpha: f64,
+    beta: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = HdcRng::seed_from(11);
+    let encoder = PositionEncoder::new(encoding, 8192, 6, 6, alpha, beta, &mut rng)?;
+    println!("{title}");
+    println!(
+        "  flip units: row {} bits, column {} bits",
+        encoder.row_flip_unit(),
+        encoder.col_flip_unit()
+    );
+    let grid = encoder.distance_grid(6)?;
+    for row in grid {
+        let cells: Vec<String> = row.iter().map(|d| format!("{d:>6}")).collect();
+        println!("  {}", cells.join(""));
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Hamming distance from position (0,0) to every position (i,j), d = 8192\n");
+    show_position_variant("uniform (shared flip sites)", PositionEncoding::Uniform, 1.0, 1)?;
+    show_position_variant("Manhattan (half-split flips)", PositionEncoding::Manhattan, 1.0, 1)?;
+    show_position_variant(
+        "decay Manhattan (alpha = 0.5)",
+        PositionEncoding::DecayManhattan,
+        0.5,
+        1,
+    )?;
+    show_position_variant(
+        "block decay Manhattan (alpha = 0.5, beta = 2)",
+        PositionEncoding::BlockDecayManhattan,
+        0.5,
+        2,
+    )?;
+    show_position_variant("random (RPos ablation)", PositionEncoding::Random, 1.0, 1)?;
+
+    println!("colour encoder distances (single channel, d = 4096):");
+    let mut rng = HdcRng::seed_from(12);
+    let colors = ColorEncoder::new(ColorEncoding::Manhattan, 4096, 1, 1, &mut rng)?;
+    println!("  flip unit uc = {} bits", colors.flip_unit());
+    for (a, b) in [(0u8, 16u8), (0, 64), (0, 128), (0, 255), (100, 110)] {
+        println!(
+            "  distance(value {a:>3}, value {b:>3}) = {:>5} bits",
+            colors.intensity_distance(a, b)?
+        );
+    }
+    Ok(())
+}

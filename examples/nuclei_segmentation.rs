@@ -1,0 +1,72 @@
+//! Nuclei segmentation across the three dataset profiles of the paper:
+//! runs SegHDC and the CNN baseline on a few synthetic images per profile
+//! and prints the mean IoU of each method — a miniature version of Table I.
+//!
+//! Run with: `cargo run --release --example nuclei_segmentation`
+
+use seghdc_suite::prelude::*;
+
+fn mean_iou<F>(
+    dataset: &SyntheticDataset,
+    samples: usize,
+    mut segment: F,
+) -> Result<f64, Box<dyn std::error::Error>>
+where
+    F: FnMut(&DynamicImage) -> Result<LabelMap, Box<dyn std::error::Error>>,
+{
+    let mut total = 0.0;
+    for index in 0..samples {
+        let sample = dataset.sample(index)?;
+        let prediction = segment(&sample.image)?;
+        total += metrics::matched_binary_iou(&prediction, &sample.ground_truth.to_binary())?;
+    }
+    Ok(total / samples as f64)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let samples = 2;
+    let profiles = [
+        (DatasetProfile::bbbc005_like().scaled(72, 72), 2usize),
+        (DatasetProfile::dsb2018_like().scaled(72, 72), 2),
+        (DatasetProfile::monuseg_like().scaled(72, 72), 3),
+    ];
+
+    println!(
+        "{:<16} {:>12} {:>12}",
+        "Dataset", "Baseline IoU", "SegHDC IoU"
+    );
+    for (profile, clusters) in profiles {
+        let dataset = SyntheticDataset::new(profile.clone(), 7, samples)?;
+
+        let baseline_config = KimConfig {
+            feature_channels: 24,
+            max_iterations: 30,
+            ..KimConfig::tiny()
+        };
+        let baseline_iou = mean_iou(&dataset, samples, |image| {
+            Ok(KimSegmenter::new(baseline_config.clone())?
+                .segment(image)?
+                .label_map)
+        })?;
+
+        let seghdc_config = SegHdcConfig::builder()
+            .dimension(2000)
+            .beta(6)
+            .clusters(clusters)
+            .iterations(5)
+            .build()?;
+        let seghdc_iou = mean_iou(&dataset, samples, |image| {
+            Ok(SegHdc::new(seghdc_config.clone())?.segment(image)?.label_map)
+        })?;
+
+        println!(
+            "{:<16} {:>12.4} {:>12.4}",
+            profile.name.trim_end_matches("-like"),
+            baseline_iou,
+            seghdc_iou
+        );
+    }
+    println!("\nFor the full Table I reproduction run:");
+    println!("  cargo run -p seghdc-bench --release --bin table1");
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! Cross-crate integration tests: synthetic data generation → SegHDC
+//! segmentation → metric scoring, exercising the whole stack the way the
+//! experiment harnesses do.
+
+use seghdc_suite::prelude::*;
+
+fn quick_config(clusters: usize) -> SegHdcConfig {
+    SegHdcConfig::builder()
+        .dimension(1500)
+        .beta(6)
+        .clusters(clusters)
+        .iterations(4)
+        .build()
+        .expect("parameters are valid")
+}
+
+#[test]
+fn seghdc_segments_synthetic_bbbc005_images_accurately() {
+    let dataset =
+        SyntheticDataset::new(DatasetProfile::bbbc005_like().scaled(72, 72), 31, 2).unwrap();
+    let pipeline = SegHdc::new(quick_config(2)).unwrap();
+    for sample in dataset.iter() {
+        let segmentation = pipeline.segment(&sample.image).unwrap();
+        let iou = metrics::matched_binary_iou(
+            &segmentation.label_map,
+            &sample.ground_truth.to_binary(),
+        )
+        .unwrap();
+        assert!(iou > 0.7, "{}: IoU {iou}", sample.name);
+    }
+}
+
+#[test]
+fn seghdc_beats_the_ablations_on_dsb2018_style_images() {
+    // The qualitative ordering of Table I: SegHDC > RColor and SegHDC > RPos.
+    let dataset =
+        SyntheticDataset::new(DatasetProfile::dsb2018_like().scaled(64, 64), 17, 2).unwrap();
+    let score = |config: SegHdcConfig| -> f64 {
+        let pipeline = SegHdc::new(config).unwrap();
+        let mut total = 0.0;
+        for sample in dataset.iter() {
+            let segmentation = pipeline.segment(&sample.image).unwrap();
+            total += metrics::matched_binary_iou(
+                &segmentation.label_map,
+                &sample.ground_truth.to_binary(),
+            )
+            .unwrap();
+        }
+        total / dataset.len() as f64
+    };
+    let seghdc = score(quick_config(2));
+    let rpos = score(SegHdcConfig {
+        position_encoding: PositionEncoding::Random,
+        ..quick_config(2)
+    });
+    let rcolor = score(SegHdcConfig {
+        color_encoding: ColorEncoding::Random,
+        ..quick_config(2)
+    });
+    assert!(seghdc > rpos, "SegHDC {seghdc} vs RPos {rpos}");
+    assert!(seghdc > rcolor, "SegHDC {seghdc} vs RColor {rcolor}");
+}
+
+#[test]
+fn seghdc_handles_grayscale_and_rgb_profiles_alike() {
+    for profile in [
+        DatasetProfile::bbbc005_like().scaled(48, 48), // 1 channel
+        DatasetProfile::monuseg_like().scaled(48, 48), // 3 channels
+    ] {
+        let clusters = if profile.name.starts_with("MoNuSeg") { 3 } else { 2 };
+        let dataset = SyntheticDataset::new(profile, 3, 1).unwrap();
+        let sample = dataset.sample(0).unwrap();
+        let segmentation = SegHdc::new(quick_config(clusters))
+            .unwrap()
+            .segment(&sample.image)
+            .unwrap();
+        assert_eq!(segmentation.label_map.pixel_count(), 48 * 48);
+        assert!(segmentation.label_map.distinct_labels() <= clusters);
+    }
+}
+
+#[test]
+fn segmentation_results_are_reproducible_across_pipeline_instances() {
+    let dataset =
+        SyntheticDataset::new(DatasetProfile::dsb2018_like().scaled(56, 56), 77, 1).unwrap();
+    let sample = dataset.sample(0).unwrap();
+    let a = SegHdc::new(quick_config(2)).unwrap().segment(&sample.image).unwrap();
+    let b = SegHdc::new(quick_config(2)).unwrap().segment(&sample.image).unwrap();
+    assert_eq!(a.label_map, b.label_map);
+    assert_eq!(a.cluster_sizes, b.cluster_sizes);
+}
+
+#[test]
+fn predicted_masks_roundtrip_through_pnm_files() {
+    let dataset =
+        SyntheticDataset::new(DatasetProfile::bbbc005_like().scaled(40, 40), 5, 1).unwrap();
+    let sample = dataset.sample(0).unwrap();
+    let segmentation = SegHdc::new(quick_config(2)).unwrap().segment(&sample.image).unwrap();
+    let visualization = segmentation.label_map.to_gray_visualization();
+
+    let mut buffer = Vec::new();
+    imaging::pnm::write_pgm(&visualization, &mut buffer).unwrap();
+    let reloaded = imaging::pnm::read_pgm(buffer.as_slice()).unwrap();
+    assert_eq!(reloaded, visualization);
+}
