@@ -236,7 +236,10 @@ mod tests {
     fn early_stop_respects_min_labels() {
         let (image, _) = two_region_image(12, 12);
         let mut config = KimConfig::tiny();
-        config.min_labels = 16; // every run starts below this, so stop at once
+        // One more than the number of feature channels: the distinct label
+        // count can never reach it, so training stops after one iteration
+        // regardless of the random initialisation.
+        config.min_labels = config.feature_channels + 1;
         let outcome = KimSegmenter::new(config).unwrap().segment(&image).unwrap();
         assert_eq!(outcome.iterations_run, 1);
     }
@@ -245,7 +248,10 @@ mod tests {
     fn rgb_images_are_supported() {
         let (gray, _) = two_region_image(10, 10);
         let rgb = DynamicImage::Rgb(gray.to_rgb());
-        let outcome = KimSegmenter::new(KimConfig::tiny()).unwrap().segment(&rgb).unwrap();
+        let outcome = KimSegmenter::new(KimConfig::tiny())
+            .unwrap()
+            .segment(&rgb)
+            .unwrap();
         assert_eq!(outcome.label_map.pixel_count(), 100);
         assert!(outcome.parameter_count > 0);
     }
@@ -253,8 +259,14 @@ mod tests {
     #[test]
     fn same_seed_gives_identical_segmentations() {
         let (image, _) = two_region_image(12, 8);
-        let a = KimSegmenter::new(KimConfig::tiny()).unwrap().segment(&image).unwrap();
-        let b = KimSegmenter::new(KimConfig::tiny()).unwrap().segment(&image).unwrap();
+        let a = KimSegmenter::new(KimConfig::tiny())
+            .unwrap()
+            .segment(&image)
+            .unwrap();
+        let b = KimSegmenter::new(KimConfig::tiny())
+            .unwrap()
+            .segment(&image)
+            .unwrap();
         assert_eq!(a.label_map, b.label_map);
         let c = KimSegmenter::new(KimConfig::tiny().with_seed(7))
             .unwrap()

@@ -53,8 +53,7 @@ fn bench_by_channel_count(c: &mut Criterion) {
             BenchmarkId::from_parameter(channels),
             &channels,
             |bencher, &channels| {
-                let segmenter =
-                    KimSegmenter::new(short_config(channels)).expect("config is valid");
+                let segmenter = KimSegmenter::new(short_config(channels)).expect("config is valid");
                 bencher.iter(|| black_box(segmenter.segment(&image).unwrap()))
             },
         );

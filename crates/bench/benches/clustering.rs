@@ -3,13 +3,13 @@
 //! called out in DESIGN.md.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hdc::BinaryHypervector;
+use hdc::HvMatrix;
 use imaging::DynamicImage;
 use seghdc::{DistanceMetric, HvKmeans, SegHdc, SegHdcConfig};
 use std::hint::black_box;
 use synthdata::{DatasetProfile, NucleiImageGenerator};
 
-fn encoded_pixels(dim: usize) -> (Vec<BinaryHypervector>, Vec<u8>) {
+fn encoded_pixels(dim: usize) -> (HvMatrix, Vec<u8>) {
     let profile = DatasetProfile::dsb2018_like().scaled(48, 48);
     let sample = NucleiImageGenerator::new(profile, 5)
         .expect("profile is valid")
@@ -26,14 +26,14 @@ fn encoded_pixels(dim: usize) -> (Vec<BinaryHypervector>, Vec<u8>) {
     let encoder = pipeline
         .build_encoder(image.width(), image.height(), image.channels())
         .expect("encoder builds");
-    let hvs = encoder.encode_image(&image).expect("encoding succeeds");
+    let matrix = encoder.encode_matrix(&image).expect("encoding succeeds");
     let mut intensities = Vec::with_capacity(image.pixel_count());
     for y in 0..image.height() {
         for x in 0..image.width() {
             intensities.push(image.intensity_at(x, y).expect("in bounds"));
         }
     }
-    (hvs, intensities)
+    (matrix, intensities)
 }
 
 fn bench_iteration_count(c: &mut Criterion) {
@@ -47,7 +47,7 @@ fn bench_iteration_count(c: &mut Criterion) {
             |bencher, &iterations| {
                 let kmeans = HvKmeans::new(2, iterations, DistanceMetric::Cosine, false)
                     .expect("parameters are valid");
-                bencher.iter(|| black_box(kmeans.cluster(&pixels, &intensities).unwrap()))
+                bencher.iter(|| black_box(kmeans.cluster_matrix(&pixels, &intensities).unwrap()))
             },
         );
     }
@@ -63,9 +63,8 @@ fn bench_distance_metric(c: &mut Criterion) {
         ("hamming", DistanceMetric::Hamming),
     ] {
         group.bench_function(name, |bencher| {
-            let kmeans =
-                HvKmeans::new(2, 3, metric, false).expect("parameters are valid");
-            bencher.iter(|| black_box(kmeans.cluster(&pixels, &intensities).unwrap()))
+            let kmeans = HvKmeans::new(2, 3, metric, false).expect("parameters are valid");
+            bencher.iter(|| black_box(kmeans.cluster_matrix(&pixels, &intensities).unwrap()))
         });
     }
     group.finish();
@@ -82,7 +81,7 @@ fn bench_cluster_count(c: &mut Criterion) {
             |bencher, &clusters| {
                 let kmeans = HvKmeans::new(clusters, 3, DistanceMetric::Cosine, false)
                     .expect("parameters are valid");
-                bencher.iter(|| black_box(kmeans.cluster(&pixels, &intensities).unwrap()))
+                bencher.iter(|| black_box(kmeans.cluster_matrix(&pixels, &intensities).unwrap()))
             },
         );
     }

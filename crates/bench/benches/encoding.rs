@@ -29,7 +29,7 @@ fn config(dimension: usize, encoding: PositionEncoding) -> SegHdcConfig {
 }
 
 fn bench_encode_by_dimension(c: &mut Criterion) {
-    let mut group = c.benchmark_group("encode_image_by_dimension");
+    let mut group = c.benchmark_group("encode_matrix_by_dimension");
     group.sample_size(10);
     let image = sample_image(64, 64);
     for &dim in &[200usize, 400, 800] {
@@ -39,14 +39,14 @@ fn bench_encode_by_dimension(c: &mut Criterion) {
             let encoder = pipeline
                 .build_encoder(image.width(), image.height(), image.channels())
                 .expect("encoder builds");
-            bencher.iter(|| black_box(encoder.encode_image(&image).unwrap()))
+            bencher.iter(|| black_box(encoder.encode_matrix(&image).unwrap()))
         });
     }
     group.finish();
 }
 
 fn bench_encode_by_variant(c: &mut Criterion) {
-    let mut group = c.benchmark_group("encode_image_by_position_variant");
+    let mut group = c.benchmark_group("encode_matrix_by_position_variant");
     group.sample_size(10);
     let image = sample_image(64, 64);
     let variants = [
@@ -61,7 +61,7 @@ fn bench_encode_by_variant(c: &mut Criterion) {
             let encoder = pipeline
                 .build_encoder(image.width(), image.height(), image.channels())
                 .expect("encoder builds");
-            bencher.iter(|| black_box(encoder.encode_image(&image).unwrap()))
+            bencher.iter(|| black_box(encoder.encode_matrix(&image).unwrap()))
         });
     }
     group.finish();

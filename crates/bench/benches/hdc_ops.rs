@@ -39,11 +39,7 @@ fn bench_packed_vs_bytewise(c: &mut Criterion) {
     });
     group.bench_function("hamming_byte_per_element", |bencher| {
         bencher.iter(|| {
-            let d: usize = a_bytes
-                .iter()
-                .zip(&b_bytes)
-                .filter(|(x, y)| x != y)
-                .count();
+            let d: usize = a_bytes.iter().zip(&b_bytes).filter(|(x, y)| x != y).count();
             black_box(d)
         })
     });
@@ -55,8 +51,9 @@ fn bench_accumulator(c: &mut Criterion) {
     group.sample_size(20);
     let dim = 2000usize;
     let mut rng = HdcRng::seed_from(3);
-    let hvs: Vec<BinaryHypervector> =
-        (0..64).map(|_| BinaryHypervector::random(dim, &mut rng)).collect();
+    let hvs: Vec<BinaryHypervector> = (0..64)
+        .map(|_| BinaryHypervector::random(dim, &mut rng))
+        .collect();
     group.bench_function("bundle_64_vectors", |bencher| {
         bencher.iter(|| {
             let mut acc = Accumulator::zeros(dim).unwrap();
@@ -76,5 +73,10 @@ fn bench_accumulator(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_xor_and_hamming, bench_packed_vs_bytewise, bench_accumulator);
+criterion_group!(
+    benches,
+    bench_xor_and_hamming,
+    bench_packed_vs_bytewise,
+    bench_accumulator
+);
 criterion_main!(benches);

@@ -23,16 +23,20 @@ fn bench_beta(c: &mut Criterion) {
     group.sample_size(10);
     let image = sample_image();
     for &beta in &[1usize, 8, 26] {
-        group.bench_with_input(BenchmarkId::from_parameter(beta), &beta, |bencher, &beta| {
-            let config = SegHdcConfig::builder()
-                .dimension(800)
-                .beta(beta)
-                .iterations(3)
-                .build()
-                .expect("parameters are valid");
-            let pipeline = SegHdc::new(config).expect("pipeline builds");
-            bencher.iter(|| black_box(pipeline.segment(&image).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(beta),
+            &beta,
+            |bencher, &beta| {
+                let config = SegHdcConfig::builder()
+                    .dimension(800)
+                    .beta(beta)
+                    .iterations(3)
+                    .build()
+                    .expect("parameters are valid");
+                let pipeline = SegHdc::new(config).expect("pipeline builds");
+                bencher.iter(|| black_box(pipeline.segment(&image).unwrap()))
+            },
+        );
     }
     group.finish();
 }

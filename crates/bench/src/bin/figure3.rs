@@ -8,10 +8,7 @@ use hdc::HdcRng;
 use seghdc::{PositionEncoder, PositionEncoding};
 
 fn print_grid(title: &str, encoder: &PositionEncoder, size: usize) {
-    let unit = encoder
-        .row_flip_unit()
-        .max(encoder.col_flip_unit())
-        .max(1);
+    let unit = encoder.row_flip_unit().max(encoder.col_flip_unit()).max(1);
     println!("{title} (flip unit x = {unit} bits)");
     let grid = encoder
         .distance_grid(size)
@@ -33,8 +30,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("in multiples of the flip unit x; alpha = 0.5, beta = 2, d = {dimension}\n");
 
     let variants = [
-        ("(a) row/column uniform encoding", PositionEncoding::Uniform, 1.0, 1),
-        ("(b) Manhattan distance encoding", PositionEncoding::Manhattan, 1.0, 1),
+        (
+            "(a) row/column uniform encoding",
+            PositionEncoding::Uniform,
+            1.0,
+            1,
+        ),
+        (
+            "(b) Manhattan distance encoding",
+            PositionEncoding::Manhattan,
+            1.0,
+            1,
+        ),
         (
             "(c) decay Manhattan distance encoding (alpha = 0.5)",
             PositionEncoding::DecayManhattan,
@@ -50,8 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     for (title, encoding, alpha, beta) in variants {
         let mut rng = HdcRng::seed_from(2023);
-        let encoder =
-            PositionEncoder::new(encoding, dimension, grid, grid, alpha, beta, &mut rng)?;
+        let encoder = PositionEncoder::new(encoding, dimension, grid, grid, alpha, beta, &mut rng)?;
         print_grid(title, &encoder, grid);
     }
     println!("paper: (a) shows collapsing diagonal distances, (b) distances equal to");

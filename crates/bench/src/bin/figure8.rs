@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!("Fig. 8 reproduction: prediction masks over the first 4 iterations");
-    println!("scale: {scale:?}; masks written to {}\n", output_dir.display());
+    println!(
+        "scale: {scale:?}; masks written to {}\n",
+        output_dir.display()
+    );
     println!("{:>10} {:>10}", "iteration", "IoU");
 
     let segmentation = SegHdc::new(config)?.segment(&sample.image)?;

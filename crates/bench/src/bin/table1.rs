@@ -27,13 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let seghdc_config = seghdc_config_for(&profile, scale);
         let mut scores = Vec::new();
         for method in Method::all() {
-            let iou = mean_iou_over_dataset(
-                method,
-                &dataset,
-                samples,
-                &seghdc_config,
-                &baseline_config,
-            )?;
+            let iou =
+                mean_iou_over_dataset(method, &dataset, samples, &seghdc_config, &baseline_config)?;
             scores.push(iou);
         }
         let improvement = (scores[3] - scores[0]) * 100.0;

@@ -66,8 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // --- CNN baseline: analytical estimate at the paper's reference
         // configuration (100 channels, 1000 iterations).
-        let cnn_workload =
-            Workload::cnn_unsupervised(width, height, channels, 100, 2, 1000);
+        let cnn_workload = Workload::cnn_unsupervised(width, height, channels, 100, 2, 1000);
         let baseline_cell = match pi.estimate(&cnn_workload) {
             Ok(estimate) => format!("{:.1}s", estimate.total().as_secs_f64()),
             Err(edge_device::DeviceError::OutOfMemory { .. }) => "x* (OOM)".to_string(),
@@ -94,10 +93,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             config.beta = (config.beta * width / 320).max(1);
         }
         let segmentation = SegHdc::new(config)?.segment(&sample.image)?;
-        let iou = metrics::matched_binary_iou(
-            &segmentation.label_map,
-            &sample.ground_truth.to_binary(),
-        )?;
+        let iou =
+            metrics::matched_binary_iou(&segmentation.label_map, &sample.ground_truth.to_binary())?;
         let host_latency = segmentation.total_time();
         let pi_latency = pi.scale_measurement(&host, host_latency);
         let speedup = match pi.estimate(&cnn_workload) {

@@ -144,7 +144,11 @@ pub fn evaluate_method(
                 .segment(image)?
                 .label_map
         }
-        Method::SegHdc => SegHdc::new(seghdc_config.clone())?.segment(image)?.label_map,
+        Method::SegHdc => {
+            SegHdc::new(seghdc_config.clone())?
+                .segment(image)?
+                .label_map
+        }
         Method::RandomPosition => {
             let config = SegHdcConfig {
                 position_encoding: PositionEncoding::Random,
@@ -251,7 +255,10 @@ mod tests {
         )
         .unwrap();
         assert!((0.0..=1.0).contains(&iou));
-        assert!(iou > 0.5, "SegHDC should segment the easy profile well: {iou}");
+        assert!(
+            iou > 0.5,
+            "SegHDC should segment the easy profile well: {iou}"
+        );
     }
 
     #[test]
@@ -261,14 +268,8 @@ mod tests {
         let mut config = seghdc_config_for(&profile, Scale::Quick);
         config.dimension = 800;
         config.iterations = 2;
-        let mean = mean_iou_over_dataset(
-            Method::SegHdc,
-            &dataset,
-            2,
-            &config,
-            &KimConfig::tiny(),
-        )
-        .unwrap();
+        let mean = mean_iou_over_dataset(Method::SegHdc, &dataset, 2, &config, &KimConfig::tiny())
+            .unwrap();
         assert!((0.0..=1.0).contains(&mean));
     }
 

@@ -58,7 +58,9 @@ impl Workload {
 
         // Peak memory (bytes, f32 everywhere).
         let weights = 4.0
-            * (9.0 * c_in * f + 9.0 * f * f * (conv_blocks.saturating_sub(1)) as f64 + f * f
+            * (9.0 * c_in * f
+                + 9.0 * f * f * (conv_blocks.saturating_sub(1)) as f64
+                + f * f
                 + 4.0 * f * (conv_blocks + 1) as f64);
         let weight_copies = 3.0 * weights; // parameters + gradients + momentum
         let activations = 4.0 * pixels * (c_in + f * (3 * conv_blocks + 2) as f64);

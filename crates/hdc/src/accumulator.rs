@@ -1,4 +1,4 @@
-use crate::{BinaryHypervector, HdcError, Result};
+use crate::{BinaryHypervector, HdcError, HvRow, Result};
 
 /// An integer "bundled" hypervector: the element-wise sum of binary
 /// hypervectors.
@@ -98,6 +98,27 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Adds one [`crate::HvMatrix`] row element-wise, without materialising
+    /// a [`BinaryHypervector`] — the allocation-free bundling step of the
+    /// batched clusterer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn add_row(&mut self, row: HvRow<'_>) -> Result<()> {
+        if row.dim() != self.dim() {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim(),
+                right: row.dim(),
+            });
+        }
+        for idx in row.iter_ones() {
+            self.counts[idx] += 1;
+        }
+        self.items += 1;
+        Ok(())
+    }
+
     /// Merges another accumulator into this one.
     ///
     /// # Errors
@@ -132,6 +153,22 @@ impl Accumulator {
         Ok(hv.iter_ones().map(|i| u64::from(self.counts[i])).sum())
     }
 
+    /// Dot product with a matrix row (sum of counts at set bits), without
+    /// materialising a [`BinaryHypervector`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn dot_row(&self, row: HvRow<'_>) -> Result<u64> {
+        if row.dim() != self.dim() {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim(),
+                right: row.dim(),
+            });
+        }
+        Ok(row.iter_ones().map(|i| u64::from(self.counts[i])).sum())
+    }
+
     /// Euclidean norm of the integer count vector.
     pub fn norm(&self) -> f64 {
         self.counts
@@ -150,13 +187,7 @@ impl Accumulator {
     ///
     /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
     pub fn cosine_similarity(&self, hv: &BinaryHypervector) -> Result<f64> {
-        let dot = self.dot(hv)? as f64;
-        let n_acc = self.norm();
-        let n_hv = (hv.count_ones() as f64).sqrt();
-        if n_acc == 0.0 || n_hv == 0.0 {
-            return Ok(0.0);
-        }
-        Ok(dot / (n_acc * n_hv))
+        Ok(cosine_of(self.dot(hv)?, self.norm(), hv.count_ones()))
     }
 
     /// Cosine distance (`1 - cosine_similarity`), the clustering metric used
@@ -167,6 +198,41 @@ impl Accumulator {
     /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
     pub fn cosine_distance(&self, hv: &BinaryHypervector) -> Result<f64> {
         Ok(1.0 - self.cosine_similarity(hv)?)
+    }
+
+    /// Cosine similarity against a matrix row.
+    ///
+    /// The arithmetic mirrors [`cosine_similarity`](Self::cosine_similarity)
+    /// operation for operation, so the batched clusterer produces
+    /// bit-identical distances to the single-vector path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn cosine_similarity_row(&self, row: HvRow<'_>) -> Result<f64> {
+        Ok(cosine_of(self.dot_row(row)?, self.norm(), row.count_ones()))
+    }
+
+    /// Cosine distance (`1 - cosine_similarity_row`) against a matrix row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn cosine_distance_row(&self, row: HvRow<'_>) -> Result<f64> {
+        Ok(1.0 - self.cosine_similarity_row(row)?)
+    }
+
+    /// Snapshots the accumulator into a bit-sliced form for fast repeated
+    /// dot products against matrix rows.
+    ///
+    /// The batched clusterer computes one dot product per pixel per
+    /// centroid per iteration; [`BitSlicedCounts`] turns each of those from
+    /// a per-set-bit counter walk into a handful of word-wide
+    /// `AND` + `popcount` passes. The dot products are exact (integers),
+    /// so distances derived from the snapshot are bit-identical to
+    /// [`cosine_distance`](Self::cosine_distance).
+    pub fn to_bit_sliced(&self) -> BitSlicedCounts {
+        BitSlicedCounts::from_accumulator(self)
     }
 
     /// Thresholds the accumulator back into a binary hypervector with the
@@ -184,6 +250,137 @@ impl Accumulator {
         let bits: Vec<bool> = self.counts.iter().map(|&c| 2 * c > threshold).collect();
         BinaryHypervector::from_bits(&bits)
     }
+}
+
+/// A bit-sliced snapshot of an [`Accumulator`], optimised for computing
+/// many dot products against [`HvRow`]s.
+///
+/// The integer count vector is transposed into binary *planes*: plane `p`
+/// is a packed bit vector whose bit `i` is bit `p` of `counts[i]`. A dot
+/// product with a binary row then decomposes as
+/// `Σ_p 2^p · popcount(row AND plane_p)` — word-wide operations instead of
+/// a per-set-bit counter walk. With `n` accumulated vectors there are at
+/// most `⌈log2(n + 1)⌉` planes.
+///
+/// The snapshot also caches the Euclidean norm, which the cosine metric
+/// needs once per centroid rather than once per pixel. Dot products are
+/// exact, so [`cosine_distance_row`](Self::cosine_distance_row) returns
+/// bit-identical values to [`Accumulator::cosine_distance`].
+#[derive(Debug, Clone)]
+pub struct BitSlicedCounts {
+    dim: usize,
+    words_per_plane: usize,
+    /// Plane-major packed bits: `planes[p * words_per_plane + w]`.
+    planes: Vec<u64>,
+    norm: f64,
+    items: usize,
+}
+
+impl BitSlicedCounts {
+    fn from_accumulator(accumulator: &Accumulator) -> Self {
+        let dim = accumulator.dim();
+        let words_per_plane = dim.div_ceil(64);
+        let max_count = accumulator.counts.iter().copied().max().unwrap_or(0);
+        let plane_count = (32 - max_count.leading_zeros()) as usize;
+        let mut planes = vec![0u64; plane_count * words_per_plane];
+        for (index, &count) in accumulator.counts.iter().enumerate() {
+            let mut remaining = count;
+            while remaining != 0 {
+                let plane = remaining.trailing_zeros() as usize;
+                planes[plane * words_per_plane + index / 64] |= 1u64 << (index % 64);
+                remaining &= remaining - 1;
+            }
+        }
+        Self {
+            dim,
+            words_per_plane,
+            planes,
+            norm: accumulator.norm(),
+            items: accumulator.items(),
+        }
+    }
+
+    /// The hypervector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of binary planes (`⌈log2(max_count + 1)⌉`).
+    pub fn plane_count(&self) -> usize {
+        self.planes
+            .len()
+            .checked_div(self.words_per_plane)
+            .unwrap_or(0)
+    }
+
+    /// Number of vectors that were accumulated when the snapshot was taken.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// The cached Euclidean norm of the snapshotted count vector.
+    pub fn norm(&self) -> f64 {
+        self.norm
+    }
+
+    /// Exact dot product with a matrix row (sum of counts at set bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn dot_row(&self, row: HvRow<'_>) -> Result<u64> {
+        if row.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim,
+                right: row.dim(),
+            });
+        }
+        let row_words = row.as_words();
+        let mut total = 0u64;
+        for (plane_index, plane) in self.planes.chunks_exact(self.words_per_plane).enumerate() {
+            let mut ones = 0u64;
+            for (p, r) in plane.iter().zip(row_words) {
+                ones += u64::from((p & r).count_ones());
+            }
+            total += ones << plane_index;
+        }
+        Ok(total)
+    }
+
+    /// Cosine similarity against a matrix row, arithmetically identical to
+    /// [`Accumulator::cosine_similarity`] (same dot product, same cached
+    /// norm value, same operation order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn cosine_similarity_row(&self, row: HvRow<'_>) -> Result<f64> {
+        Ok(cosine_of(self.dot_row(row)?, self.norm, row.count_ones()))
+    }
+
+    /// Cosine distance (`1 - cosine_similarity_row`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn cosine_distance_row(&self, row: HvRow<'_>) -> Result<f64> {
+        Ok(1.0 - self.cosine_similarity_row(row)?)
+    }
+}
+
+/// The single definition of Eq. 7's cosine similarity between an integer
+/// bundle (given as exact `dot` and Euclidean norm) and a binary vector
+/// with `ones` set bits. Every cosine entry point — `Accumulator` against
+/// vectors or rows, and `BitSlicedCounts` against rows — funnels through
+/// here, which is what makes their results bit-identical by construction.
+/// Zero vectors have zero similarity with everything by convention.
+fn cosine_of(dot: u64, bundle_norm: f64, ones: usize) -> f64 {
+    let dot = dot as f64;
+    let n_hv = (ones as f64).sqrt();
+    if bundle_norm == 0.0 || n_hv == 0.0 {
+        return 0.0;
+    }
+    dot / (bundle_norm * n_hv)
 }
 
 #[cfg(test)]
@@ -239,8 +436,9 @@ mod tests {
         // similarity — the property the paper uses to justify skipping
         // centroid normalisation.
         let mut rng = HdcRng::seed_from(3);
-        let members: Vec<BinaryHypervector> =
-            (0..5).map(|_| BinaryHypervector::random(1024, &mut rng)).collect();
+        let members: Vec<BinaryHypervector> = (0..5)
+            .map(|_| BinaryHypervector::random(1024, &mut rng))
+            .collect();
         let probe = BinaryHypervector::random(1024, &mut rng);
         let mut once = Accumulator::zeros(1024).unwrap();
         let mut twice = Accumulator::zeros(1024).unwrap();
@@ -257,8 +455,9 @@ mod tests {
     #[test]
     fn merge_equals_sequential_adds() {
         let mut rng = HdcRng::seed_from(4);
-        let hvs: Vec<BinaryHypervector> =
-            (0..6).map(|_| BinaryHypervector::random(256, &mut rng)).collect();
+        let hvs: Vec<BinaryHypervector> = (0..6)
+            .map(|_| BinaryHypervector::random(256, &mut rng))
+            .collect();
         let mut all = Accumulator::zeros(256).unwrap();
         for hv in &hvs {
             all.add(hv).unwrap();
@@ -300,6 +499,102 @@ mod tests {
         acc.clear();
         assert_eq!(acc.items(), 0);
         assert!(acc.counts().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn row_operations_match_vector_operations() {
+        let mut rng = HdcRng::seed_from(6);
+        let members: Vec<BinaryHypervector> = (0..4)
+            .map(|_| BinaryHypervector::random(500, &mut rng))
+            .collect();
+        let probe = BinaryHypervector::random(500, &mut rng);
+        let matrix = crate::HvMatrix::from_vectors(&members).unwrap();
+        let probe_matrix = crate::HvMatrix::from_vectors(std::slice::from_ref(&probe)).unwrap();
+
+        let mut by_vector = Accumulator::zeros(500).unwrap();
+        let mut by_row = Accumulator::zeros(500).unwrap();
+        for (i, m) in members.iter().enumerate() {
+            by_vector.add(m).unwrap();
+            by_row.add_row(matrix.row(i)).unwrap();
+        }
+        assert_eq!(by_vector, by_row);
+        assert_eq!(
+            by_vector.dot(&probe).unwrap(),
+            by_row.dot_row(probe_matrix.row(0)).unwrap()
+        );
+        // Bit-identical floats, not approximate equality: the batched
+        // clusterer depends on it.
+        assert_eq!(
+            by_vector.cosine_similarity(&probe).unwrap().to_bits(),
+            by_row
+                .cosine_similarity_row(probe_matrix.row(0))
+                .unwrap()
+                .to_bits()
+        );
+        assert_eq!(
+            by_vector.cosine_distance(&probe).unwrap().to_bits(),
+            by_row
+                .cosine_distance_row(probe_matrix.row(0))
+                .unwrap()
+                .to_bits()
+        );
+    }
+
+    #[test]
+    fn bit_sliced_dot_and_cosine_match_the_accumulator_exactly() {
+        let mut rng = HdcRng::seed_from(13);
+        for dim in [70usize, 256, 1000] {
+            let members: Vec<BinaryHypervector> = (0..9)
+                .map(|_| BinaryHypervector::random(dim, &mut rng))
+                .collect();
+            let mut acc = Accumulator::zeros(dim).unwrap();
+            for m in &members {
+                acc.add(m).unwrap();
+            }
+            let sliced = acc.to_bit_sliced();
+            assert_eq!(sliced.dim(), dim);
+            assert_eq!(sliced.items(), 9);
+            assert_eq!(sliced.norm().to_bits(), acc.norm().to_bits());
+            // Exactly enough planes for the largest count present.
+            let max_count = acc.counts().iter().copied().max().unwrap();
+            assert_eq!(
+                sliced.plane_count(),
+                (32 - max_count.leading_zeros()) as usize
+            );
+            assert!(sliced.plane_count() <= 4); // counts are in 0..=9
+
+            let probes = crate::HvMatrix::from_vectors(&members).unwrap();
+            for (i, member) in members.iter().enumerate() {
+                let row = probes.row(i);
+                assert_eq!(sliced.dot_row(row).unwrap(), acc.dot(member).unwrap());
+                assert_eq!(
+                    sliced.cosine_distance_row(row).unwrap().to_bits(),
+                    acc.cosine_distance(member).unwrap().to_bits(),
+                    "dim {dim}, member {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bit_sliced_empty_accumulator_has_no_planes_and_zero_similarity() {
+        let acc = Accumulator::zeros(64).unwrap();
+        let sliced = acc.to_bit_sliced();
+        assert_eq!(sliced.plane_count(), 0);
+        let probe = crate::HvMatrix::from_vectors(&[BinaryHypervector::ones(64).unwrap()]).unwrap();
+        assert_eq!(sliced.dot_row(probe.row(0)).unwrap(), 0);
+        assert_eq!(sliced.cosine_similarity_row(probe.row(0)).unwrap(), 0.0);
+        let wrong = crate::HvMatrix::zeros(1, 128).unwrap();
+        assert!(sliced.dot_row(wrong.row(0)).is_err());
+    }
+
+    #[test]
+    fn row_dimension_mismatch_detected() {
+        let mut acc = Accumulator::zeros(4).unwrap();
+        let matrix = crate::HvMatrix::zeros(1, 8).unwrap();
+        assert!(acc.add_row(matrix.row(0)).is_err());
+        assert!(acc.dot_row(matrix.row(0)).is_err());
+        assert!(acc.cosine_similarity_row(matrix.row(0)).is_err());
     }
 
     #[test]

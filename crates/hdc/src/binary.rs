@@ -100,10 +100,37 @@ impl BinaryHypervector {
         assert!(dim > 0, "dimension must be non-zero");
         let mut hv = Self {
             dim,
-            words: (0..Self::word_count(dim)).map(|_| rng.next_word()).collect(),
+            words: (0..Self::word_count(dim))
+                .map(|_| rng.next_word())
+                .collect(),
         };
         hv.mask_tail();
         hv
+    }
+
+    /// Builds a hypervector of dimension `dim` from packed 64-bit words
+    /// (64 bits per word, least-significant bit first) — the inverse of
+    /// [`as_words`](Self::as_words). Bits beyond `dim` in the final word are
+    /// cleared.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ZeroDimension`] if `dim == 0` and
+    /// [`HdcError::DimensionMismatch`] if `words` does not hold exactly
+    /// `dim.div_ceil(64)` words.
+    pub fn from_words(dim: usize, words: Vec<u64>) -> Result<Self> {
+        if dim == 0 {
+            return Err(HdcError::ZeroDimension);
+        }
+        if words.len() != Self::word_count(dim) {
+            return Err(HdcError::DimensionMismatch {
+                left: Self::word_count(dim) * 64,
+                right: words.len() * 64,
+            });
+        }
+        let mut hv = Self { dim, words };
+        hv.mask_tail();
+        Ok(hv)
     }
 
     /// Builds a hypervector from a slice of booleans (one per bit).
@@ -193,12 +220,10 @@ impl BinaryHypervector {
     ///
     /// Returns [`HdcError::IndexOutOfBounds`] if `start + len > dim`.
     pub fn flip_range(&mut self, start: usize, len: usize) -> Result<()> {
-        let end = start
-            .checked_add(len)
-            .ok_or(HdcError::IndexOutOfBounds {
-                index: usize::MAX,
-                dim: self.dim,
-            })?;
+        let end = start.checked_add(len).ok_or(HdcError::IndexOutOfBounds {
+            index: usize::MAX,
+            dim: self.dim,
+        })?;
         if end > self.dim {
             return Err(HdcError::IndexOutOfBounds {
                 index: end,
@@ -459,10 +484,20 @@ mod tests {
     #[test]
     fn flip_range_adds_exact_hamming_distance() {
         let base = BinaryHypervector::random(10_000, &mut rng());
-        for (start, len) in [(0usize, 37usize), (63, 2), (64, 64), (100, 431), (9_000, 1_000)] {
+        for (start, len) in [
+            (0usize, 37usize),
+            (63, 2),
+            (64, 64),
+            (100, 431),
+            (9_000, 1_000),
+        ] {
             let mut flipped = base.clone();
             flipped.flip_range(start, len).unwrap();
-            assert_eq!(base.hamming(&flipped).unwrap(), len, "start={start} len={len}");
+            assert_eq!(
+                base.hamming(&flipped).unwrap(),
+                len,
+                "start={start} len={len}"
+            );
         }
     }
 
@@ -514,7 +549,10 @@ mod tests {
         let b = BinaryHypervector::zeros(65).unwrap();
         assert!(matches!(
             a.hamming(&b),
-            Err(HdcError::DimensionMismatch { left: 64, right: 65 })
+            Err(HdcError::DimensionMismatch {
+                left: 64,
+                right: 65
+            })
         ));
         assert!(a.xor(&b).is_err());
         assert!(a.and(&b).is_err());

@@ -6,9 +6,14 @@
 //! * [`BinaryHypervector`] — a densely packed (64 bits per word) binary
 //!   hypervector with XOR binding, bit flipping, Hamming/cosine similarity
 //!   and deterministic random generation.
+//! * [`HvMatrix`] — a batch of packed hypervectors in one contiguous
+//!   structure-of-arrays buffer, accessed through the [`HvRow`] /
+//!   [`HvRowMut`] views. This is the allocation-free storage the SegHDC
+//!   hot path (batch encoding and clustering) runs on; rows round-trip
+//!   with [`BinaryHypervector`] bit-for-bit.
 //! * [`Accumulator`] — an integer "bundled" hypervector used as a K-Means
-//!   centroid: the element-wise sum of many binary hypervectors, with cosine
-//!   similarity against binary vectors.
+//!   centroid: the element-wise sum of many binary hypervectors (or matrix
+//!   rows), with cosine similarity against binary vectors.
 //! * [`ItemMemory`] / [`LevelMemory`] — classical HDC codebooks: random
 //!   (pseudo-orthogonal) item memories and linearly-correlated level
 //!   memories built by progressive bit flipping.
@@ -43,14 +48,16 @@ mod accumulator;
 mod binary;
 mod error;
 mod item_memory;
+mod matrix;
 pub mod permutation;
 mod rng;
 pub mod similarity;
 
-pub use accumulator::Accumulator;
+pub use accumulator::{Accumulator, BitSlicedCounts};
 pub use binary::BinaryHypervector;
 pub use error::HdcError;
 pub use item_memory::{ItemMemory, LevelMemory};
+pub use matrix::{HvMatrix, HvRow, HvRowMut};
 pub use rng::HdcRng;
 
 /// Result alias used throughout the crate.

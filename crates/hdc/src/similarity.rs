@@ -117,16 +117,15 @@ mod tests {
             normalized_hamming(&a, &b).unwrap(),
             a.normalized_hamming(&b).unwrap()
         );
-        assert!(
-            (cosine(&a, &b).unwrap() + cosine_distance(&a, &b).unwrap() - 1.0).abs() < 1e-12
-        );
+        assert!((cosine(&a, &b).unwrap() + cosine_distance(&a, &b).unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn nearest_by_hamming_finds_self() {
         let mut rng = HdcRng::seed_from(12);
-        let candidates: Vec<BinaryHypervector> =
-            (0..8).map(|_| BinaryHypervector::random(1024, &mut rng)).collect();
+        let candidates: Vec<BinaryHypervector> = (0..8)
+            .map(|_| BinaryHypervector::random(1024, &mut rng))
+            .collect();
         for (i, c) in candidates.iter().enumerate() {
             assert_eq!(nearest_by_hamming(c, &candidates).unwrap(), i);
         }
@@ -151,13 +150,14 @@ mod tests {
     #[test]
     fn hamming_matrix_is_symmetric_with_zero_diagonal() {
         let mut rng = HdcRng::seed_from(13);
-        let hvs: Vec<BinaryHypervector> =
-            (0..5).map(|_| BinaryHypervector::random(256, &mut rng)).collect();
+        let hvs: Vec<BinaryHypervector> = (0..5)
+            .map(|_| BinaryHypervector::random(256, &mut rng))
+            .collect();
         let m = hamming_matrix(&hvs).unwrap();
-        for i in 0..5 {
-            assert_eq!(m[i][i], 0);
-            for j in 0..5 {
-                assert_eq!(m[i][j], m[j][i]);
+        for (i, m_row) in m.iter().enumerate() {
+            assert_eq!(m_row[i], 0);
+            for (j, value) in m_row.iter().enumerate() {
+                assert_eq!(*value, m[j][i]);
             }
         }
     }

@@ -1,6 +1,6 @@
 //! Property-based tests for the hypervector substrate.
 
-use hdc::{similarity, Accumulator, BinaryHypervector, HdcRng};
+use hdc::{similarity, Accumulator, BinaryHypervector, HdcRng, HvMatrix};
 use proptest::prelude::*;
 
 fn arb_dim() -> impl Strategy<Value = usize> {
@@ -120,5 +120,68 @@ proptest! {
         let hv = BinaryHypervector::random(dim, &mut rng);
         let rebuilt = BinaryHypervector::from_bits(&hv.to_bits()).unwrap();
         prop_assert_eq!(hv, rebuilt);
+    }
+
+    /// `HvMatrix` rows round-trip with `BinaryHypervector` bit-for-bit for
+    /// any dimension, including non-multiples of 64.
+    #[test]
+    fn matrix_rows_roundtrip_with_vectors(dim in arb_dim(), seed in arb_seed(), n in 1usize..8) {
+        let mut rng = HdcRng::seed_from(seed);
+        let vectors: Vec<BinaryHypervector> =
+            (0..n).map(|_| BinaryHypervector::random(dim, &mut rng)).collect();
+        let matrix = HvMatrix::from_vectors(&vectors).unwrap();
+        prop_assert_eq!(matrix.rows(), n);
+        prop_assert_eq!(matrix.stride_words(), dim.div_ceil(64));
+        prop_assert_eq!(matrix.to_vectors(), vectors);
+    }
+
+    /// XOR binding into a matrix row equals the allocating vector XOR, and
+    /// row Hamming distances equal vector Hamming distances.
+    #[test]
+    fn matrix_bind_and_hamming_match_vector_path(dim in arb_dim(), seed in arb_seed()) {
+        let mut rng = HdcRng::seed_from(seed);
+        let a = BinaryHypervector::random(dim, &mut rng);
+        let b = BinaryHypervector::random(dim, &mut rng);
+        let key = BinaryHypervector::random(dim, &mut rng);
+        let mut matrix = HvMatrix::from_vectors(&[a.clone(), b.clone()]).unwrap();
+        matrix.row_mut(0).xor_assign(&key).unwrap();
+        matrix.row_mut(1).xor_assign(&key).unwrap();
+        prop_assert_eq!(matrix.row(0).to_hypervector(), a.xor(&key).unwrap());
+        prop_assert_eq!(
+            matrix.row(0).hamming(matrix.row(1)).unwrap(),
+            a.hamming(&b).unwrap()
+        );
+        prop_assert_eq!(matrix.row(0).count_ones(), a.xor(&key).unwrap().count_ones());
+    }
+
+    /// Bundling matrix rows into an accumulator matches bundling the
+    /// equivalent vectors: identical counts, majority vector and
+    /// bit-identical cosine similarities.
+    #[test]
+    fn matrix_bundling_matches_vector_bundling(dim in arb_dim(), seed in arb_seed(), n in 1usize..6) {
+        let mut rng = HdcRng::seed_from(seed);
+        let members: Vec<BinaryHypervector> =
+            (0..n).map(|_| BinaryHypervector::random(dim, &mut rng)).collect();
+        let probe = BinaryHypervector::random(dim, &mut rng);
+        let matrix = HvMatrix::from_vectors(&members).unwrap();
+
+        let mut by_vector = Accumulator::zeros(dim).unwrap();
+        let mut by_row = Accumulator::zeros(dim).unwrap();
+        for (i, member) in members.iter().enumerate() {
+            by_vector.add(member).unwrap();
+            by_row.add_row(matrix.row(i)).unwrap();
+        }
+        prop_assert_eq!(&by_vector, &by_row);
+        prop_assert_eq!(by_vector.to_majority().unwrap(), by_row.to_majority().unwrap());
+
+        let probe_matrix = HvMatrix::from_vectors(std::slice::from_ref(&probe)).unwrap();
+        prop_assert_eq!(
+            by_vector.dot(&probe).unwrap(),
+            by_row.dot_row(probe_matrix.row(0)).unwrap()
+        );
+        prop_assert_eq!(
+            by_vector.cosine_similarity(&probe).unwrap().to_bits(),
+            by_row.cosine_similarity_row(probe_matrix.row(0)).unwrap().to_bits()
+        );
     }
 }

@@ -58,7 +58,10 @@ impl fmt::Display for ImagingError {
                 y,
                 width,
                 height,
-            } => write!(f, "pixel ({x}, {y}) out of bounds for {width}x{height} image"),
+            } => write!(
+                f,
+                "pixel ({x}, {y}) out of bounds for {width}x{height} image"
+            ),
             ImagingError::ShapeMismatch { left, right } => write!(
                 f,
                 "shape mismatch: {}x{} vs {}x{}",

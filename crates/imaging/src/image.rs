@@ -441,13 +441,19 @@ mod tests {
         assert_eq!(img.pixel_count(), 6);
         img.set(2, 1, 77).unwrap();
         assert_eq!(img.get(2, 1).unwrap(), 77);
-        assert_eq!(img.as_raw()[1 * 3 + 2], 77);
+        assert_eq!(img.as_raw()[3 + 2], 77);
     }
 
     #[test]
     fn gray_image_rejects_bad_construction() {
-        assert!(matches!(GrayImage::new(0, 5), Err(ImagingError::EmptyImage)));
-        assert!(matches!(GrayImage::new(5, 0), Err(ImagingError::EmptyImage)));
+        assert!(matches!(
+            GrayImage::new(0, 5),
+            Err(ImagingError::EmptyImage)
+        ));
+        assert!(matches!(
+            GrayImage::new(5, 0),
+            Err(ImagingError::EmptyImage)
+        ));
         assert!(matches!(
             GrayImage::from_raw(2, 2, vec![0; 5]),
             Err(ImagingError::BufferSizeMismatch {

@@ -169,10 +169,11 @@ pub fn matched_mean_iou(prediction: &LabelMap, truth: &LabelMap) -> Result<f64> 
         });
     }
     // Ground-truth classes that never got a partner count as 0.
-    let unmatched = truth_sizes.keys().filter(|t| !used_truth.contains(t)).count();
-    for _ in 0..unmatched {
-        ious.push(0.0);
-    }
+    let unmatched = truth_sizes
+        .keys()
+        .filter(|t| !used_truth.contains(t))
+        .count();
+    ious.extend(std::iter::repeat_n(0.0, unmatched));
     if ious.is_empty() {
         return Ok(1.0);
     }

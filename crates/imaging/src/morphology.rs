@@ -39,9 +39,10 @@ pub fn connected_components(map: &LabelMap) -> Result<LabelMap> {
             stack.push((start_x, start_y));
             out.set(start_x, start_y, next_label)?;
             while let Some((x, y)) = stack.pop() {
-                let visit = |nx: usize, ny: usize,
-                                 out: &mut LabelMap,
-                                 stack: &mut Vec<(usize, usize)>|
+                let visit = |nx: usize,
+                             ny: usize,
+                             out: &mut LabelMap,
+                             stack: &mut Vec<(usize, usize)>|
                  -> Result<()> {
                     if map.get(nx, ny)? != 0 && out.get(nx, ny)? == 0 {
                         out.set(nx, ny, next_label)?;
@@ -98,7 +99,9 @@ pub fn erode(map: &LabelMap) -> Result<LabelMap> {
                 if x < 0 || y < 0 || x >= width as isize || y >= height as isize {
                     return false;
                 }
-                map.get(x as usize, y as usize).map(|l| l != 0).unwrap_or(false)
+                map.get(x as usize, y as usize)
+                    .map(|l| l != 0)
+                    .unwrap_or(false)
             };
             let xi = x as isize;
             let yi = y as isize;
@@ -131,7 +134,9 @@ pub fn dilate(map: &LabelMap) -> Result<LabelMap> {
                 if x < 0 || y < 0 || x >= width as isize || y >= height as isize {
                     return false;
                 }
-                map.get(x as usize, y as usize).map(|l| l != 0).unwrap_or(false)
+                map.get(x as usize, y as usize)
+                    .map(|l| l != 0)
+                    .unwrap_or(false)
             };
             let xi = x as isize;
             let yi = y as isize;
@@ -180,30 +185,19 @@ mod tests {
 
     #[test]
     fn single_blob_is_one_component() {
-        let map = map_from(&[
-            &[0, 1, 1, 0],
-            &[0, 1, 1, 0],
-            &[0, 0, 0, 0],
-        ]);
+        let map = map_from(&[&[0, 1, 1, 0], &[0, 1, 1, 0], &[0, 0, 0, 0]]);
         assert_eq!(count_components(&map).unwrap(), 1);
     }
 
     #[test]
     fn diagonal_blobs_are_separate_under_4_connectivity() {
-        let map = map_from(&[
-            &[1, 0, 0],
-            &[0, 1, 0],
-            &[0, 0, 1],
-        ]);
+        let map = map_from(&[&[1, 0, 0], &[0, 1, 0], &[0, 0, 1]]);
         assert_eq!(count_components(&map).unwrap(), 3);
     }
 
     #[test]
     fn components_receive_consecutive_labels() {
-        let map = map_from(&[
-            &[1, 0, 2],
-            &[0, 0, 2],
-        ]);
+        let map = map_from(&[&[1, 0, 2], &[0, 0, 2]]);
         let labeled = connected_components(&map).unwrap();
         let hist = labeled.label_histogram();
         assert_eq!(hist.len(), 3); // 0, 1, 2
@@ -225,22 +219,14 @@ mod tests {
 
     #[test]
     fn erosion_removes_single_pixels() {
-        let map = map_from(&[
-            &[0, 0, 0],
-            &[0, 1, 0],
-            &[0, 0, 0],
-        ]);
+        let map = map_from(&[&[0, 0, 0], &[0, 1, 0], &[0, 0, 0]]);
         let eroded = erode(&map).unwrap();
         assert_eq!(eroded.foreground_pixels(), 0);
     }
 
     #[test]
     fn dilation_grows_by_one_ring() {
-        let map = map_from(&[
-            &[0, 0, 0],
-            &[0, 1, 0],
-            &[0, 0, 0],
-        ]);
+        let map = map_from(&[&[0, 0, 0], &[0, 1, 0], &[0, 0, 0]]);
         let dilated = dilate(&map).unwrap();
         assert_eq!(dilated.foreground_pixels(), 5);
     }

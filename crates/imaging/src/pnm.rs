@@ -5,7 +5,7 @@
 //! image and predicted mask produced by the experiment harnesses with any
 //! standard image viewer.
 
-use crate::{GrayImage, ImagingError, RgbImage, Result};
+use crate::{GrayImage, ImagingError, Result, RgbImage};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
@@ -116,13 +116,18 @@ pub fn read_pgm<R: Read>(reader: R) -> Result<GrayImage> {
     }
     if header.max_value != 255 {
         return Err(ImagingError::ParsePnm {
-            message: format!("only 8-bit images are supported, max value {}", header.max_value),
+            message: format!(
+                "only 8-bit images are supported, max value {}",
+                header.max_value
+            ),
         });
     }
     let mut data = vec![0u8; header.width * header.height];
-    reader.read_exact(&mut data).map_err(|_| ImagingError::ParsePnm {
-        message: "pixel payload shorter than declared dimensions".to_string(),
-    })?;
+    reader
+        .read_exact(&mut data)
+        .map_err(|_| ImagingError::ParsePnm {
+            message: "pixel payload shorter than declared dimensions".to_string(),
+        })?;
     GrayImage::from_raw(header.width, header.height, data)
 }
 
@@ -142,13 +147,18 @@ pub fn read_ppm<R: Read>(reader: R) -> Result<RgbImage> {
     }
     if header.max_value != 255 {
         return Err(ImagingError::ParsePnm {
-            message: format!("only 8-bit images are supported, max value {}", header.max_value),
+            message: format!(
+                "only 8-bit images are supported, max value {}",
+                header.max_value
+            ),
         });
     }
     let mut data = vec![0u8; header.width * header.height * 3];
-    reader.read_exact(&mut data).map_err(|_| ImagingError::ParsePnm {
-        message: "pixel payload shorter than declared dimensions".to_string(),
-    })?;
+    reader
+        .read_exact(&mut data)
+        .map_err(|_| ImagingError::ParsePnm {
+            message: "pixel payload shorter than declared dimensions".to_string(),
+        })?;
     RgbImage::from_raw(header.width, header.height, data)
 }
 

@@ -84,7 +84,7 @@ impl Layer for BatchNorm2d {
         let mut normalized = Tensor::zeros(input.shape())?;
         let mut std_inv = vec![0.0f32; self.channels];
 
-        for c in 0..self.channels {
+        for (c, std_inv_c) in std_inv.iter_mut().enumerate() {
             let mut mean = 0.0f32;
             for n in 0..batch {
                 for h in 0..height {
@@ -105,7 +105,7 @@ impl Layer for BatchNorm2d {
             }
             var /= per_channel;
             let inv = 1.0 / (var + self.eps).sqrt();
-            std_inv[c] = inv;
+            *std_inv_c = inv;
             let g = self.gamma.at(0, c, 0, 0);
             let b = self.beta.at(0, c, 0, 0);
             for n in 0..batch {

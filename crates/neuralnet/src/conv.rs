@@ -49,7 +49,7 @@ impl Conv2d {
                 message: "channel counts and kernel size must be non-zero".to_string(),
             });
         }
-        if kernel % 2 == 0 {
+        if kernel.is_multiple_of(2) {
             return Err(NnError::InvalidParameter {
                 message: format!("kernel size must be odd for same padding, got {kernel}"),
             });
@@ -412,7 +412,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let input = Tensor::randn([1, 1, 4, 4], 1.0, &mut rng).unwrap();
         let out = conv.forward(&input).unwrap();
-        conv.backward(&Tensor::filled(out.shape(), 1.0).unwrap()).unwrap();
+        conv.backward(&Tensor::filled(out.shape(), 1.0).unwrap())
+            .unwrap();
         assert!(conv.grad_weight.max_abs() > 0.0);
         conv.zero_grad();
         assert_eq!(conv.grad_weight.max_abs(), 0.0);

@@ -71,7 +71,9 @@ mod tests {
             right: [1, 2, 3, 5],
         };
         assert!(e.to_string().contains('5'));
-        assert!(NnError::BackwardBeforeForward.to_string().contains("backward"));
+        assert!(NnError::BackwardBeforeForward
+            .to_string()
+            .contains("backward"));
     }
 
     #[test]

@@ -38,11 +38,7 @@ pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> Result<(f32,
     let width = logits.width();
     if targets.len() != height * width {
         return Err(NnError::InvalidParameter {
-            message: format!(
-                "expected {} targets, got {}",
-                height * width,
-                targets.len()
-            ),
+            message: format!("expected {} targets, got {}", height * width, targets.len()),
         });
     }
     if let Some(&bad) = targets.iter().find(|&&t| t >= classes) {
@@ -67,8 +63,7 @@ pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> Result<(f32,
                 denom += (logits.at(0, c, h, w) - max_logit).exp();
             }
             let target = targets[h * width + w];
-            let target_prob =
-                (logits.at(0, target, h, w) - max_logit).exp() / denom;
+            let target_prob = (logits.at(0, target, h, w) - max_logit).exp() / denom;
             total_loss += -f64::from(target_prob.max(1e-12).ln());
             for c in 0..classes {
                 let p = (logits.at(0, c, h, w) - max_logit).exp() / denom;
@@ -153,8 +148,7 @@ mod tests {
     #[test]
     fn cross_entropy_is_low_for_confident_correct_predictions() {
         // Two pixels, two classes; logits strongly favour the target class.
-        let logits =
-            Tensor::from_vec([1, 2, 1, 2], vec![10.0, -10.0, -10.0, 10.0]).unwrap();
+        let logits = Tensor::from_vec([1, 2, 1, 2], vec![10.0, -10.0, -10.0, 10.0]).unwrap();
         let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1]).unwrap();
         assert!(loss < 1e-3, "loss {loss}");
         assert!(grad.max_abs() < 1e-3);
@@ -162,8 +156,7 @@ mod tests {
 
     #[test]
     fn cross_entropy_is_high_for_wrong_predictions() {
-        let logits =
-            Tensor::from_vec([1, 2, 1, 2], vec![10.0, -10.0, -10.0, 10.0]).unwrap();
+        let logits = Tensor::from_vec([1, 2, 1, 2], vec![10.0, -10.0, -10.0, 10.0]).unwrap();
         let (loss, _) = softmax_cross_entropy(&logits, &[1, 0]).unwrap();
         assert!(loss > 5.0, "loss {loss}");
     }
@@ -227,8 +220,7 @@ mod tests {
     fn continuity_gradient_matches_finite_differences_away_from_kinks() {
         // Use well-separated values so the |.| derivative is smooth at the
         // evaluation points.
-        let response =
-            Tensor::from_vec([1, 1, 2, 2], vec![0.0, 1.0, 3.0, 6.0]).unwrap();
+        let response = Tensor::from_vec([1, 1, 2, 2], vec![0.0, 1.0, 3.0, 6.0]).unwrap();
         let (_, grad) = spatial_continuity(&response).unwrap();
         let eps = 1e-3f32;
         for idx in 0..4 {

@@ -149,7 +149,11 @@ mod tests {
             let mut grad = Tensor::filled([1, 1, 1, 1], g).unwrap();
             sgd.step(vec![(&mut x, &mut grad)]).unwrap();
         }
-        assert!((x.as_slice()[0] - 3.0).abs() < 1e-2, "x = {}", x.as_slice()[0]);
+        assert!(
+            (x.as_slice()[0] - 3.0).abs() < 1e-2,
+            "x = {}",
+            x.as_slice()[0]
+        );
     }
 
     #[test]
@@ -160,7 +164,9 @@ mod tests {
         let mut gb = Tensor::filled([1, 1, 1, 2], 1.0).unwrap();
         let mut sgd = Sgd::new(0.1, 0.0).unwrap();
         sgd.step(vec![(&mut a, &mut ga)]).unwrap();
-        assert!(sgd.step(vec![(&mut a, &mut ga), (&mut b, &mut gb)]).is_err());
+        assert!(sgd
+            .step(vec![(&mut a, &mut ga), (&mut b, &mut gb)])
+            .is_err());
         assert!(sgd.step(vec![(&mut b, &mut gb)]).is_err());
     }
 

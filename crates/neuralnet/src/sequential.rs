@@ -27,7 +27,9 @@ pub struct Sequential {
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
-        f.debug_struct("Sequential").field("layers", &names).finish()
+        f.debug_struct("Sequential")
+            .field("layers", &names)
+            .finish()
     }
 }
 
@@ -112,7 +114,9 @@ mod tests {
     #[test]
     fn forward_shapes_chain_correctly() {
         let mut net = tiny_network(4);
-        let out = net.forward(&Tensor::zeros([1, 1, 10, 12]).unwrap()).unwrap();
+        let out = net
+            .forward(&Tensor::zeros([1, 1, 10, 12]).unwrap())
+            .unwrap();
         assert_eq!(out.shape(), [1, 4, 10, 12]);
         assert_eq!(net.len(), 5);
         assert!(!net.is_empty());

@@ -32,7 +32,7 @@ impl Tensor {
     ///
     /// Returns [`NnError::EmptyShape`] if any dimension is zero.
     pub fn zeros(shape: [usize; 4]) -> Result<Self> {
-        if shape.iter().any(|&d| d == 0) {
+        if shape.contains(&0) {
             return Err(NnError::EmptyShape);
         }
         Ok(Self {
@@ -60,7 +60,7 @@ impl Tensor {
     /// [`NnError::BufferSizeMismatch`] if the buffer length does not match
     /// the shape.
     pub fn from_vec(shape: [usize; 4], data: Vec<f32>) -> Result<Self> {
-        if shape.iter().any(|&d| d == 0) {
+        if shape.contains(&0) {
             return Err(NnError::EmptyShape);
         }
         let expected: usize = shape.iter().product();
@@ -305,7 +305,10 @@ mod tests {
 
     #[test]
     fn invalid_construction_is_rejected() {
-        assert_eq!(Tensor::zeros([0, 1, 1, 1]).unwrap_err(), NnError::EmptyShape);
+        assert_eq!(
+            Tensor::zeros([0, 1, 1, 1]).unwrap_err(),
+            NnError::EmptyShape
+        );
         assert!(matches!(
             Tensor::from_vec([1, 1, 2, 2], vec![0.0; 3]),
             Err(NnError::BufferSizeMismatch {
@@ -359,8 +362,12 @@ mod tests {
         let t = Tensor::randn([1, 1, 100, 100], 2.0, &mut rng).unwrap();
         let mean = t.mean();
         assert!(mean.abs() < 0.2, "mean {mean}");
-        let var: f32 =
-            t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        let var: f32 = t
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!((var.sqrt() - 2.0).abs() < 0.2, "std {}", var.sqrt());
     }
 

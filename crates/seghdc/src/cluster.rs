@@ -1,5 +1,5 @@
 use crate::{DistanceMetric, Result, SegHdcError};
-use hdc::{Accumulator, BinaryHypervector};
+use hdc::{Accumulator, BinaryHypervector, HvMatrix};
 use rayon::prelude::*;
 
 /// Outcome of clustering one image's pixel hypervectors.
@@ -30,6 +30,13 @@ pub struct ClusterOutcome {
 ///   difference** — the darkest and brightest pixels (and evenly spaced
 ///   intensity quantiles for more than two clusters) — instead of random
 ///   picks.
+///
+/// Two equivalent entry points are provided:
+/// [`cluster_matrix`](Self::cluster_matrix) runs over an [`HvMatrix`] of
+/// packed pixel rows with zero per-pixel allocations (the pipeline's hot
+/// path), while [`cluster`](Self::cluster) accepts individual
+/// [`BinaryHypervector`]s as the single-vector reference path. Both produce
+/// identical labels for the same inputs.
 ///
 /// # Example
 ///
@@ -128,7 +135,156 @@ impl HvKmeans {
         picks
     }
 
-    /// Clusters pixel hypervectors.
+    fn validate_inputs(&self, pixel_count: usize, intensity_count: usize) -> Result<()> {
+        if pixel_count == 0 {
+            return Err(SegHdcError::InvalidConfig {
+                message: "cannot cluster an empty set of pixels".to_string(),
+            });
+        }
+        if pixel_count != intensity_count {
+            return Err(SegHdcError::InvalidConfig {
+                message: format!(
+                    "{pixel_count} pixel hypervectors but {intensity_count} intensities"
+                ),
+            });
+        }
+        if pixel_count < self.clusters {
+            return Err(SegHdcError::InvalidConfig {
+                message: format!(
+                    "cannot form {} clusters from {pixel_count} pixels",
+                    self.clusters
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Clusters pixel hypervectors stored as an [`HvMatrix`] — the batched
+    /// hot path used by the pipeline.
+    ///
+    /// Compared to [`cluster`](Self::cluster) this performs **zero
+    /// per-pixel heap allocations**: the assignment step reads matrix rows
+    /// in place (in parallel across rows) and the update step bundles rows
+    /// into a reused set of accumulators. The labels are bit-identical to
+    /// the per-vector reference path for the same inputs.
+    ///
+    /// `intensities` must hold one scalar intensity per pixel (used only
+    /// for centroid initialisation) in the same row order as `pixels`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegHdcError::InvalidConfig`] if the matrix is empty, if
+    /// the row and intensity counts disagree, or if there are fewer rows
+    /// than clusters.
+    pub fn cluster_matrix(&self, pixels: &HvMatrix, intensities: &[u8]) -> Result<ClusterOutcome> {
+        self.validate_inputs(pixels.rows(), intensities.len())?;
+        let dim = pixels.dim();
+        let pixel_count = pixels.rows();
+
+        // Initial centroids: bundles containing a single seed pixel each.
+        let mut centroids: Vec<Accumulator> = Vec::with_capacity(self.clusters);
+        for index in self.initial_indices(intensities) {
+            let mut accumulator = Accumulator::zeros(dim)?;
+            accumulator.add_row(pixels.row(index))?;
+            centroids.push(accumulator);
+        }
+        // Scratch accumulators reused (cleared, not reallocated) by every
+        // update step.
+        let mut scratch: Vec<Accumulator> = (0..self.clusters)
+            .map(|_| Accumulator::zeros(dim))
+            .collect::<std::result::Result<_, _>>()?;
+
+        let mut labels = vec![0u32; pixel_count];
+        let mut snapshots = Vec::new();
+        let mut iterations_run = 0;
+
+        for _ in 0..self.iterations {
+            iterations_run += 1;
+            let metric = self.metric;
+            // Per-centroid, per-iteration precomputation: a bit-sliced
+            // snapshot for cosine (word-wide dot products plus a cached
+            // norm) or the majority-thresholded vector for Hamming. Both
+            // yield distances bit-identical to the per-vector path.
+            let sliced: Vec<hdc::BitSlicedCounts> = match metric {
+                DistanceMetric::Cosine => {
+                    centroids.iter().map(Accumulator::to_bit_sliced).collect()
+                }
+                DistanceMetric::Hamming => Vec::new(),
+            };
+            let majority: Vec<Option<BinaryHypervector>> = match metric {
+                DistanceMetric::Hamming => centroids.iter().map(|c| c.to_majority().ok()).collect(),
+                DistanceMetric::Cosine => vec![None; centroids.len()],
+            };
+            // Assignment step: parallel over matrix rows, allocation-free.
+            let sliced_ref = &sliced;
+            let majority_ref = &majority;
+            let cluster_count = self.clusters;
+            let assignment: Vec<u32> = (0..pixel_count)
+                .into_par_iter()
+                .map(|index| {
+                    let row = pixels.row(index);
+                    let mut best = 0usize;
+                    let mut best_distance = f64::INFINITY;
+                    for k in 0..cluster_count {
+                        let distance = match metric {
+                            DistanceMetric::Cosine => sliced_ref[k]
+                                .cosine_distance_row(row)
+                                .unwrap_or(f64::INFINITY),
+                            DistanceMetric::Hamming => majority_ref[k]
+                                .as_ref()
+                                .and_then(|m| row.normalized_hamming_hv(m).ok())
+                                .unwrap_or(f64::INFINITY),
+                        };
+                        if distance < best_distance {
+                            best_distance = distance;
+                            best = k;
+                        }
+                    }
+                    best as u32
+                })
+                .collect();
+            labels = assignment;
+            if self.record_snapshots {
+                snapshots.push(labels.clone());
+            }
+
+            // Update step: bundle each cluster's rows into the reused
+            // scratch accumulators.
+            for accumulator in &mut scratch {
+                accumulator.clear();
+            }
+            for (index, &label) in labels.iter().enumerate() {
+                scratch[label as usize].add_row(pixels.row(index))?;
+            }
+            // Empty clusters keep their previous centroid so they can win
+            // pixels back in a later iteration.
+            for (k, accumulator) in scratch.iter_mut().enumerate() {
+                if accumulator.items() == 0 {
+                    accumulator.clone_from(&centroids[k]);
+                }
+            }
+            std::mem::swap(&mut centroids, &mut scratch);
+        }
+
+        let mut cluster_sizes = vec![0usize; self.clusters];
+        for &label in &labels {
+            cluster_sizes[label as usize] += 1;
+        }
+        Ok(ClusterOutcome {
+            labels,
+            iterations_run,
+            snapshots,
+            cluster_sizes,
+        })
+    }
+
+    /// Clusters pixel hypervectors given as individual vectors.
+    ///
+    /// This is the single-vector *reference path*: it allocates per-pixel
+    /// (fresh accumulators every iteration) and exists as the convenience
+    /// API and as the naive baseline the benchmarks compare the batched
+    /// [`cluster_matrix`](Self::cluster_matrix) against. The two paths
+    /// produce identical labels for the same inputs.
     ///
     /// `intensities` must hold one scalar intensity per pixel (used only for
     /// centroid initialisation) in the same order as `pixels`.
@@ -143,29 +299,7 @@ impl HvKmeans {
         pixels: &[BinaryHypervector],
         intensities: &[u8],
     ) -> Result<ClusterOutcome> {
-        if pixels.is_empty() {
-            return Err(SegHdcError::InvalidConfig {
-                message: "cannot cluster an empty set of pixels".to_string(),
-            });
-        }
-        if pixels.len() != intensities.len() {
-            return Err(SegHdcError::InvalidConfig {
-                message: format!(
-                    "{} pixel hypervectors but {} intensities",
-                    pixels.len(),
-                    intensities.len()
-                ),
-            });
-        }
-        if pixels.len() < self.clusters {
-            return Err(SegHdcError::InvalidConfig {
-                message: format!(
-                    "cannot form {} clusters from {} pixels",
-                    self.clusters,
-                    pixels.len()
-                ),
-            });
-        }
+        self.validate_inputs(pixels.len(), intensities.len())?;
         let dim = pixels[0].dim();
 
         // Initial centroids: bundles containing a single seed pixel each.
@@ -184,10 +318,7 @@ impl HvKmeans {
             // Assignment step (parallel over pixels).
             let metric = self.metric;
             let majority: Vec<Option<BinaryHypervector>> = match metric {
-                DistanceMetric::Hamming => centroids
-                    .iter()
-                    .map(|c| c.to_majority().ok())
-                    .collect(),
+                DistanceMetric::Hamming => centroids.iter().map(|c| c.to_majority().ok()).collect(),
                 DistanceMetric::Cosine => vec![None; centroids.len()],
             };
             let assignment: Vec<u32> = pixels
@@ -197,9 +328,9 @@ impl HvKmeans {
                     let mut best_distance = f64::INFINITY;
                     for (k, centroid) in centroids.iter().enumerate() {
                         let distance = match metric {
-                            DistanceMetric::Cosine => centroid
-                                .cosine_distance(pixel)
-                                .unwrap_or(f64::INFINITY),
+                            DistanceMetric::Cosine => {
+                                centroid.cosine_distance(pixel).unwrap_or(f64::INFINITY)
+                            }
                             DistanceMetric::Hamming => majority[k]
                                 .as_ref()
                                 .and_then(|m| m.normalized_hamming(pixel).ok())
@@ -317,8 +448,9 @@ mod tests {
     #[test]
     fn snapshots_record_one_assignment_per_iteration() {
         let mut rng = HdcRng::seed_from(10);
-        let pixels: Vec<BinaryHypervector> =
-            (0..12).map(|_| BinaryHypervector::random(512, &mut rng)).collect();
+        let pixels: Vec<BinaryHypervector> = (0..12)
+            .map(|_| BinaryHypervector::random(512, &mut rng))
+            .collect();
         let intensities: Vec<u8> = (0..12).map(|i| (i * 20) as u8).collect();
         let outcome = HvKmeans::new(3, 4, DistanceMetric::Cosine, true)
             .unwrap()
@@ -336,6 +468,45 @@ mod tests {
         let pixels = vec![BinaryHypervector::random(256, &mut rng)];
         assert!(kmeans.cluster(&pixels, &[1, 2]).is_err());
         assert!(kmeans.cluster(&pixels, &[1]).is_err()); // fewer pixels than clusters
+        let matrix = HvMatrix::from_vectors(&pixels).unwrap();
+        assert!(kmeans.cluster_matrix(&matrix, &[1, 2]).is_err());
+        assert!(kmeans.cluster_matrix(&matrix, &[1]).is_err());
+        let empty = HvMatrix::zeros(0, 256).unwrap();
+        assert!(kmeans.cluster_matrix(&empty, &[]).is_err());
+    }
+
+    #[test]
+    fn matrix_and_vector_paths_agree_bitwise() {
+        let mut rng = HdcRng::seed_from(77);
+        let centre_a = BinaryHypervector::random(1000, &mut rng); // not a multiple of 64
+        let centre_b = BinaryHypervector::random(1000, &mut rng);
+        let mut pixels = noisy_copies(&centre_a, 15, 60, &mut rng);
+        pixels.extend(noisy_copies(&centre_b, 15, 60, &mut rng));
+        let intensities: Vec<u8> = (0..30).map(|i| (i * 8) as u8).collect();
+        let matrix = HvMatrix::from_vectors(&pixels).unwrap();
+
+        for metric in [DistanceMetric::Cosine, DistanceMetric::Hamming] {
+            let kmeans = HvKmeans::new(3, 5, metric, true).unwrap();
+            let by_vector = kmeans.cluster(&pixels, &intensities).unwrap();
+            let by_matrix = kmeans.cluster_matrix(&matrix, &intensities).unwrap();
+            assert_eq!(by_vector.labels, by_matrix.labels, "{metric:?}");
+            assert_eq!(by_vector.snapshots, by_matrix.snapshots, "{metric:?}");
+            assert_eq!(by_vector.cluster_sizes, by_matrix.cluster_sizes);
+            assert_eq!(by_vector.iterations_run, by_matrix.iterations_run);
+        }
+    }
+
+    #[test]
+    fn matrix_path_handles_empty_clusters() {
+        let mut rng = HdcRng::seed_from(12);
+        let hv = BinaryHypervector::random(512, &mut rng);
+        let matrix = HvMatrix::from_vectors(&vec![hv; 8]).unwrap();
+        let outcome = HvKmeans::new(2, 3, DistanceMetric::Cosine, false)
+            .unwrap()
+            .cluster_matrix(&matrix, &[128u8; 8])
+            .unwrap();
+        assert!(outcome.cluster_sizes.contains(&8));
+        assert!(outcome.cluster_sizes.contains(&0));
     }
 
     #[test]

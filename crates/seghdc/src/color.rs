@@ -40,6 +40,13 @@ pub struct ColorEncoder {
     flip_unit: usize,
     /// One codebook (256 hypervectors of chunk length) per channel.
     channel_codes: Vec<Vec<BinaryHypervector>>,
+    /// The same codebooks expanded to full-dimension vectors with each
+    /// chunk shifted to its channel's bit offset, so a pixel's colour
+    /// hypervector is the XOR of one placed code per channel. XOR of
+    /// disjoint-support vectors equals concatenation, and keeping the codes
+    /// pre-placed lets the batch encoder bind them into an
+    /// [`hdc::HvMatrix`] row with zero per-pixel allocation.
+    placed_codes: Vec<Vec<BinaryHypervector>>,
 }
 
 impl ColorEncoder {
@@ -144,12 +151,24 @@ impl ColorEncoder {
             channel_codes.push(codes);
         }
 
+        let mut placed_codes = Vec::with_capacity(channels);
+        let mut offset = 0;
+        for codes in &channel_codes {
+            let placed = codes
+                .iter()
+                .map(|code| place_chunk(code, offset, dimension))
+                .collect::<Result<Vec<_>>>()?;
+            offset += codes[0].dim();
+            placed_codes.push(placed);
+        }
+
         Ok(Self {
             dimension,
             channels,
             encoding,
             flip_unit,
             channel_codes,
+            placed_codes,
         })
     }
 
@@ -192,15 +211,25 @@ impl ColorEncoder {
                 ),
             });
         }
-        let mut result: Option<BinaryHypervector> = None;
-        for (channel, &value) in values.iter().enumerate() {
-            let code = &self.channel_codes[channel][usize::from(value)];
-            result = Some(match result {
-                None => code.clone(),
-                Some(acc) => acc.concat(code),
-            });
+        let mut result = self.placed_codes[0][usize::from(values[0])].clone();
+        for (channel, &value) in values.iter().enumerate().skip(1) {
+            result.xor_assign(self.placed_code(channel, value))?;
         }
-        Ok(result.expect("at least one channel is guaranteed by validation"))
+        Ok(result)
+    }
+
+    /// The full-dimension code of `value` on `channel`, with the channel's
+    /// chunk already shifted to its bit offset.
+    ///
+    /// XOR-ing one placed code per channel into a zeroed row reproduces
+    /// [`encode`](Self::encode) bit-for-bit; this is the accessor the batch
+    /// pixel encoder binds from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel >= channels()`.
+    pub fn placed_code(&self, channel: usize, value: u8) -> &BinaryHypervector {
+        &self.placed_codes[channel][usize::from(value)]
     }
 
     /// Hamming distance between the codes of two single-channel intensities;
@@ -217,12 +246,39 @@ impl ColorEncoder {
     }
 }
 
+/// Expands a chunk-dimension code into a `dim`-bit vector with the chunk's
+/// bits starting at `offset` (everything else zero).
+fn place_chunk(code: &BinaryHypervector, offset: usize, dim: usize) -> Result<BinaryHypervector> {
+    let mut placed = BinaryHypervector::zeros(dim)?;
+    for bit in code.iter_ones() {
+        placed.set_bit(offset + bit, true)?;
+    }
+    Ok(placed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn rng() -> HdcRng {
         HdcRng::seed_from(5)
+    }
+
+    #[test]
+    fn placed_codes_xor_to_the_concatenated_encoding() {
+        let enc = ColorEncoder::new(ColorEncoding::Manhattan, 3001, 3, 1, &mut rng()).unwrap();
+        let values = [17u8, 203, 90];
+        // Reference: concatenate the chunk codes, as the paper describes.
+        let concatenated = enc.channel_codes[0][usize::from(values[0])]
+            .concat(&enc.channel_codes[1][usize::from(values[1])])
+            .concat(&enc.channel_codes[2][usize::from(values[2])]);
+        assert_eq!(enc.encode(&values).unwrap(), concatenated);
+        // And the placed codes have disjoint support, so XOR == concat.
+        let mut xored = BinaryHypervector::zeros(3001).unwrap();
+        for (channel, &value) in values.iter().enumerate() {
+            xored.xor_assign(enc.placed_code(channel, value)).unwrap();
+        }
+        assert_eq!(xored, concatenated);
     }
 
     #[test]
@@ -267,7 +323,8 @@ mod tests {
     #[test]
     fn gamma_widens_colour_distances_when_the_chunk_has_room() {
         // Use a dimension with plenty of slack so gamma = 2 actually fits.
-        let narrow = ColorEncoder::new(ColorEncoding::Manhattan, 131_072, 1, 1, &mut rng()).unwrap();
+        let narrow =
+            ColorEncoder::new(ColorEncoding::Manhattan, 131_072, 1, 1, &mut rng()).unwrap();
         let wide = ColorEncoder::new(ColorEncoding::Manhattan, 131_072, 1, 2, &mut rng()).unwrap();
         assert_eq!(wide.flip_unit(), 2 * narrow.flip_unit());
         let d_narrow = narrow.intensity_distance(0, 100).unwrap();
@@ -307,7 +364,10 @@ mod tests {
     #[test]
     fn identical_values_encode_identically() {
         let enc = ColorEncoder::new(ColorEncoding::Manhattan, 3000, 3, 1, &mut rng()).unwrap();
-        assert_eq!(enc.encode(&[7, 8, 9]).unwrap(), enc.encode(&[7, 8, 9]).unwrap());
+        assert_eq!(
+            enc.encode(&[7, 8, 9]).unwrap(),
+            enc.encode(&[7, 8, 9]).unwrap()
+        );
     }
 
     #[test]

@@ -336,7 +336,10 @@ mod tests {
         assert!((config.alpha - 0.2).abs() < 1e-12);
         assert_eq!(config.gamma, 1);
         assert_eq!(config.iterations, 10);
-        assert_eq!(config.position_encoding, PositionEncoding::BlockDecayManhattan);
+        assert_eq!(
+            config.position_encoding,
+            PositionEncoding::BlockDecayManhattan
+        );
         assert_eq!(config.distance_metric, DistanceMetric::Cosine);
     }
 

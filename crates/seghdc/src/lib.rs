@@ -13,12 +13,17 @@
 //!   concatenated chunk per channel (§III-2, Fig. 4), plus the random
 //!   ablation (**RColor**).
 //! * [`PixelEncoder`] — binds position and colour hypervectors with XOR and
-//!   applies the `γ` colour-weighting knob (§III-3, Fig. 5).
+//!   applies the `γ` colour-weighting knob (§III-3, Fig. 5). The batch
+//!   entry point [`PixelEncoder::encode_matrix`] writes every pixel row
+//!   directly into one [`hdc::HvMatrix`] with zero per-pixel allocations.
 //! * [`HvKmeans`] — the revised K-Means clusterer over hypervectors using
 //!   cosine distance, centroids initialised from the pixels with the largest
 //!   colour difference and updated by integer bundling (§III-4, Eq. 7).
+//!   [`HvKmeans::cluster_matrix`] clusters an [`hdc::HvMatrix`] in place,
+//!   parallelising the assignment step across pixel rows.
 //! * [`SegHdc`] — the full pipeline: encode every pixel, cluster, emit a
-//!   [`imaging::LabelMap`].
+//!   [`imaging::LabelMap`]. [`SegHdc::segment_batch`] runs many images in
+//!   parallel, reusing codebooks across images of the same shape.
 //!
 //! # Quickstart
 //!
@@ -61,7 +66,9 @@ pub mod toy;
 
 pub use cluster::{ClusterOutcome, HvKmeans};
 pub use color::ColorEncoder;
-pub use config::{ColorEncoding, DistanceMetric, PositionEncoding, SegHdcConfig, SegHdcConfigBuilder};
+pub use config::{
+    ColorEncoding, DistanceMetric, PositionEncoding, SegHdcConfig, SegHdcConfigBuilder,
+};
 pub use error::SegHdcError;
 pub use pipeline::{SegHdc, Segmentation};
 pub use pixel::PixelEncoder;

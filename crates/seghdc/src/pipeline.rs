@@ -1,6 +1,8 @@
 use crate::{ColorEncoder, HvKmeans, PixelEncoder, PositionEncoder, Result, SegHdcConfig};
 use hdc::HdcRng;
 use imaging::{DynamicImage, LabelMap};
+use rayon::prelude::*;
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// Result of running the SegHDC pipeline on one image.
@@ -83,7 +85,12 @@ impl SegHdc {
     /// # Errors
     ///
     /// Returns a configuration error if the shape is degenerate.
-    pub fn build_encoder(&self, width: usize, height: usize, channels: usize) -> Result<PixelEncoder> {
+    pub fn build_encoder(
+        &self,
+        width: usize,
+        height: usize,
+        channels: usize,
+    ) -> Result<PixelEncoder> {
         let root = HdcRng::seed_from(self.config.seed);
         let mut position_rng = root.derive(1);
         let mut color_rng = root.derive(2);
@@ -108,6 +115,11 @@ impl SegHdc {
 
     /// Segments an image.
     ///
+    /// Codebooks are built for the image's shape, every pixel is encoded
+    /// into one [`hdc::HvMatrix`] row, and the matrix is clustered with the
+    /// batched [`HvKmeans::cluster_matrix`] path — no per-pixel heap
+    /// allocation anywhere past the codebook construction.
+    ///
     /// # Errors
     ///
     /// Returns an error if the configuration and image shape are
@@ -117,7 +129,56 @@ impl SegHdc {
     pub fn segment(&self, image: &DynamicImage) -> Result<Segmentation> {
         let encode_start = Instant::now();
         let encoder = self.build_encoder(image.width(), image.height(), image.channels())?;
-        let pixel_hvs = encoder.encode_image(image)?;
+        self.segment_with_encoder(&encoder, image, encode_start)
+    }
+
+    /// Segments a batch of images, reusing codebooks across images of the
+    /// same shape and running the images in parallel.
+    ///
+    /// Codebook construction is the per-image fixed cost of
+    /// [`segment`](Self::segment); for a batch of same-shaped images (the
+    /// common microscopy case) it is paid once here. The per-image results
+    /// are byte-identical to calling `segment` on each image individually,
+    /// because the codebooks depend only on the configured seed and the
+    /// image shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error produced by any image; an empty batch
+    /// returns an empty vector.
+    pub fn segment_batch(&self, images: &[DynamicImage]) -> Result<Vec<Segmentation>> {
+        // One encoder per distinct (width, height, channels) shape.
+        let mut encoders: HashMap<(usize, usize, usize), PixelEncoder> = HashMap::new();
+        for image in images {
+            let shape = (image.width(), image.height(), image.channels());
+            if let std::collections::hash_map::Entry::Vacant(e) = encoders.entry(shape) {
+                let encoder = self.build_encoder(shape.0, shape.1, shape.2)?;
+                e.insert(encoder);
+            }
+        }
+        let encoders = &encoders;
+        images
+            .par_iter()
+            .map(|image| {
+                let shape = (image.width(), image.height(), image.channels());
+                let encoder = &encoders[&shape];
+                self.segment_with_encoder(encoder, image, Instant::now())
+            })
+            .collect()
+    }
+
+    /// Shared encode → cluster → label-map tail of both `segment` flavours.
+    ///
+    /// `encode_start` is when encoding conceptually began (including the
+    /// codebook build for the single-image path), so `encode_time` stays
+    /// comparable with earlier releases.
+    fn segment_with_encoder(
+        &self,
+        encoder: &PixelEncoder,
+        image: &DynamicImage,
+        encode_start: Instant,
+    ) -> Result<Segmentation> {
+        let pixel_matrix = encoder.encode_matrix(image)?;
         let encode_time = encode_start.elapsed();
 
         // Scalar intensities drive the max-colour-difference initialisation.
@@ -135,7 +196,7 @@ impl SegHdc {
             self.config.distance_metric,
             self.config.record_snapshots,
         )?;
-        let outcome = kmeans.cluster(&pixel_hvs, &intensities)?;
+        let outcome = kmeans.cluster_matrix(&pixel_matrix, &intensities)?;
         let cluster_time = cluster_start.elapsed();
 
         let width = image.width();
@@ -214,12 +275,8 @@ mod tests {
     #[test]
     fn rgb_images_are_segmented_too() {
         let (gray, truth) = square_image(24);
-        let rgb = DynamicImage::Rgb(RgbImage::from_raw(
-            24,
-            24,
-            gray.to_rgb().as_raw().to_vec(),
-        )
-        .unwrap());
+        let rgb =
+            DynamicImage::Rgb(RgbImage::from_raw(24, 24, gray.to_rgb().as_raw().to_vec()).unwrap());
         let result = SegHdc::new(fast_config()).unwrap().segment(&rgb).unwrap();
         let iou = metrics::matched_binary_iou(&result.label_map, &truth).unwrap();
         assert!(iou > 0.85, "IoU {iou}");
@@ -290,6 +347,47 @@ mod tests {
         assert!(
             good_iou > rcolor_iou + 0.2,
             "expected a clear gap: SegHDC {good_iou} vs RColor {rcolor_iou}"
+        );
+    }
+
+    #[test]
+    fn segment_batch_matches_per_image_segment_byte_for_byte() {
+        let (a, _) = square_image(20);
+        let (b, _) = square_image(20);
+        let (c, _) = square_image(28); // second shape: forces a second codebook
+        let pipeline = SegHdc::new(fast_config()).unwrap();
+        let batch = pipeline
+            .segment_batch(&[a.clone(), b.clone(), c.clone()])
+            .unwrap();
+        assert_eq!(batch.len(), 3);
+        for (image, batched) in [a, b, c].iter().zip(&batch) {
+            let single = pipeline.segment(image).unwrap();
+            assert_eq!(single.label_map.as_raw(), batched.label_map.as_raw());
+            assert_eq!(single.cluster_sizes, batched.cluster_sizes);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let pipeline = SegHdc::new(fast_config()).unwrap();
+        assert!(pipeline.segment_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batch_mixes_gray_and_rgb_images() {
+        let (gray, _) = square_image(16);
+        let rgb = DynamicImage::Rgb(gray.to_gray().to_rgb());
+        let pipeline = SegHdc::new(fast_config()).unwrap();
+        let batch = pipeline
+            .segment_batch(&[gray.clone(), rgb.clone()])
+            .unwrap();
+        assert_eq!(
+            batch[0].label_map.as_raw(),
+            pipeline.segment(&gray).unwrap().label_map.as_raw()
+        );
+        assert_eq!(
+            batch[1].label_map.as_raw(),
+            pipeline.segment(&rgb).unwrap().label_map.as_raw()
         );
     }
 

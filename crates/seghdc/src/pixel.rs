@@ -1,7 +1,6 @@
 use crate::{ColorEncoder, PositionEncoder, Result, SegHdcError};
-use hdc::BinaryHypervector;
+use hdc::{BinaryHypervector, HvMatrix};
 use imaging::DynamicImage;
-use rayon::prelude::*;
 
 /// Produces pixel hypervectors by binding position and colour hypervectors
 /// with XOR (§III-3 of the paper, Fig. 5).
@@ -78,23 +77,82 @@ impl PixelEncoder {
     /// Returns an error if the coordinate lies outside the encoder's grid or
     /// the image, or if the image channel count does not match the colour
     /// encoder.
-    pub fn encode_pixel(&self, image: &DynamicImage, x: usize, y: usize) -> Result<BinaryHypervector> {
+    pub fn encode_pixel(
+        &self,
+        image: &DynamicImage,
+        x: usize,
+        y: usize,
+    ) -> Result<BinaryHypervector> {
         let position_hv = self.position.encode(y, x)?;
         let channels = image.channels_at(x, y)?;
         let color_hv = self.color.encode(&channels[..self.color.channels()])?;
         Ok(position_hv.xor(&color_hv)?)
     }
 
-    /// Encodes every pixel of `image` in row-major order.
+    /// Encodes every pixel of `image` into one [`HvMatrix`] row per pixel,
+    /// in row-major order (row index `y * width + x`).
     ///
-    /// Pixels are encoded in parallel; the output order is deterministic
-    /// (index `y * width + x`).
+    /// This is the hot-path encoder: codebook hypervectors (position row,
+    /// position column and one placed colour code per channel) are XOR-bound
+    /// word-by-word directly into the matrix rows, in parallel across rows,
+    /// with **zero per-pixel heap allocations** — the matrix is the only
+    /// buffer ever allocated.
+    ///
+    /// The rows agree bit-for-bit with [`encode_pixel`](Self::encode_pixel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegHdcError::InvalidConfig`] if the image shape or channel
+    /// count does not match the encoders.
+    pub fn encode_matrix(&self, image: &DynamicImage) -> Result<HvMatrix> {
+        let width = image.width();
+        let height = image.height();
+        self.check_shape(image)?;
+        let channels = self.color.channels();
+        let mut matrix = HvMatrix::zeros(width * height, self.dimension())?;
+        matrix.fill_rows(|index, row| {
+            let x = index % width;
+            let y = index / width;
+            // The shape checks above make every lookup below in-range.
+            let position_row = self
+                .position
+                .row_hv(y)
+                .expect("row index is within the validated grid");
+            let position_col = self
+                .position
+                .col_hv(x)
+                .expect("column index is within the validated grid");
+            let px = image
+                .channels_at(x, y)
+                .expect("pixel coordinate is within the validated image");
+            row.copy_from(position_row)
+                .expect("encoder dimensions are validated at construction");
+            row.xor_assign(position_col)
+                .expect("encoder dimensions are validated at construction");
+            for (channel, &value) in px.iter().take(channels).enumerate() {
+                row.xor_assign(self.color.placed_code(channel, value))
+                    .expect("encoder dimensions are validated at construction");
+            }
+        });
+        Ok(matrix)
+    }
+
+    /// Encodes every pixel of `image` in row-major order, as owned
+    /// hypervectors.
+    ///
+    /// Convenience wrapper over [`encode_matrix`](Self::encode_matrix);
+    /// prefer the matrix form anywhere throughput matters, since this copies
+    /// every row into its own allocation.
     ///
     /// # Errors
     ///
     /// Returns [`SegHdcError::InvalidConfig`] if the image shape or channel
     /// count does not match the encoders.
     pub fn encode_image(&self, image: &DynamicImage) -> Result<Vec<BinaryHypervector>> {
+        Ok(self.encode_matrix(image)?.to_vectors())
+    }
+
+    fn check_shape(&self, image: &DynamicImage) -> Result<()> {
         let width = image.width();
         let height = image.height();
         if height != self.position.rows() || width != self.position.cols() {
@@ -115,14 +173,7 @@ impl PixelEncoder {
                 ),
             });
         }
-        (0..width * height)
-            .into_par_iter()
-            .map(|index| {
-                let x = index % width;
-                let y = index / width;
-                self.encode_pixel(image, x, y)
-            })
-            .collect()
+        Ok(())
     }
 }
 
@@ -153,7 +204,8 @@ mod tests {
         let mut img = GrayImage::new(width, height).unwrap();
         for y in 0..height {
             for x in 0..width {
-                img.set(x, y, ((x * 255) / (width - 1).max(1)) as u8).unwrap();
+                img.set(x, y, ((x * 255) / (width - 1).max(1)) as u8)
+                    .unwrap();
             }
         }
         DynamicImage::Gray(img)
@@ -163,7 +215,8 @@ mod tests {
     fn mismatched_dimensions_are_rejected() {
         let mut rng = HdcRng::seed_from(1);
         let position =
-            PositionEncoder::new(PositionEncoding::Manhattan, 1024, 4, 4, 1.0, 1, &mut rng).unwrap();
+            PositionEncoder::new(PositionEncoding::Manhattan, 1024, 4, 4, 1.0, 1, &mut rng)
+                .unwrap();
         let color = ColorEncoder::new(ColorEncoding::Manhattan, 2048, 1, 1, &mut rng).unwrap();
         assert!(PixelEncoder::new(position, color).is_err());
     }
@@ -185,8 +238,47 @@ mod tests {
         let enc = encoder(2048, 6, 4);
         let wrong_shape = gradient_image(4, 6);
         assert!(enc.encode_image(&wrong_shape).is_err());
+        assert!(enc.encode_matrix(&wrong_shape).is_err());
         let rgb = DynamicImage::Rgb(gradient_image(6, 4).to_rgb());
         assert!(enc.encode_image(&rgb).is_err());
+        assert!(enc.encode_matrix(&rgb).is_err());
+    }
+
+    #[test]
+    fn matrix_rows_agree_bitwise_with_the_scalar_path() {
+        let enc = encoder(1000, 7, 5); // dim deliberately not a multiple of 64
+        let image = gradient_image(7, 5);
+        let matrix = enc.encode_matrix(&image).unwrap();
+        assert_eq!(matrix.rows(), 35);
+        assert_eq!(matrix.dim(), 1000);
+        for y in 0..5 {
+            for x in 0..7 {
+                let scalar = enc.encode_pixel(&image, x, y).unwrap();
+                assert_eq!(
+                    matrix.row(y * 7 + x).to_hypervector(),
+                    scalar,
+                    "pixel ({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rgb_matrix_rows_agree_bitwise_with_the_scalar_path() {
+        let mut rng = HdcRng::seed_from(31);
+        let position =
+            PositionEncoder::new(PositionEncoding::Manhattan, 1500, 4, 4, 1.0, 1, &mut rng)
+                .unwrap();
+        let color = ColorEncoder::new(ColorEncoding::Manhattan, 1500, 3, 1, &mut rng).unwrap();
+        let enc = PixelEncoder::new(position, color).unwrap();
+        let rgb = DynamicImage::Rgb(gradient_image(4, 4).to_rgb());
+        let matrix = enc.encode_matrix(&rgb).unwrap();
+        for y in 0..4 {
+            for x in 0..4 {
+                let scalar = enc.encode_pixel(&rgb, x, y).unwrap();
+                assert_eq!(matrix.row(y * 4 + x).to_hypervector(), scalar);
+            }
+        }
     }
 
     #[test]
@@ -198,12 +290,8 @@ mod tests {
         let mut img_b = GrayImage::filled(8, 8, 100).unwrap();
         img_a.set(3, 3, 100).unwrap();
         img_b.set(3, 3, 110).unwrap();
-        let hv_a = enc
-            .encode_pixel(&DynamicImage::Gray(img_a), 3, 3)
-            .unwrap();
-        let hv_b = enc
-            .encode_pixel(&DynamicImage::Gray(img_b), 3, 3)
-            .unwrap();
+        let hv_a = enc.encode_pixel(&DynamicImage::Gray(img_a), 3, 3).unwrap();
+        let hv_b = enc.encode_pixel(&DynamicImage::Gray(img_b), 3, 3).unwrap();
         let expected = enc.color().intensity_distance(100, 110).unwrap();
         assert_eq!(hv_a.hamming(&hv_b).unwrap(), expected);
     }

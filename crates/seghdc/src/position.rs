@@ -99,8 +99,10 @@ impl PositionEncoder {
                 // distances collapse in Fig. 3(a).
                 let row_unit = if rows > 1 { dimension / rows } else { 0 };
                 let col_unit = if cols > 1 { dimension / cols } else { 0 };
-                let row_levels = LevelMemory::with_span(rows, dimension, row_unit, 0, dimension, rng)?;
-                let col_levels = LevelMemory::with_span(cols, dimension, col_unit, 0, dimension, rng)?;
+                let row_levels =
+                    LevelMemory::with_span(rows, dimension, row_unit, 0, dimension, rng)?;
+                let col_levels =
+                    LevelMemory::with_span(cols, dimension, col_unit, 0, dimension, rng)?;
                 (
                     row_levels.levels().to_vec(),
                     col_levels.levels().to_vec(),
@@ -133,8 +135,12 @@ impl PositionEncoder {
                     dimension - half,
                     rng,
                 )?;
-                let row_hvs = (0..rows).map(|i| row_levels.level(i / block).clone()).collect();
-                let col_hvs = (0..cols).map(|j| col_levels.level(j / block).clone()).collect();
+                let row_hvs = (0..rows)
+                    .map(|i| row_levels.level(i / block).clone())
+                    .collect();
+                let col_hvs = (0..cols)
+                    .map(|j| col_levels.level(j / block).clone())
+                    .collect();
                 (row_hvs, col_hvs, row_unit, col_unit)
             }
         };
@@ -185,9 +191,11 @@ impl PositionEncoder {
     ///
     /// Returns [`SegHdcError::InvalidConfig`] if `row` is out of range.
     pub fn row_hv(&self, row: usize) -> Result<&BinaryHypervector> {
-        self.rows.get(row).ok_or_else(|| SegHdcError::InvalidConfig {
-            message: format!("row {row} out of range for {} rows", self.rows.len()),
-        })
+        self.rows
+            .get(row)
+            .ok_or_else(|| SegHdcError::InvalidConfig {
+                message: format!("row {row} out of range for {} rows", self.rows.len()),
+            })
     }
 
     /// The codebook hypervector of column `col`.
@@ -196,9 +204,11 @@ impl PositionEncoder {
     ///
     /// Returns [`SegHdcError::InvalidConfig`] if `col` is out of range.
     pub fn col_hv(&self, col: usize) -> Result<&BinaryHypervector> {
-        self.cols.get(col).ok_or_else(|| SegHdcError::InvalidConfig {
-            message: format!("column {col} out of range for {} columns", self.cols.len()),
-        })
+        self.cols
+            .get(col)
+            .ok_or_else(|| SegHdcError::InvalidConfig {
+                message: format!("column {col} out of range for {} columns", self.cols.len()),
+            })
     }
 
     /// Encodes the position at `(row, col)` as `row_hv XOR col_hv`.
@@ -260,36 +270,18 @@ mod tests {
 
     #[test]
     fn construction_validates_parameters() {
-        assert!(PositionEncoder::new(
-            PositionEncoding::Manhattan,
-            1024,
-            0,
-            4,
-            0.5,
-            1,
-            &mut rng()
-        )
-        .is_err());
-        assert!(PositionEncoder::new(
-            PositionEncoding::Manhattan,
-            1024,
-            4,
-            4,
-            0.0,
-            1,
-            &mut rng()
-        )
-        .is_err());
-        assert!(PositionEncoder::new(
-            PositionEncoding::Manhattan,
-            1024,
-            4,
-            4,
-            0.5,
-            0,
-            &mut rng()
-        )
-        .is_err());
+        assert!(
+            PositionEncoder::new(PositionEncoding::Manhattan, 1024, 0, 4, 0.5, 1, &mut rng())
+                .is_err()
+        );
+        assert!(
+            PositionEncoder::new(PositionEncoding::Manhattan, 1024, 4, 4, 0.0, 1, &mut rng())
+                .is_err()
+        );
+        assert!(
+            PositionEncoder::new(PositionEncoding::Manhattan, 1024, 4, 4, 0.5, 0, &mut rng())
+                .is_err()
+        );
     }
 
     #[test]
@@ -313,7 +305,11 @@ mod tests {
     #[test]
     fn manhattan_diagonal_distances_do_not_collapse() {
         let enc = encoder(PositionEncoding::Manhattan, 1.0, 1);
-        let d = enc.encode(0, 0).unwrap().hamming(&enc.encode(1, 1).unwrap()).unwrap();
+        let d = enc
+            .encode(0, 0)
+            .unwrap()
+            .hamming(&enc.encode(1, 1).unwrap())
+            .unwrap();
         assert_eq!(d, enc.row_flip_unit() + enc.col_flip_unit());
         assert!(d > 0);
     }
@@ -354,9 +350,17 @@ mod tests {
         assert_eq!(enc.encode(0, 0).unwrap(), enc.encode(1, 0).unwrap());
         assert_eq!(enc.encode(4, 5).unwrap(), enc.encode(5, 4).unwrap());
         // Across blocks the distance is one flip unit per block step.
-        let d = enc.encode(0, 0).unwrap().hamming(&enc.encode(2, 0).unwrap()).unwrap();
+        let d = enc
+            .encode(0, 0)
+            .unwrap()
+            .hamming(&enc.encode(2, 0).unwrap())
+            .unwrap();
         assert_eq!(d, enc.row_flip_unit());
-        let far = enc.encode(0, 0).unwrap().hamming(&enc.encode(6, 0).unwrap()).unwrap();
+        let far = enc
+            .encode(0, 0)
+            .unwrap()
+            .hamming(&enc.encode(6, 0).unwrap())
+            .unwrap();
         assert_eq!(far, 3 * enc.row_flip_unit());
     }
 
@@ -391,7 +395,10 @@ mod tests {
         let grid = enc.distance_grid(5).unwrap();
         assert_eq!(grid.len(), 5);
         assert_eq!(grid[0][0], 0);
-        assert_eq!(grid[2][3], 2 * enc.row_flip_unit() + 3 * enc.col_flip_unit());
+        assert_eq!(
+            grid[2][3],
+            2 * enc.row_flip_unit() + 3 * enc.col_flip_unit()
+        );
         assert!(enc.distance_grid(99).is_err());
     }
 
@@ -406,16 +413,9 @@ mod tests {
 
     #[test]
     fn rectangular_grids_use_per_axis_flip_units() {
-        let enc = PositionEncoder::new(
-            PositionEncoding::Manhattan,
-            8192,
-            8,
-            32,
-            1.0,
-            1,
-            &mut rng(),
-        )
-        .unwrap();
+        let enc =
+            PositionEncoder::new(PositionEncoding::Manhattan, 8192, 8, 32, 1.0, 1, &mut rng())
+                .unwrap();
         assert_eq!(enc.rows(), 8);
         assert_eq!(enc.cols(), 32);
         assert_eq!(enc.row_flip_unit(), 8192 / (2 * 8));

@@ -26,7 +26,10 @@ impl fmt::Display for SynthError {
         match self {
             SynthError::InvalidProfile { message } => write!(f, "invalid profile: {message}"),
             SynthError::SampleOutOfRange { index, len } => {
-                write!(f, "sample index {index} out of range for dataset of {len} samples")
+                write!(
+                    f,
+                    "sample index {index} out of range for dataset of {len} samples"
+                )
             }
             SynthError::Imaging(err) => write!(f, "imaging error: {err}"),
         }

@@ -163,7 +163,7 @@ impl NucleiImageGenerator {
         // Three-channel rendering: apply mild per-channel gains so the image
         // is genuinely colourful (the colour encoder sees three different
         // values) while keeping the luma close to the intensity canvas.
-        let gains = [
+        let gains: [f64; 3] = [
             1.0 - rng.gen_range(0.0..0.15),
             1.0 - rng.gen_range(0.0..0.15),
             1.0 - rng.gen_range(0.0..0.15),
@@ -250,8 +250,8 @@ mod tests {
         assert_eq!(sample.image.height(), sample.ground_truth.height());
         assert!(sample.ground_truth.foreground_pixels() > 10);
         // Foreground should not swallow the whole image either.
-        let coverage =
-            sample.ground_truth.foreground_pixels() as f64 / sample.ground_truth.pixel_count() as f64;
+        let coverage = sample.ground_truth.foreground_pixels() as f64
+            / sample.ground_truth.pixel_count() as f64;
         assert!(coverage < 0.8, "coverage {coverage}");
     }
 
@@ -261,11 +261,11 @@ mod tests {
         // background and nucleus levels should roughly recover the mask —
         // the property that makes the dataset "easy" in the paper.
         let profile = small(DatasetProfile::bbbc005_like());
-        let threshold = (u16::from(profile.background_level) + u16::from(profile.nucleus_level)) / 2;
+        let threshold =
+            (u16::from(profile.background_level) + u16::from(profile.nucleus_level)) / 2;
         let generator = NucleiImageGenerator::new(profile, 9).unwrap();
         let sample = generator.generate(0).unwrap();
-        let thresholded =
-            LabelMap::from_threshold(&sample.image.to_gray(), threshold as u8);
+        let thresholded = LabelMap::from_threshold(&sample.image.to_gray(), threshold as u8);
         let iou = metrics::binary_iou(&thresholded, &sample.ground_truth.to_binary()).unwrap();
         assert!(iou > 0.7, "threshold IoU {iou}");
     }
@@ -317,6 +317,9 @@ mod tests {
                 assert!(count >= 3, "label {label} has only {count} pixels");
             }
         }
-        assert!(hist.len() >= 2, "expected at least one nucleus plus background");
+        assert!(
+            hist.len() >= 2,
+            "expected at least one nucleus plus background"
+        );
     }
 }

@@ -143,8 +143,7 @@ impl DatasetProfile {
     /// The experiment harnesses use this to run statistically faithful but
     /// cheaper versions of the paper's workloads on small images.
     pub fn scaled(&self, width: usize, height: usize) -> Self {
-        let area_ratio =
-            (width * height) as f64 / (self.width * self.height) as f64;
+        let area_ratio = (width * height) as f64 / (self.width * self.height) as f64;
         let scale = |n: usize| ((n as f64 * area_ratio).round() as usize).max(1);
         // Nuclei must stay well inside even very small target images, so the
         // radius range is capped at a third of the shorter side.

@@ -1,0 +1,436 @@
+//! Offline stand-in for the subset of `rayon`'s parallel iterator API this
+//! workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! real (scoped-thread) data parallelism behind the familiar
+//! `par_iter()` / `into_par_iter()` / `map` / `collect` surface. Work is
+//! split into one contiguous chunk per available core and executed with
+//! `std::thread::scope`; results are reassembled in input order, so the
+//! output is deterministic regardless of scheduling.
+//!
+//! Only indexed sources (ranges and slices) are supported — which is all the
+//! workspace needs — and `map` is the only adaptor. Closures must be `Sync`
+//! (shared across worker threads) and items/results `Send`, exactly as with
+//! real rayon.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads used for a job of `len` items.
+///
+/// Like real rayon's global pool, this honours the `RAYON_NUM_THREADS`
+/// environment variable (benchmarks use it to force a serial run for
+/// speedup comparisons); otherwise it uses every available core.
+fn worker_count(len: usize) -> usize {
+    let cores = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    cores.min(len).max(1)
+}
+
+/// Evaluates `f(i)` for every `i in 0..len` across worker threads, returning
+/// the results in index order.
+pub fn par_eval_indexed<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = worker_count(len);
+    if workers <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(workers);
+    let f = &f;
+    let mut parts: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let start = w * chunk;
+                let end = ((w + 1) * chunk).min(len);
+                scope.spawn(move || (start..end).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for handle in handles {
+            parts.push(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// A parallel iterator over an indexed source.
+///
+/// Unlike real rayon this is not a lazy splittable tree; it is an indexed
+/// view plus a composed map function, evaluated eagerly by
+/// [`collect`](ParallelIterator::collect).
+pub trait ParallelIterator: Sized + Sync {
+    /// The element type produced by this iterator.
+    type Item: Send;
+
+    /// Number of elements.
+    fn par_len(&self) -> usize;
+
+    /// Produces the element at `index` (must be pure: it may run on any
+    /// worker thread, in any order).
+    fn par_item(&self, index: usize) -> Self::Item;
+
+    /// Maps every element through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Evaluates the iterator across worker threads and collects the results
+    /// in input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        let items = par_eval_indexed(self.par_len(), |i| self.par_item(i));
+        C::from_ordered_items(items)
+    }
+
+    /// Runs `f` on every element (parallel, order unspecified).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        par_eval_indexed(self.par_len(), |i| f(self.par_item(i)));
+    }
+
+    /// Sums the elements.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        par_eval_indexed(self.par_len(), |i| self.par_item(i))
+            .into_iter()
+            .sum()
+    }
+}
+
+/// Map adaptor returned by [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn par_item(&self, index: usize) -> R {
+        (self.f)(self.base.par_item(index))
+    }
+}
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct RangeParIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeParIter {
+    type Item = usize;
+
+    fn par_len(&self) -> usize {
+        self.len
+    }
+
+    fn par_item(&self, index: usize) -> usize {
+        self.start + index
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangeParIter;
+
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct SliceParIter<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn par_item(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+
+    fn into_par_iter(self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SliceParIter<'a, T>;
+
+    fn into_par_iter(self) -> SliceParIter<'a, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+/// `par_iter()` on collections, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type (a reference).
+    type Item: Send;
+    /// The concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator,
+    C: 'a,
+{
+    type Item = <&'a C as IntoParallelIterator>::Item;
+    type Iter = <&'a C as IntoParallelIterator>::Iter;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_chunks_mut` on mutable slices, mirroring
+/// `rayon::slice::ParallelSliceMut`.
+///
+/// Only the `par_chunks_mut(n).enumerate().for_each(..)` and
+/// `par_chunks_mut(n).for_each(..)` shapes are supported — chunk borrows
+/// are handed out eagerly via `chunks_mut`, so no `unsafe` splitting is
+/// needed.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of `size`
+    /// elements (the final chunk may be shorter).
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            chunks: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks (see [`ParallelSliceMut`]).
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs every chunk with its index.
+    pub fn enumerate(self) -> EnumerateParChunksMut<'a, T> {
+        EnumerateParChunksMut {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Runs `f` on every chunk across worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct EnumerateParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> EnumerateParChunksMut<'a, T> {
+    /// Runs `f` on every `(index, chunk)` pair across worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        let workers = worker_count(self.chunks.len());
+        if workers <= 1 {
+            for pair in self.chunks.into_iter().enumerate() {
+                f(pair);
+            }
+            return;
+        }
+        let per_worker = self.chunks.len().div_ceil(workers);
+        let f = &f;
+        // Partition the chunk list into contiguous per-worker groups, each
+        // remembering its starting index.
+        let mut groups: Vec<(usize, Vec<&'a mut [T]>)> = Vec::with_capacity(workers);
+        let mut rest = self.chunks;
+        let mut offset = 0usize;
+        while !rest.is_empty() {
+            let tail = rest.split_off(per_worker.min(rest.len()));
+            let taken = rest.len();
+            groups.push((offset, rest));
+            offset += taken;
+            rest = tail;
+        }
+        std::thread::scope(|scope| {
+            for (start, group) in groups {
+                scope.spawn(move || {
+                    for (i, chunk) in group.into_iter().enumerate() {
+                        f((start + i, chunk));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Collection types a parallel iterator can `collect` into.
+pub trait FromParallelIterator<T>: Sized {
+    /// Builds the collection from items already in input order.
+    fn from_ordered_items(items: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_items(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T: Send, E: Send> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered_items(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn slice_par_iter_borrows() {
+        let data: Vec<u32> = (0..257).collect();
+        let out: Vec<u32> = data.par_iter().map(|&v| v + 1).collect();
+        assert_eq!(out[0], 1);
+        assert_eq!(out[256], 257);
+    }
+
+    #[test]
+    fn result_collect_short_circuits_to_first_error() {
+        let out: Result<Vec<usize>, String> = (0..100)
+            .into_par_iter()
+            .map(|i| {
+                if i == 37 {
+                    Err(format!("bad {i}"))
+                } else {
+                    Ok(i)
+                }
+            })
+            .collect();
+        assert_eq!(out.unwrap_err(), "bad 37");
+        let ok: Result<Vec<usize>, String> = (0..10).into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap().len(), 10);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let out: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk_once() {
+        let mut data = vec![0u64; 1037];
+        data.as_mut_slice()
+            .par_chunks_mut(10)
+            .enumerate()
+            .for_each(|(i, chunk)| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = (i * 10 + j) as u64;
+                }
+            });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64);
+        }
+        // Non-enumerated variant.
+        let mut small = vec![1u8; 7];
+        small.as_mut_slice().par_chunks_mut(3).for_each(|chunk| {
+            for v in chunk {
+                *v += 1;
+            }
+        });
+        assert!(small.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let out: Vec<String> = (0..8)
+            .into_par_iter()
+            .map(|i| i * 10)
+            .map(|i| format!("v{i}"))
+            .collect();
+        assert_eq!(out[3], "v30");
+    }
+}

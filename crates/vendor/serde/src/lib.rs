@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace's
+//! optional `serde` feature resolves to this stub: the [`Serialize`] and
+//! [`Deserialize`] trait *names* exist (with no required items) and the
+//! re-exported derive macros expand to nothing. That keeps every
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize))]` attribute in
+//! the workspace compiling with the feature on or off. No actual
+//! serialization is performed; restoring the real serde is a manifest-only
+//! change.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stand-in for `serde::Serialize` (no required items).
+pub trait Serialize {}
+
+/// Stand-in for `serde::Deserialize` (no required items).
+pub trait Deserialize<'de>: Sized {}

@@ -8,7 +8,13 @@ use seghdc_suite::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pi = DeviceProfile::raspberry_pi_4();
-    println!("device: {} ({} cores @ {:.1} GHz, {:.1} GB usable)", pi.name, pi.cores, pi.clock_hz / 1e9, pi.usable_memory_bytes as f64 / 1e9);
+    println!(
+        "device: {} ({} cores @ {:.1} GHz, {:.1} GB usable)",
+        pi.name,
+        pi.cores,
+        pi.clock_hz / 1e9,
+        pi.usable_memory_bytes as f64 / 1e9
+    );
     println!();
     println!(
         "{:<34} {:>16} {:>18}",

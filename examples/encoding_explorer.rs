@@ -33,8 +33,18 @@ fn show_position_variant(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Hamming distance from position (0,0) to every position (i,j), d = 8192\n");
-    show_position_variant("uniform (shared flip sites)", PositionEncoding::Uniform, 1.0, 1)?;
-    show_position_variant("Manhattan (half-split flips)", PositionEncoding::Manhattan, 1.0, 1)?;
+    show_position_variant(
+        "uniform (shared flip sites)",
+        PositionEncoding::Uniform,
+        1.0,
+        1,
+    )?;
+    show_position_variant(
+        "Manhattan (half-split flips)",
+        PositionEncoding::Manhattan,
+        1.0,
+        1,
+    )?;
     show_position_variant(
         "decay Manhattan (alpha = 0.5)",
         PositionEncoding::DecayManhattan,

@@ -56,7 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iterations(5)
             .build()?;
         let seghdc_iou = mean_iou(&dataset, samples, |image| {
-            Ok(SegHdc::new(seghdc_config.clone())?.segment(image)?.label_map)
+            Ok(SegHdc::new(seghdc_config.clone())?
+                .segment(image)?
+                .label_map)
         })?;
 
         println!(

@@ -31,10 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Segment and score.
     let segmentation = pipeline.segment(&sample.image)?;
-    let iou = metrics::matched_binary_iou(
-        &segmentation.label_map,
-        &sample.ground_truth.to_binary(),
-    )?;
+    let iou =
+        metrics::matched_binary_iou(&segmentation.label_map, &sample.ground_truth.to_binary())?;
     println!(
         "SegHDC finished in {:.2?} (encode {:.2?}, cluster {:.2?})",
         segmentation.total_time(),
@@ -52,6 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &segmentation.label_map.to_gray_visualization(),
         out_dir.join("prediction.pgm"),
     )?;
-    println!("wrote input.pgm and prediction.pgm to {}", out_dir.display());
+    println!(
+        "wrote input.pgm and prediction.pgm to {}",
+        out_dir.display()
+    );
     Ok(())
 }

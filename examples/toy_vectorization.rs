@@ -45,8 +45,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    println!("\nmean distance between same-colour pixels:      {:.3}", mean(&same));
-    println!("mean distance between different-colour pixels: {:.3}", mean(&different));
+    println!(
+        "\nmean distance between same-colour pixels:      {:.3}",
+        mean(&same)
+    );
+    println!(
+        "mean distance between different-colour pixels: {:.3}",
+        mean(&different)
+    );
     println!("same-colour pixels are mapped closer together, as in Fig. 1 of the paper");
     Ok(())
 }

@@ -49,7 +49,7 @@ pub use synthdata;
 pub mod prelude {
     pub use cnn_baseline::{KimConfig, KimSegmenter};
     pub use edge_device::{DeviceProfile, Workload};
-    pub use hdc::{Accumulator, BinaryHypervector, HdcRng};
+    pub use hdc::{Accumulator, BinaryHypervector, HdcRng, HvMatrix};
     pub use imaging::{metrics, DynamicImage, GrayImage, LabelMap, RgbImage};
     pub use seghdc::{
         ColorEncoding, DistanceMetric, PositionEncoding, SegHdc, SegHdcConfig, Segmentation,

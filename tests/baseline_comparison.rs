@@ -27,7 +27,10 @@ fn seghdc_matches_or_beats_the_scaled_baseline_on_an_easy_profile() {
         .iterations(4)
         .build()
         .unwrap();
-    let seghdc = SegHdc::new(seghdc_config).unwrap().segment(&sample.image).unwrap();
+    let seghdc = SegHdc::new(seghdc_config)
+        .unwrap()
+        .segment(&sample.image)
+        .unwrap();
     let seghdc_iou = metrics::matched_binary_iou(&seghdc.label_map, &truth).unwrap();
 
     assert!(
@@ -53,7 +56,10 @@ fn seghdc_is_much_faster_than_the_baseline_at_equal_image_size() {
         .iterations(3)
         .build()
         .unwrap();
-    SegHdc::new(seghdc_config).unwrap().segment(&sample.image).unwrap();
+    SegHdc::new(seghdc_config)
+        .unwrap()
+        .segment(&sample.image)
+        .unwrap();
     let seghdc_time = start.elapsed();
 
     let start = std::time::Instant::now();

@@ -21,11 +21,9 @@ fn seghdc_segments_synthetic_bbbc005_images_accurately() {
     let pipeline = SegHdc::new(quick_config(2)).unwrap();
     for sample in dataset.iter() {
         let segmentation = pipeline.segment(&sample.image).unwrap();
-        let iou = metrics::matched_binary_iou(
-            &segmentation.label_map,
-            &sample.ground_truth.to_binary(),
-        )
-        .unwrap();
+        let iou =
+            metrics::matched_binary_iou(&segmentation.label_map, &sample.ground_truth.to_binary())
+                .unwrap();
         assert!(iou > 0.7, "{}: IoU {iou}", sample.name);
     }
 }
@@ -67,7 +65,11 @@ fn seghdc_handles_grayscale_and_rgb_profiles_alike() {
         DatasetProfile::bbbc005_like().scaled(48, 48), // 1 channel
         DatasetProfile::monuseg_like().scaled(48, 48), // 3 channels
     ] {
-        let clusters = if profile.name.starts_with("MoNuSeg") { 3 } else { 2 };
+        let clusters = if profile.name.starts_with("MoNuSeg") {
+            3
+        } else {
+            2
+        };
         let dataset = SyntheticDataset::new(profile, 3, 1).unwrap();
         let sample = dataset.sample(0).unwrap();
         let segmentation = SegHdc::new(quick_config(clusters))
@@ -84,8 +86,14 @@ fn segmentation_results_are_reproducible_across_pipeline_instances() {
     let dataset =
         SyntheticDataset::new(DatasetProfile::dsb2018_like().scaled(56, 56), 77, 1).unwrap();
     let sample = dataset.sample(0).unwrap();
-    let a = SegHdc::new(quick_config(2)).unwrap().segment(&sample.image).unwrap();
-    let b = SegHdc::new(quick_config(2)).unwrap().segment(&sample.image).unwrap();
+    let a = SegHdc::new(quick_config(2))
+        .unwrap()
+        .segment(&sample.image)
+        .unwrap();
+    let b = SegHdc::new(quick_config(2))
+        .unwrap()
+        .segment(&sample.image)
+        .unwrap();
     assert_eq!(a.label_map, b.label_map);
     assert_eq!(a.cluster_sizes, b.cluster_sizes);
 }
@@ -95,7 +103,10 @@ fn predicted_masks_roundtrip_through_pnm_files() {
     let dataset =
         SyntheticDataset::new(DatasetProfile::bbbc005_like().scaled(40, 40), 5, 1).unwrap();
     let sample = dataset.sample(0).unwrap();
-    let segmentation = SegHdc::new(quick_config(2)).unwrap().segment(&sample.image).unwrap();
+    let segmentation = SegHdc::new(quick_config(2))
+        .unwrap()
+        .segment(&sample.image)
+        .unwrap();
     let visualization = segmentation.label_map.to_gray_visualization();
 
     let mut buffer = Vec::new();
