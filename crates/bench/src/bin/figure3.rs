@@ -2,10 +2,11 @@
 //! (distance from position (0,0) to every position (i,j)) of the four
 //! position-encoding variants, expressed in multiples of the flip unit `x`.
 //!
-//! Usage: `cargo run -p seghdc-bench --release --bin figure3`
+//! Usage: `cargo run -p seghdc_bench --release --bin figure3 [--full|--tiny]`
 
 use hdc::HdcRng;
 use seghdc::{PositionEncoder, PositionEncoding};
+use seghdc_bench::Scale;
 
 fn print_grid(title: &str, encoder: &PositionEncoder, size: usize) {
     let unit = encoder.row_flip_unit().max(encoder.col_flip_unit()).max(1);
@@ -24,8 +25,12 @@ fn print_grid(title: &str, encoder: &PositionEncoder, size: usize) {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dimension = 10_000;
-    let grid = 8;
+    // The figure is a pure codebook property, so only the smoke-test scale
+    // shrinks it; quick and full both use the paper's dimension.
+    let (dimension, grid) = match Scale::from_args() {
+        Scale::Tiny => (2_000, 4),
+        Scale::Quick | Scale::Full => (10_000, 8),
+    };
     println!("Fig. 3 reproduction: distance between the HV at (0,0) and every (i,j),");
     println!("in multiples of the flip unit x; alpha = 0.5, beta = 2, d = {dimension}\n");
 

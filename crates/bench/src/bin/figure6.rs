@@ -4,7 +4,7 @@
 //! written as PGM files under `target/figure6/` so they can be compared
 //! visually, and the per-image IoU scores are printed.
 //!
-//! Usage: `cargo run -p seghdc-bench --release --bin figure6 [--full]`
+//! Usage: `cargo run -p seghdc_bench --release --bin figure6 [--full|--tiny]`
 
 use cnn_baseline::KimSegmenter;
 use imaging::{metrics, pnm};

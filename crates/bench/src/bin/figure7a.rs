@@ -5,7 +5,7 @@
 //! Latency is measured on this host and also rescaled to the Raspberry Pi
 //! profile so the series has the same units as the paper's right axis.
 //!
-//! Usage: `cargo run -p seghdc-bench --release --bin figure7a [--full]`
+//! Usage: `cargo run -p seghdc_bench --release --bin figure7a [--full|--tiny]`
 
 use edge_device::DeviceProfile;
 use seghdc::sweep;
@@ -18,6 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The paper fixes d = 10 000 for this sweep on the 256x320x3 image.
         Scale::Full => (DatasetProfile::dsb2018_like(), 10_000),
         Scale::Quick => (DatasetProfile::dsb2018_like().scaled(128, 96), 2_000),
+        Scale::Tiny => (DatasetProfile::dsb2018_like().scaled(16, 16), 256),
     };
     let generator = NucleiImageGenerator::new(profile.clone(), 11)?;
     let sample = generator.generate(0)?;

@@ -2,7 +2,7 @@
 //! function of the hypervector dimension (200–1000) on a DSB2018-style
 //! sample image, with the number of iterations fixed at 10.
 //!
-//! Usage: `cargo run -p seghdc-bench --release --bin figure7b [--full]`
+//! Usage: `cargo run -p seghdc_bench --release --bin figure7b [--full|--tiny]`
 
 use edge_device::DeviceProfile;
 use seghdc::sweep;
@@ -14,6 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = match scale {
         Scale::Full => DatasetProfile::dsb2018_like(),
         Scale::Quick => DatasetProfile::dsb2018_like().scaled(128, 96),
+        Scale::Tiny => DatasetProfile::dsb2018_like().scaled(16, 16),
     };
     let generator = NucleiImageGenerator::new(profile.clone(), 11)?;
     let sample = generator.generate(0)?;
@@ -36,8 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>10} {:>10} {:>14} {:>18}",
         "dimension", "IoU", "host latency", "est. Pi latency"
     );
-    let dimensions = [200usize, 400, 600, 800, 1000];
-    let points = sweep::dimension_sweep(&base, dimensions, &sample.image, &truth)?;
+    let dimensions: &[usize] = match scale {
+        Scale::Tiny => &[128, 256],
+        Scale::Quick | Scale::Full => &[200, 400, 600, 800, 1000],
+    };
+    let points = sweep::dimension_sweep(&base, dimensions.iter().copied(), &sample.image, &truth)?;
     for point in &points {
         let pi_latency = pi.scale_measurement(&host, point.latency);
         println!(

@@ -3,7 +3,7 @@
 //! The masks (plus the input and ground truth) are written as PGM files
 //! under `target/figure8/` and the per-iteration IoU is printed.
 //!
-//! Usage: `cargo run -p seghdc-bench --release --bin figure8 [--full]`
+//! Usage: `cargo run -p seghdc_bench --release --bin figure8 [--full|--tiny]`
 
 use imaging::{metrics, pnm};
 use seghdc::SegHdc;
@@ -16,6 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = match scale {
         Scale::Full => DatasetProfile::dsb2018_like(),
         Scale::Quick => DatasetProfile::dsb2018_like().scaled(128, 96),
+        Scale::Tiny => DatasetProfile::dsb2018_like().scaled(16, 16),
     };
     let generator = NucleiImageGenerator::new(profile.clone(), 11)?;
     let sample = generator.generate(0)?;

@@ -8,7 +8,7 @@
 //! is estimated analytically from its operation count because running the
 //! reference 1000-iteration training takes hours even on a desktop.
 //!
-//! Usage: `cargo run -p seghdc-bench --release --bin table2 [--full]`
+//! Usage: `cargo run -p seghdc_bench --release --bin table2 [--full|--tiny]`
 
 use edge_device::{DeviceProfile, Workload};
 use imaging::metrics;
@@ -33,6 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (dsb_size, bbbc_size) = match scale {
         Scale::Full => ((320usize, 256usize), (696usize, 520usize)),
         Scale::Quick => ((160, 128), (348, 260)),
+        Scale::Tiny => ((20, 16), (24, 20)),
     };
 
     let rows = vec![
@@ -87,12 +88,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "baseline"
         );
 
-        // --- SegHDC: run for real, score, and rescale the measured latency.
+        // --- SegHDC: run for real (through the public batch engine), score,
+        // and rescale the measured latency.
         let mut config = row.seghdc_config.clone();
-        if scale == Scale::Quick {
+        if scale != Scale::Full {
             config.beta = (config.beta * width / 320).max(1);
         }
-        let segmentation = SegHdc::new(config)?.segment(&sample.image)?;
+        if scale == Scale::Tiny {
+            config.dimension = 256;
+            config.iterations = 2;
+        }
+        let segmentation = SegHdc::new(config)?
+            .segment_batch(std::slice::from_ref(&sample.image))?
+            .remove(0);
         let iou =
             metrics::matched_binary_iou(&segmentation.label_map, &sample.ground_truth.to_binary())?;
         let host_latency = segmentation.total_time();

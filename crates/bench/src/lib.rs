@@ -20,6 +20,9 @@ use synthdata::{DatasetProfile, SyntheticDataset};
 /// Scale at which an experiment harness runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// 16×16 images, one sample, minimal dimensions — a seconds-long sanity
+    /// pass used by the binary smoke tests.
+    Tiny,
     /// Reduced image sizes / sample counts / dimensions; finishes in minutes.
     Quick,
     /// The paper's original image sizes and parameters.
@@ -28,10 +31,13 @@ pub enum Scale {
 
 impl Scale {
     /// Parses the scale from command-line arguments (`--full` selects
-    /// [`Scale::Full`], everything else defaults to [`Scale::Quick`]).
+    /// [`Scale::Full`], `--tiny` selects [`Scale::Tiny`], everything else
+    /// defaults to [`Scale::Quick`]).
     pub fn from_args() -> Self {
         if std::env::args().any(|a| a == "--full") {
             Scale::Full
+        } else if std::env::args().any(|a| a == "--tiny") {
+            Scale::Tiny
         } else {
             Scale::Quick
         }
@@ -49,12 +55,14 @@ pub fn dataset_profiles(scale: Scale) -> Vec<DatasetProfile> {
     match scale {
         Scale::Full => profiles,
         Scale::Quick => profiles.into_iter().map(|p| p.scaled(96, 96)).collect(),
+        Scale::Tiny => profiles.into_iter().map(|p| p.scaled(16, 16)).collect(),
     }
 }
 
 /// Number of images evaluated per dataset at the given scale.
 pub fn samples_per_dataset(scale: Scale) -> usize {
     match scale {
+        Scale::Tiny => 1,
         Scale::Quick => 4,
         Scale::Full => 20,
     }
@@ -62,7 +70,7 @@ pub fn samples_per_dataset(scale: Scale) -> usize {
 
 /// SegHDC configuration for a dataset profile, following Table I's
 /// hyper-parameters (`α = 0.2`, `γ = 1`, `β = 21/26`, 2 or 3 clusters), with
-/// the dimension reduced in quick mode.
+/// the dimension reduced in quick and tiny modes.
 pub fn seghdc_config_for(profile: &DatasetProfile, scale: Scale) -> SegHdcConfig {
     let mut config = if profile.name.starts_with("BBBC005") {
         SegHdcConfig::bbbc005()
@@ -71,12 +79,20 @@ pub fn seghdc_config_for(profile: &DatasetProfile, scale: Scale) -> SegHdcConfig
     } else {
         SegHdcConfig::dsb2018()
     };
-    if scale == Scale::Quick {
-        config.dimension = 2000;
-        config.iterations = 5;
-        // β scales with the image: the paper's 21/26 blocks on ~256-pixel
-        // axes correspond to ~8 blocks on a 96-pixel axis.
-        config.beta = (config.beta * 96 / 256).max(1);
+    match scale {
+        Scale::Full => {}
+        Scale::Quick => {
+            config.dimension = 2000;
+            config.iterations = 5;
+            // β scales with the image: the paper's 21/26 blocks on ~256-pixel
+            // axes correspond to ~8 blocks on a 96-pixel axis.
+            config.beta = (config.beta * 96 / 256).max(1);
+        }
+        Scale::Tiny => {
+            config.dimension = 256;
+            config.iterations = 2;
+            config.beta = (config.beta * 16 / 256).max(1);
+        }
     }
     config
 }
@@ -84,6 +100,7 @@ pub fn seghdc_config_for(profile: &DatasetProfile, scale: Scale) -> SegHdcConfig
 /// CNN-baseline configuration at the given scale.
 pub fn baseline_config_for(scale: Scale) -> KimConfig {
     match scale {
+        Scale::Tiny => KimConfig::tiny(),
         Scale::Quick => KimConfig::evaluation(),
         Scale::Full => KimConfig::reference(),
     }
@@ -124,8 +141,76 @@ impl Method {
     }
 }
 
+/// The SegHDC configuration a Table I column runs with: the base
+/// configuration for the `SegHDC` column and the random-codebook ablations
+/// for `RPos`/`RColor` (`None` for the CNN baseline).
+fn seghdc_variant_for(method: Method, base: &SegHdcConfig) -> Option<SegHdcConfig> {
+    match method {
+        Method::CnnBaseline => None,
+        Method::SegHdc => Some(base.clone()),
+        Method::RandomPosition => Some(SegHdcConfig {
+            position_encoding: PositionEncoding::Random,
+            ..base.clone()
+        }),
+        Method::RandomColor => Some(SegHdcConfig {
+            color_encoding: ColorEncoding::Random,
+            ..base.clone()
+        }),
+    }
+}
+
+/// Runs one method over a whole batch of images and returns one matched
+/// binary IoU per image.
+///
+/// Every SegHDC-family method goes through the public
+/// [`SegHdc::segment_batch`] engine, so codebooks are derived **once per
+/// image shape** for the whole batch instead of once per image — this is
+/// the entry point all experiment binaries route their segmentations
+/// through. The CNN baseline trains per image by construction and is run
+/// in a loop.
+///
+/// # Errors
+///
+/// Returns a boxed error if segmentation or scoring fails, or if `images`
+/// and `truths` disagree in length.
+pub fn evaluate_method_batch(
+    method: Method,
+    images: &[imaging::DynamicImage],
+    truths: &[LabelMap],
+    seghdc_config: &SegHdcConfig,
+    baseline_config: &KimConfig,
+) -> Result<Vec<f64>, Box<dyn std::error::Error>> {
+    if images.len() != truths.len() {
+        return Err(format!("{} images but {} ground truths", images.len(), truths.len()).into());
+    }
+    let predictions: Vec<LabelMap> = match seghdc_variant_for(method, seghdc_config) {
+        Some(config) => SegHdc::new(config)?
+            .segment_batch(images)?
+            .into_iter()
+            .map(|segmentation| segmentation.label_map)
+            .collect(),
+        None => {
+            let mut maps = Vec::with_capacity(images.len());
+            for image in images {
+                maps.push(
+                    KimSegmenter::new(baseline_config.clone())?
+                        .segment(image)?
+                        .label_map,
+                );
+            }
+            maps
+        }
+    };
+    predictions
+        .iter()
+        .zip(truths)
+        .map(|(prediction, truth)| Ok(metrics::matched_binary_iou(prediction, &truth.to_binary())?))
+        .collect()
+}
+
 /// Runs one method on one image and returns the matched binary IoU against
-/// the ground truth.
+/// the ground truth. Thin wrapper over
+/// [`evaluate_method_batch`] for single-image call sites.
 ///
 /// # Errors
 ///
@@ -137,37 +222,18 @@ pub fn evaluate_method(
     seghdc_config: &SegHdcConfig,
     baseline_config: &KimConfig,
 ) -> Result<f64, Box<dyn std::error::Error>> {
-    let binary_truth = truth.to_binary();
-    let prediction = match method {
-        Method::CnnBaseline => {
-            KimSegmenter::new(baseline_config.clone())?
-                .segment(image)?
-                .label_map
-        }
-        Method::SegHdc => {
-            SegHdc::new(seghdc_config.clone())?
-                .segment(image)?
-                .label_map
-        }
-        Method::RandomPosition => {
-            let config = SegHdcConfig {
-                position_encoding: PositionEncoding::Random,
-                ..seghdc_config.clone()
-            };
-            SegHdc::new(config)?.segment(image)?.label_map
-        }
-        Method::RandomColor => {
-            let config = SegHdcConfig {
-                color_encoding: ColorEncoding::Random,
-                ..seghdc_config.clone()
-            };
-            SegHdc::new(config)?.segment(image)?.label_map
-        }
-    };
-    Ok(metrics::matched_binary_iou(&prediction, &binary_truth)?)
+    let scores = evaluate_method_batch(
+        method,
+        std::slice::from_ref(image),
+        std::slice::from_ref(truth),
+        seghdc_config,
+        baseline_config,
+    )?;
+    Ok(scores[0])
 }
 
-/// Mean IoU of one method over the first `samples` images of a dataset.
+/// Mean IoU of one method over the first `samples` images of a dataset,
+/// evaluated as one batch (codebooks shared across the same-shaped images).
 ///
 /// # Errors
 ///
@@ -180,18 +246,15 @@ pub fn mean_iou_over_dataset(
     baseline_config: &KimConfig,
 ) -> Result<f64, Box<dyn std::error::Error>> {
     let count = samples.min(dataset.len());
-    let mut total = 0.0;
+    let mut images = Vec::with_capacity(count);
+    let mut truths = Vec::with_capacity(count);
     for index in 0..count {
         let sample = dataset.sample(index)?;
-        total += evaluate_method(
-            method,
-            &sample.image,
-            &sample.ground_truth,
-            seghdc_config,
-            baseline_config,
-        )?;
+        images.push(sample.image);
+        truths.push(sample.ground_truth);
     }
-    Ok(total / count as f64)
+    let scores = evaluate_method_batch(method, &images, &truths, seghdc_config, baseline_config)?;
+    Ok(scores.iter().sum::<f64>() / count as f64)
 }
 
 /// Formats a duration in seconds with one decimal, as in the paper's tables.
@@ -230,6 +293,66 @@ mod tests {
         assert_eq!(quick.clusters, 3);
         assert!(quick.dimension < monu.dimension);
         quick.validate().unwrap();
+    }
+
+    #[test]
+    fn tiny_scale_shrinks_everything_further() {
+        let tiny = dataset_profiles(Scale::Tiny);
+        assert!(tiny.iter().all(|p| p.width == 16 && p.height == 16));
+        assert_eq!(samples_per_dataset(Scale::Tiny), 1);
+        for profile in &tiny {
+            let config = seghdc_config_for(profile, Scale::Tiny);
+            assert!(config.dimension <= 256);
+            config.validate().unwrap();
+        }
+        assert_eq!(
+            baseline_config_for(Scale::Tiny).feature_channels,
+            KimConfig::tiny().feature_channels
+        );
+    }
+
+    #[test]
+    fn batch_evaluation_matches_single_image_evaluation() {
+        let profile = DatasetProfile::bbbc005_like().scaled(24, 24);
+        let dataset = SyntheticDataset::new(profile.clone(), 9, 2).unwrap();
+        let mut config = seghdc_config_for(&profile, Scale::Tiny);
+        config.dimension = 512;
+        let mut images = Vec::new();
+        let mut truths = Vec::new();
+        for index in 0..2 {
+            let sample = dataset.sample(index).unwrap();
+            images.push(sample.image);
+            truths.push(sample.ground_truth);
+        }
+        let batch = evaluate_method_batch(
+            Method::SegHdc,
+            &images,
+            &truths,
+            &config,
+            &KimConfig::tiny(),
+        )
+        .unwrap();
+        assert_eq!(batch.len(), 2);
+        for (index, score) in batch.iter().enumerate() {
+            let single = evaluate_method(
+                Method::SegHdc,
+                &images[index],
+                &truths[index],
+                &config,
+                &KimConfig::tiny(),
+            )
+            .unwrap();
+            assert_eq!(*score, single, "image {index}");
+        }
+        // Length mismatches are rejected.
+        assert!(evaluate_method_batch(
+            Method::SegHdc,
+            &images,
+            &truths[..1],
+            &config,
+            &KimConfig::tiny()
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Smoke tests for every experiment binary: each must run to completion on
+//! a tiny (16×16-class) workload and produce output. The binaries were
+//! previously untested and broke silently on API changes; this harness runs
+//! the real executables (cargo exposes their paths via `CARGO_BIN_EXE_*`)
+//! with `--tiny`.
+
+use std::process::Command;
+
+fn run_bin(path: &str, name: &str) {
+    let output = Command::new(path)
+        .arg("--tiny")
+        .output()
+        .unwrap_or_else(|err| panic!("failed to launch {name}: {err}"));
+    assert!(
+        output.status.success(),
+        "{name} --tiny exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "{name} --tiny printed nothing on stdout"
+    );
+}
+
+#[test]
+fn table1_runs_on_a_tiny_workload() {
+    run_bin(env!("CARGO_BIN_EXE_table1"), "table1");
+}
+
+#[test]
+fn table2_runs_on_a_tiny_workload() {
+    run_bin(env!("CARGO_BIN_EXE_table2"), "table2");
+}
+
+#[test]
+fn figure3_runs_on_a_tiny_workload() {
+    run_bin(env!("CARGO_BIN_EXE_figure3"), "figure3");
+}
+
+#[test]
+fn figure6_runs_on_a_tiny_workload() {
+    run_bin(env!("CARGO_BIN_EXE_figure6"), "figure6");
+}
+
+#[test]
+fn figure7a_runs_on_a_tiny_workload() {
+    run_bin(env!("CARGO_BIN_EXE_figure7a"), "figure7a");
+}
+
+#[test]
+fn figure7b_runs_on_a_tiny_workload() {
+    run_bin(env!("CARGO_BIN_EXE_figure7b"), "figure7b");
+}
+
+#[test]
+fn figure8_runs_on_a_tiny_workload() {
+    run_bin(env!("CARGO_BIN_EXE_figure8"), "figure8");
+}

@@ -66,6 +66,40 @@ impl HvMatrix {
         })
     }
 
+    /// Reshapes the matrix in place to `rows` hypervectors of dimension
+    /// `dim`, zeroing every bit.
+    ///
+    /// The backing allocation is **reused** whenever its capacity suffices,
+    /// which makes a single `HvMatrix` usable as a bounded arena across a
+    /// sequence of differently-sized batches (the streaming tiled segmenter
+    /// resets one matrix per tile instead of allocating per tile). Use
+    /// [`capacity_bytes`](Self::capacity_bytes) to observe the high-water
+    /// mark of the buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ZeroDimension`] if `dim == 0`.
+    pub fn reset(&mut self, rows: usize, dim: usize) -> Result<()> {
+        if dim == 0 {
+            return Err(HdcError::ZeroDimension);
+        }
+        let stride = dim.div_ceil(64);
+        let words = rows.saturating_mul(stride);
+        self.words.clear();
+        self.words.resize(words, 0);
+        self.rows = rows;
+        self.dim = dim;
+        self.stride = stride;
+        Ok(())
+    }
+
+    /// Bytes currently reserved by the backing buffer (its capacity, not
+    /// its length) — the number that matters for peak-memory accounting of
+    /// arenas built on [`reset`](Self::reset).
+    pub fn capacity_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+
     /// Packs a slice of hypervectors into a matrix (row `i` = `vectors[i]`).
     ///
     /// # Errors
@@ -487,6 +521,33 @@ mod tests {
         assert_eq!(m.row(0).count_ones(), 0);
         // Clearing row 0 must not touch row 1.
         assert_eq!(m.row(1).to_hypervector(), a);
+    }
+
+    #[test]
+    fn reset_reuses_the_backing_allocation() {
+        let mut r = rng();
+        let mut m = HvMatrix::zeros(10, 256).unwrap();
+        for i in 0..10 {
+            m.set_row(i, &BinaryHypervector::random(256, &mut r))
+                .unwrap();
+        }
+        let peak = m.capacity_bytes();
+        assert!(peak >= 10 * 4 * 8);
+
+        // Shrinking keeps the allocation and zeroes the content.
+        m.reset(3, 100).unwrap();
+        assert_eq!((m.rows(), m.dim(), m.stride_words()), (3, 100, 2));
+        assert_eq!(m.capacity_bytes(), peak);
+        assert!(m.as_words().iter().all(|&w| w == 0));
+
+        // Growing within a previously-seen word budget also keeps it.
+        m.reset(5, 128).unwrap();
+        assert_eq!(m.capacity_bytes(), peak);
+
+        // Zero dimension stays invalid; zero rows are fine.
+        assert!(m.reset(4, 0).is_err());
+        m.reset(0, 64).unwrap();
+        assert_eq!(m.rows(), 0);
     }
 
     #[test]

@@ -186,6 +186,28 @@ impl LabelMap {
         }
     }
 
+    /// Whether this map and `other` induce the same **partition** of the
+    /// pixels — equal up to a relabelling (the label mapping between them
+    /// is functional in both directions).
+    ///
+    /// This is the equivalence that matters when comparing unsupervised
+    /// segmentations, whose cluster ids are arbitrary: the streaming tiled
+    /// segmenter's output is checked against the whole-image path with it.
+    /// Maps of different shapes are never permutations of each other.
+    pub fn is_permutation_of(&self, other: &LabelMap) -> bool {
+        if self.width != other.width || self.height != other.height {
+            return false;
+        }
+        let mut forward: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut backward: BTreeMap<u32, u32> = BTreeMap::new();
+        for (&a, &b) in self.labels.iter().zip(&other.labels) {
+            if *forward.entry(a).or_insert(b) != b || *backward.entry(b).or_insert(a) != a {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Renders the label map as a grayscale image for inspection: background
     /// stays black and labels are spread evenly over the 8-bit range.
     pub fn to_gray_visualization(&self) -> GrayImage {
@@ -253,6 +275,24 @@ mod tests {
         mapping.insert(3u32, 1u32);
         mapping.insert(9u32, 2u32);
         assert_eq!(map.remap(&mapping).as_raw(), &[0, 1, 2, 2]);
+    }
+
+    #[test]
+    fn permutation_equivalence_is_relabelling_not_equality() {
+        let map = LabelMap::from_raw(2, 2, vec![0, 1, 1, 2]).unwrap();
+        let renamed = LabelMap::from_raw(2, 2, vec![7, 3, 3, 0]).unwrap();
+        assert!(map.is_permutation_of(&renamed));
+        assert!(renamed.is_permutation_of(&map));
+        assert!(map.is_permutation_of(&map));
+        // A label split across two labels breaks it in one direction...
+        let split = LabelMap::from_raw(2, 2, vec![0, 1, 2, 3]).unwrap();
+        assert!(!map.is_permutation_of(&split));
+        // ... and a merge breaks it in the other.
+        let merged = LabelMap::from_raw(2, 2, vec![0, 0, 0, 2]).unwrap();
+        assert!(!map.is_permutation_of(&merged));
+        // Shape mismatches are never equivalent.
+        let other_shape = LabelMap::from_raw(4, 1, vec![0, 1, 1, 2]).unwrap();
+        assert!(!map.is_permutation_of(&other_shape));
     }
 
     #[test]

@@ -5,6 +5,10 @@
 //! in pure Rust:
 //!
 //! * [`GrayImage`] / [`RgbImage`] / [`DynamicImage`] — 8-bit image buffers.
+//! * [`ImageView`] — borrowed rectangular views for zero-copy sub-image
+//!   addressing.
+//! * [`TileGrid`] — tile + halo geometry planning for streaming (tiled)
+//!   processing of images larger than memory.
 //! * [`LabelMap`] — per-pixel integer label maps (segmentation masks).
 //! * [`pnm`] — PGM/PPM reading and writing so masks and inputs can be
 //!   inspected with standard tools.
@@ -50,10 +54,14 @@ pub mod metrics;
 pub mod morphology;
 pub mod pnm;
 pub mod resize;
+mod tile;
+mod view;
 
 pub use error::ImagingError;
 pub use image::{DynamicImage, GrayImage, RgbImage};
 pub use label_map::LabelMap;
+pub use tile::{Tile, TileGrid, TileRect};
+pub use view::ImageView;
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, ImagingError>;

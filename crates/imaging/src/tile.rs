@@ -1,0 +1,439 @@
+use crate::{ImagingError, Result};
+
+/// An axis-aligned pixel rectangle, used for tile interiors, halo-padded
+/// tile regions and image-view crops.
+///
+/// Coordinates are in the coordinate system of whatever image (or view) the
+/// rectangle was planned against; `x`/`y` is the top-left corner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TileRect {
+    /// Leftmost column of the rectangle.
+    pub x: usize,
+    /// Topmost row of the rectangle.
+    pub y: usize,
+    /// Width in pixels (always non-zero for rectangles produced by
+    /// [`TileGrid`]).
+    pub width: usize,
+    /// Height in pixels (always non-zero for rectangles produced by
+    /// [`TileGrid`]).
+    pub height: usize,
+}
+
+impl TileRect {
+    /// Number of pixels covered by the rectangle.
+    pub fn area(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// One past the rightmost column.
+    pub fn right(&self) -> usize {
+        self.x + self.width
+    }
+
+    /// One past the bottom row.
+    pub fn bottom(&self) -> usize {
+        self.y + self.height
+    }
+
+    /// Whether the pixel `(x, y)` lies inside the rectangle.
+    pub fn contains(&self, x: usize, y: usize) -> bool {
+        x >= self.x && x < self.right() && y >= self.y && y < self.bottom()
+    }
+}
+
+/// One tile planned by a [`TileGrid`]: its grid position, the interior
+/// rectangle it is responsible for, and the halo-padded rectangle it should
+/// be processed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// Column of the tile in the tile grid (0-based).
+    pub grid_x: usize,
+    /// Row of the tile in the tile grid (0-based).
+    pub grid_y: usize,
+    /// The pixels this tile *owns*: interiors of all tiles partition the
+    /// image exactly (every pixel belongs to exactly one interior).
+    pub interior: TileRect,
+    /// The interior expanded by the halo on every side, clamped to the
+    /// image borders. This is the region a streaming segmenter encodes and
+    /// clusters, so that tile-boundary pixels see the same neighbourhood
+    /// context as in a whole-image run.
+    pub padded: TileRect,
+}
+
+/// Tile/halo geometry planner over an arbitrary `(height, width)` image.
+///
+/// The planner splits the image into a grid of `tile_width × tile_height`
+/// interior rectangles (the last row/column absorb the remainder and may be
+/// smaller) and pads each interior by `halo` pixels on every side, clamped
+/// to the image borders. Interiors cover every pixel exactly once; padded
+/// regions overlap by up to `2 × halo` pixels, which is what gives a
+/// tile-stitching segmenter its cross-tile voting evidence.
+///
+/// # Example
+///
+/// ```rust
+/// # fn main() -> Result<(), imaging::ImagingError> {
+/// use imaging::TileGrid;
+///
+/// let grid = TileGrid::new(100, 60, 32, 32, 4)?;
+/// assert_eq!((grid.tiles_x(), grid.tiles_y()), (4, 2));
+/// let corner = grid.tile(0, 0)?;
+/// assert_eq!(corner.interior.area(), 32 * 32);
+/// // The top-left tile has no halo above or left of it (clamped), but
+/// // extends 4 pixels into its right and bottom neighbours.
+/// assert_eq!((corner.padded.width, corner.padded.height), (36, 36));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileGrid {
+    width: usize,
+    height: usize,
+    tile_width: usize,
+    tile_height: usize,
+    halo: usize,
+    tiles_x: usize,
+    tiles_y: usize,
+}
+
+impl TileGrid {
+    /// Plans a tile grid over a `width × height` image.
+    ///
+    /// `tile_width`/`tile_height` are clamped to the image dimensions, so a
+    /// tile size at least as large as the image degenerates to a single
+    /// tile covering everything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::EmptyImage`] if the image is empty,
+    /// [`ImagingError::InvalidParameter`] if a tile dimension is zero or if
+    /// `halo` is at least as large as the (clamped) tile edge — a halo that
+    /// swallows whole neighbouring tiles would make the overlap bookkeeping
+    /// ambiguous, so it is rejected up front.
+    pub fn new(
+        width: usize,
+        height: usize,
+        tile_width: usize,
+        tile_height: usize,
+        halo: usize,
+    ) -> Result<Self> {
+        if width == 0 || height == 0 {
+            return Err(ImagingError::EmptyImage);
+        }
+        if tile_width == 0 || tile_height == 0 {
+            return Err(ImagingError::InvalidParameter {
+                message: "tile dimensions must be non-zero".to_string(),
+            });
+        }
+        let tile_width = tile_width.min(width);
+        let tile_height = tile_height.min(height);
+        if halo >= tile_width || halo >= tile_height {
+            return Err(ImagingError::InvalidParameter {
+                message: format!(
+                    "halo {halo} must be smaller than the tile edges ({tile_width}x{tile_height})"
+                ),
+            });
+        }
+        Ok(Self {
+            width,
+            height,
+            tile_width,
+            tile_height,
+            halo,
+            tiles_x: width.div_ceil(tile_width),
+            tiles_y: height.div_ceil(tile_height),
+        })
+    }
+
+    /// Image width the grid was planned for.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height the grid was planned for.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Interior tile width (the last column may be narrower).
+    pub fn tile_width(&self) -> usize {
+        self.tile_width
+    }
+
+    /// Interior tile height (the last row may be shorter).
+    pub fn tile_height(&self) -> usize {
+        self.tile_height
+    }
+
+    /// Halo width in pixels.
+    pub fn halo(&self) -> usize {
+        self.halo
+    }
+
+    /// Number of tile columns.
+    pub fn tiles_x(&self) -> usize {
+        self.tiles_x
+    }
+
+    /// Number of tile rows.
+    pub fn tiles_y(&self) -> usize {
+        self.tiles_y
+    }
+
+    /// Total number of tiles.
+    pub fn tile_count(&self) -> usize {
+        self.tiles_x * self.tiles_y
+    }
+
+    /// The tile at grid position `(grid_x, grid_y)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::OutOfBounds`] if the grid position does not
+    /// exist.
+    pub fn tile(&self, grid_x: usize, grid_y: usize) -> Result<Tile> {
+        if grid_x >= self.tiles_x || grid_y >= self.tiles_y {
+            return Err(ImagingError::OutOfBounds {
+                x: grid_x,
+                y: grid_y,
+                width: self.tiles_x,
+                height: self.tiles_y,
+            });
+        }
+        let x = grid_x * self.tile_width;
+        let y = grid_y * self.tile_height;
+        let interior = TileRect {
+            x,
+            y,
+            width: self.tile_width.min(self.width - x),
+            height: self.tile_height.min(self.height - y),
+        };
+        let px = x.saturating_sub(self.halo);
+        let py = y.saturating_sub(self.halo);
+        let padded = TileRect {
+            x: px,
+            y: py,
+            width: (interior.right() + self.halo).min(self.width) - px,
+            height: (interior.bottom() + self.halo).min(self.height) - py,
+        };
+        Ok(Tile {
+            grid_x,
+            grid_y,
+            interior,
+            padded,
+        })
+    }
+
+    /// Iterates over every tile in row-major grid order.
+    pub fn iter(&self) -> impl Iterator<Item = Tile> + '_ {
+        (0..self.tile_count()).map(move |index| {
+            self.tile(index % self.tiles_x, index / self.tiles_x)
+                .expect("index is within the grid by construction")
+        })
+    }
+
+    /// The largest padded pixel count over all tiles — the row capacity a
+    /// reusable per-tile buffer needs.
+    pub fn max_padded_pixels(&self) -> usize {
+        self.iter().map(|t| t.padded.area()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_rejects_degenerate_parameters() {
+        assert!(matches!(
+            TileGrid::new(0, 10, 4, 4, 0),
+            Err(ImagingError::EmptyImage)
+        ));
+        assert!(matches!(
+            TileGrid::new(10, 0, 4, 4, 0),
+            Err(ImagingError::EmptyImage)
+        ));
+        assert!(TileGrid::new(10, 10, 0, 4, 0).is_err());
+        assert!(TileGrid::new(10, 10, 4, 0, 0).is_err());
+        // Halo at least as large as a tile edge is rejected.
+        assert!(TileGrid::new(10, 10, 4, 4, 4).is_err());
+        assert!(TileGrid::new(10, 10, 8, 3, 3).is_err());
+        // ... also when the clamped tile edge is what shrinks below it.
+        assert!(TileGrid::new(3, 10, 8, 8, 5).is_err());
+        assert!(TileGrid::new(10, 10, 4, 4, 3).is_ok());
+    }
+
+    #[test]
+    fn interiors_cover_every_pixel_exactly_once() {
+        for (w, h, tw, th, halo) in [
+            (17usize, 11usize, 5usize, 3usize, 2usize),
+            (16, 16, 4, 4, 1),
+            (7, 13, 13, 2, 1),
+            (1, 9, 1, 4, 0),
+            (9, 1, 2, 1, 0),
+        ] {
+            let grid = TileGrid::new(w, h, tw, th, halo).unwrap();
+            let mut covered = vec![0u32; w * h];
+            for tile in grid.iter() {
+                for y in tile.interior.y..tile.interior.bottom() {
+                    for x in tile.interior.x..tile.interior.right() {
+                        covered[y * w + x] += 1;
+                    }
+                }
+            }
+            assert!(
+                covered.iter().all(|&c| c == 1),
+                "({w},{h},{tw},{th},{halo}): interiors must partition the image"
+            );
+        }
+    }
+
+    #[test]
+    fn halo_is_clamped_at_image_borders() {
+        let grid = TileGrid::new(20, 20, 10, 10, 3).unwrap();
+        let top_left = grid.tile(0, 0).unwrap();
+        assert_eq!(
+            top_left.padded,
+            TileRect {
+                x: 0,
+                y: 0,
+                width: 13,
+                height: 13
+            }
+        );
+        let bottom_right = grid.tile(1, 1).unwrap();
+        assert_eq!(
+            bottom_right.padded,
+            TileRect {
+                x: 7,
+                y: 7,
+                width: 13,
+                height: 13
+            }
+        );
+        // Interior tiles (none here) would get the full 2 * halo expansion;
+        // every padded rect stays within the image.
+        for tile in grid.iter() {
+            assert!(tile.padded.right() <= 20);
+            assert!(tile.padded.bottom() <= 20);
+            assert!(tile.padded.x <= tile.interior.x);
+            assert!(tile.padded.y <= tile.interior.y);
+            assert!(tile.padded.right() >= tile.interior.right());
+            assert!(tile.padded.bottom() >= tile.interior.bottom());
+        }
+    }
+
+    #[test]
+    fn interior_tiles_get_the_full_halo() {
+        let grid = TileGrid::new(30, 30, 10, 10, 2).unwrap();
+        let centre = grid.tile(1, 1).unwrap();
+        assert_eq!(
+            centre.interior,
+            TileRect {
+                x: 10,
+                y: 10,
+                width: 10,
+                height: 10
+            }
+        );
+        assert_eq!(
+            centre.padded,
+            TileRect {
+                x: 8,
+                y: 8,
+                width: 14,
+                height: 14
+            }
+        );
+        assert_eq!(grid.max_padded_pixels(), 14 * 14);
+    }
+
+    #[test]
+    fn tile_at_least_as_large_as_the_image_degenerates_to_one_tile() {
+        let grid = TileGrid::new(12, 8, 100, 100, 6).unwrap();
+        assert_eq!(grid.tile_count(), 1);
+        let only = grid.tile(0, 0).unwrap();
+        assert_eq!(
+            only.interior,
+            TileRect {
+                x: 0,
+                y: 0,
+                width: 12,
+                height: 8
+            }
+        );
+        assert_eq!(only.padded, only.interior);
+        assert_eq!(grid.max_padded_pixels(), 96);
+    }
+
+    #[test]
+    fn one_by_n_strips_are_supported() {
+        let grid = TileGrid::new(1, 10, 1, 3, 0).unwrap();
+        assert_eq!((grid.tiles_x(), grid.tiles_y()), (1, 4));
+        let last = grid.tile(0, 3).unwrap();
+        assert_eq!(
+            last.interior,
+            TileRect {
+                x: 0,
+                y: 9,
+                width: 1,
+                height: 1
+            }
+        );
+
+        let wide = TileGrid::new(10, 1, 4, 1, 0).unwrap();
+        assert_eq!((wide.tiles_x(), wide.tiles_y()), (3, 1));
+        assert_eq!(wide.tile(2, 0).unwrap().interior.width, 2);
+    }
+
+    #[test]
+    fn remainder_tiles_absorb_the_edges() {
+        let grid = TileGrid::new(10, 7, 4, 4, 1).unwrap();
+        assert_eq!((grid.tiles_x(), grid.tiles_y()), (3, 2));
+        let last = grid.tile(2, 1).unwrap();
+        assert_eq!(
+            last.interior,
+            TileRect {
+                x: 8,
+                y: 4,
+                width: 2,
+                height: 3
+            }
+        );
+        // Its padded rect reaches one pixel left/up and is clamped right/down.
+        assert_eq!(
+            last.padded,
+            TileRect {
+                x: 7,
+                y: 3,
+                width: 3,
+                height: 4
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_grid_positions_error() {
+        let grid = TileGrid::new(8, 8, 4, 4, 0).unwrap();
+        assert!(grid.tile(2, 0).is_err());
+        assert!(grid.tile(0, 2).is_err());
+    }
+
+    #[test]
+    fn rect_accessors_behave() {
+        let rect = TileRect {
+            x: 2,
+            y: 3,
+            width: 4,
+            height: 5,
+        };
+        assert_eq!(rect.area(), 20);
+        assert_eq!(rect.right(), 6);
+        assert_eq!(rect.bottom(), 8);
+        assert!(rect.contains(2, 3));
+        assert!(rect.contains(5, 7));
+        assert!(!rect.contains(6, 3));
+        assert!(!rect.contains(2, 8));
+        assert!(!rect.contains(0, 0));
+    }
+}

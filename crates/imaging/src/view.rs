@@ -1,0 +1,293 @@
+use crate::{DynamicImage, GrayImage, ImagingError, Result, RgbImage, TileRect};
+
+/// A borrowed rectangular view into a [`DynamicImage`].
+///
+/// A view re-addresses a sub-rectangle of an existing image without copying
+/// any pixels: coordinates passed to the accessors are *view-local* and are
+/// translated to the parent image internally. The streaming tiled segmenter
+/// consumes views so that callers can segment a region of interest of a
+/// scan that is itself too large to segment in one piece.
+///
+/// # Example
+///
+/// ```rust
+/// # fn main() -> Result<(), imaging::ImagingError> {
+/// use imaging::{DynamicImage, GrayImage, ImageView};
+///
+/// let mut img = GrayImage::new(8, 8)?;
+/// img.set(5, 6, 200)?;
+/// let image = DynamicImage::Gray(img);
+/// let view = ImageView::crop(&image, 4, 4, 4, 4)?;
+/// assert_eq!(view.width(), 4);
+/// assert_eq!(view.intensity_at(1, 2)?, 200); // (5, 6) in image coordinates
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ImageView<'a> {
+    image: &'a DynamicImage,
+    origin_x: usize,
+    origin_y: usize,
+    width: usize,
+    height: usize,
+}
+
+impl<'a> ImageView<'a> {
+    /// A view covering the whole image.
+    pub fn full(image: &'a DynamicImage) -> Self {
+        Self {
+            image,
+            origin_x: 0,
+            origin_y: 0,
+            width: image.width(),
+            height: image.height(),
+        }
+    }
+
+    /// A view of the `width × height` rectangle whose top-left corner is at
+    /// `(x, y)` in image coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::EmptyImage`] if either dimension is zero and
+    /// [`ImagingError::OutOfBounds`] if the rectangle does not fit in the
+    /// image.
+    pub fn crop(
+        image: &'a DynamicImage,
+        x: usize,
+        y: usize,
+        width: usize,
+        height: usize,
+    ) -> Result<Self> {
+        if width == 0 || height == 0 {
+            return Err(ImagingError::EmptyImage);
+        }
+        if x + width > image.width() || y + height > image.height() {
+            return Err(ImagingError::OutOfBounds {
+                x: x + width - 1,
+                y: y + height - 1,
+                width: image.width(),
+                height: image.height(),
+            });
+        }
+        Ok(Self {
+            image,
+            origin_x: x,
+            origin_y: y,
+            width,
+            height,
+        })
+    }
+
+    /// The underlying image the view borrows from.
+    pub fn image(&self) -> &'a DynamicImage {
+        self.image
+    }
+
+    /// Leftmost image column covered by the view.
+    pub fn origin_x(&self) -> usize {
+        self.origin_x
+    }
+
+    /// Topmost image row covered by the view.
+    pub fn origin_y(&self) -> usize {
+        self.origin_y
+    }
+
+    /// View width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// View height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of pixels in the view.
+    pub fn pixel_count(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Number of colour channels of the underlying image (1 or 3).
+    pub fn channels(&self) -> usize {
+        self.image.channels()
+    }
+
+    fn check_bounds(&self, x: usize, y: usize) -> Result<()> {
+        if x >= self.width || y >= self.height {
+            return Err(ImagingError::OutOfBounds {
+                x,
+                y,
+                width: self.width,
+                height: self.height,
+            });
+        }
+        Ok(())
+    }
+
+    /// Channel values at view-local `(x, y)`, padded like
+    /// [`DynamicImage::channels_at`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::OutOfBounds`] if the coordinate is outside
+    /// the view.
+    pub fn channels_at(&self, x: usize, y: usize) -> Result<[u8; 3]> {
+        self.check_bounds(x, y)?;
+        self.image.channels_at(self.origin_x + x, self.origin_y + y)
+    }
+
+    /// Scalar intensity at view-local `(x, y)` (see
+    /// [`DynamicImage::intensity_at`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::OutOfBounds`] if the coordinate is outside
+    /// the view.
+    pub fn intensity_at(&self, x: usize, y: usize) -> Result<u8> {
+        self.check_bounds(x, y)?;
+        self.image
+            .intensity_at(self.origin_x + x, self.origin_y + y)
+    }
+
+    /// Copies the rectangle `rect` (in view coordinates) out of the view
+    /// into an owned image of the same colour type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImagingError::OutOfBounds`] if `rect` does not fit in the
+    /// view.
+    pub fn extract(&self, rect: &TileRect) -> Result<DynamicImage> {
+        if rect.width == 0 || rect.height == 0 {
+            return Err(ImagingError::EmptyImage);
+        }
+        if rect.right() > self.width || rect.bottom() > self.height {
+            return Err(ImagingError::OutOfBounds {
+                x: rect.right().saturating_sub(1),
+                y: rect.bottom().saturating_sub(1),
+                width: self.width,
+                height: self.height,
+            });
+        }
+        match self.image {
+            DynamicImage::Gray(_) => {
+                let mut out = GrayImage::new(rect.width, rect.height)?;
+                for y in 0..rect.height {
+                    for x in 0..rect.width {
+                        out.set(x, y, self.intensity_at(rect.x + x, rect.y + y)?)?;
+                    }
+                }
+                Ok(DynamicImage::Gray(out))
+            }
+            DynamicImage::Rgb(_) => {
+                let mut out = RgbImage::new(rect.width, rect.height)?;
+                for y in 0..rect.height {
+                    for x in 0..rect.width {
+                        let px = self.channels_at(rect.x + x, rect.y + y)?;
+                        out.set(x, y, px)?;
+                    }
+                }
+                Ok(DynamicImage::Rgb(out))
+            }
+        }
+    }
+
+    /// Copies the whole view into an owned image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pixel access errors (which cannot occur for a validated
+    /// view).
+    pub fn to_image(&self) -> Result<DynamicImage> {
+        self.extract(&TileRect {
+            x: 0,
+            y: 0,
+            width: self.width,
+            height: self.height,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient() -> DynamicImage {
+        let mut img = GrayImage::new(6, 4).unwrap();
+        for y in 0..4 {
+            for x in 0..6 {
+                img.set(x, y, (y * 6 + x) as u8).unwrap();
+            }
+        }
+        DynamicImage::Gray(img)
+    }
+
+    #[test]
+    fn full_view_matches_the_image() {
+        let image = gradient();
+        let view = ImageView::full(&image);
+        assert_eq!((view.width(), view.height()), (6, 4));
+        assert_eq!(view.channels(), 1);
+        assert_eq!(view.pixel_count(), 24);
+        assert_eq!((view.origin_x(), view.origin_y()), (0, 0));
+        assert_eq!(view.intensity_at(5, 3).unwrap(), 23);
+        assert_eq!(view.channels_at(1, 0).unwrap(), [1, 1, 1]);
+        assert_eq!(view.to_image().unwrap(), image);
+    }
+
+    #[test]
+    fn cropped_view_translates_coordinates() {
+        let image = gradient();
+        let view = ImageView::crop(&image, 2, 1, 3, 2).unwrap();
+        assert_eq!(view.intensity_at(0, 0).unwrap(), 8); // image (2, 1)
+        assert_eq!(view.intensity_at(2, 1).unwrap(), 16); // image (4, 2)
+        assert!(view.intensity_at(3, 0).is_err());
+        assert!(view.channels_at(0, 2).is_err());
+    }
+
+    #[test]
+    fn crop_validation() {
+        let image = gradient();
+        assert!(ImageView::crop(&image, 0, 0, 0, 2).is_err());
+        assert!(ImageView::crop(&image, 4, 0, 3, 1).is_err());
+        assert!(ImageView::crop(&image, 0, 3, 1, 2).is_err());
+        assert!(ImageView::crop(&image, 5, 3, 1, 1).is_ok());
+    }
+
+    #[test]
+    fn extract_copies_the_rectangle() {
+        let image = gradient();
+        let view = ImageView::full(&image);
+        let rect = TileRect {
+            x: 1,
+            y: 1,
+            width: 2,
+            height: 2,
+        };
+        let owned = view.extract(&rect).unwrap();
+        assert_eq!(owned.width(), 2);
+        assert_eq!(owned.intensity_at(0, 0).unwrap(), 7);
+        assert_eq!(owned.intensity_at(1, 1).unwrap(), 14);
+        assert!(view
+            .extract(&TileRect {
+                x: 5,
+                y: 0,
+                width: 2,
+                height: 1
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn rgb_views_expose_channels() {
+        let mut rgb = RgbImage::new(3, 3).unwrap();
+        rgb.set(2, 2, [9, 8, 7]).unwrap();
+        let image = DynamicImage::Rgb(rgb);
+        let view = ImageView::crop(&image, 1, 1, 2, 2).unwrap();
+        assert_eq!(view.channels(), 3);
+        assert_eq!(view.channels_at(1, 1).unwrap(), [9, 8, 7]);
+        let owned = view.to_image().unwrap();
+        assert_eq!(owned.channels_at(1, 1).unwrap(), [9, 8, 7]);
+    }
+}

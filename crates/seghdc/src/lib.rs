@@ -24,6 +24,10 @@
 //! * [`SegHdc`] — the full pipeline: encode every pixel, cluster, emit a
 //!   [`imaging::LabelMap`]. [`SegHdc::segment_batch`] runs many images in
 //!   parallel, reusing codebooks across images of the same shape.
+//! * [`tiled`] — streaming tiled segmentation for images larger than
+//!   memory: [`SegHdc::segment_streaming`] encodes and clusters one
+//!   halo-padded tile at a time inside a bounded [`TileArena`] and stitches
+//!   the per-tile labels into one globally consistent map.
 //!
 //! # Quickstart
 //!
@@ -62,6 +66,7 @@ mod pipeline;
 mod pixel;
 mod position;
 pub mod sweep;
+pub mod tiled;
 pub mod toy;
 
 pub use cluster::{ClusterOutcome, HvKmeans};
@@ -73,6 +78,7 @@ pub use error::SegHdcError;
 pub use pipeline::{SegHdc, Segmentation};
 pub use pixel::PixelEncoder;
 pub use position::PositionEncoder;
+pub use tiled::{StreamingSegmentation, TileArena, TileConfig};
 
 /// Result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, SegHdcError>;

@@ -1,6 +1,7 @@
+use crate::tiled::{self, StreamingSegmentation, TileArena, TileConfig};
 use crate::{ColorEncoder, HvKmeans, PixelEncoder, PositionEncoder, Result, SegHdcConfig};
 use hdc::HdcRng;
-use imaging::{DynamicImage, LabelMap};
+use imaging::{DynamicImage, ImageView, LabelMap};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -147,15 +148,7 @@ impl SegHdc {
     /// Returns the first error produced by any image; an empty batch
     /// returns an empty vector.
     pub fn segment_batch(&self, images: &[DynamicImage]) -> Result<Vec<Segmentation>> {
-        // One encoder per distinct (width, height, channels) shape.
-        let mut encoders: HashMap<(usize, usize, usize), PixelEncoder> = HashMap::new();
-        for image in images {
-            let shape = (image.width(), image.height(), image.channels());
-            if let std::collections::hash_map::Entry::Vacant(e) = encoders.entry(shape) {
-                let encoder = self.build_encoder(shape.0, shape.1, shape.2)?;
-                e.insert(encoder);
-            }
-        }
+        let encoders = self.shape_encoders(images)?;
         let encoders = &encoders;
         images
             .par_iter()
@@ -165,6 +158,121 @@ impl SegHdc {
                 self.segment_with_encoder(encoder, image, Instant::now())
             })
             .collect()
+    }
+
+    /// Segments a view in streaming tiled mode: one halo-padded tile is
+    /// encoded and clustered at a time inside a bounded arena, then the
+    /// per-tile labels are stitched into one globally consistent map (see
+    /// [`crate::tiled`] for the mechanics).
+    ///
+    /// Peak transient memory is ≈ one halo-padded tile's hypervector
+    /// matrix instead of one whole image's, which is what makes 512×512+
+    /// microscopy scans fit on the small devices the paper targets. A run
+    /// whose single tile covers the whole view produces byte-identical
+    /// labels to [`segment`](Self::segment). Snapshot recording
+    /// ([`SegHdcConfig::record_snapshots`]) does not apply in streaming
+    /// mode.
+    ///
+    /// # Example
+    ///
+    /// ```rust
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// use imaging::{DynamicImage, GrayImage, ImageView};
+    /// use seghdc::{SegHdc, SegHdcConfig, TileConfig};
+    ///
+    /// let mut img = GrayImage::filled(32, 32, 20)?;
+    /// for y in 8..24 {
+    ///     for x in 8..24 {
+    ///         img.set(x, y, 220)?;
+    ///     }
+    /// }
+    /// let image = DynamicImage::Gray(img);
+    /// let config = SegHdcConfig::builder().dimension(512).iterations(3).beta(4).build()?;
+    /// let result = SegHdc::new(config)?
+    ///     .segment_streaming(&ImageView::full(&image), &TileConfig::square(16, 2)?)?;
+    /// assert_eq!(result.label_map.pixel_count(), 32 * 32);
+    /// assert_eq!((result.tiles_x, result.tiles_y), (2, 2));
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tile geometry is invalid for the view shape
+    /// or if encoding/clustering fails.
+    pub fn segment_streaming(
+        &self,
+        view: &ImageView<'_>,
+        tiles: &TileConfig,
+    ) -> Result<StreamingSegmentation> {
+        let mut arena = TileArena::new();
+        self.segment_streaming_in(view, tiles, &mut arena)
+    }
+
+    /// [`segment_streaming`](Self::segment_streaming) with a caller-owned
+    /// [`TileArena`], so a long-running service can reuse the tile buffers
+    /// across calls (the arena's peak byte counter keeps accumulating).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`segment_streaming`](Self::segment_streaming).
+    pub fn segment_streaming_in(
+        &self,
+        view: &ImageView<'_>,
+        tiles: &TileConfig,
+        arena: &mut TileArena,
+    ) -> Result<StreamingSegmentation> {
+        let encoder = self.build_encoder(view.width(), view.height(), view.channels())?;
+        tiled::segment_streaming_with(&self.config, &encoder, view, tiles, arena)
+    }
+
+    /// Streaming-segments a batch of images, pipelining tiles across the
+    /// images in parallel: each image streams through its own bounded
+    /// [`TileArena`] on a worker, while codebooks are shared across images
+    /// of the same shape exactly as in [`segment_batch`](Self::segment_batch).
+    ///
+    /// Peak matrix memory is ≈ one halo-padded tile **per worker**, so the
+    /// batch keeps the streaming guarantee (workers ≤ cores) instead of
+    /// scaling with the number or size of the images.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error produced by any image; an empty batch
+    /// returns an empty vector.
+    pub fn segment_streaming_batch(
+        &self,
+        images: &[DynamicImage],
+        tiles: &TileConfig,
+    ) -> Result<Vec<StreamingSegmentation>> {
+        let encoders = self.shape_encoders(images)?;
+        let encoders = &encoders;
+        images
+            .par_iter()
+            .map(|image| {
+                let shape = (image.width(), image.height(), image.channels());
+                let encoder = &encoders[&shape];
+                let view = ImageView::full(image);
+                let mut arena = TileArena::new();
+                tiled::segment_streaming_with(&self.config, encoder, &view, tiles, &mut arena)
+            })
+            .collect()
+    }
+
+    /// Builds one encoder per distinct `(width, height, channels)` shape in
+    /// `images` — the codebook-sharing step of both batch entry points.
+    fn shape_encoders(
+        &self,
+        images: &[DynamicImage],
+    ) -> Result<HashMap<(usize, usize, usize), PixelEncoder>> {
+        let mut encoders: HashMap<(usize, usize, usize), PixelEncoder> = HashMap::new();
+        for image in images {
+            let shape = (image.width(), image.height(), image.channels());
+            if let std::collections::hash_map::Entry::Vacant(e) = encoders.entry(shape) {
+                let encoder = self.build_encoder(shape.0, shape.1, shape.2)?;
+                e.insert(encoder);
+            }
+        }
+        Ok(encoders)
     }
 
     /// Shared encode → cluster → label-map tail of both `segment` flavours.
@@ -389,6 +497,97 @@ mod tests {
             batch[1].label_map.as_raw(),
             pipeline.segment(&rgb).unwrap().label_map.as_raw()
         );
+    }
+
+    #[test]
+    fn streaming_with_one_tile_is_byte_identical_to_segment() {
+        let (image, _) = square_image(24);
+        let pipeline = SegHdc::new(fast_config()).unwrap();
+        let whole = pipeline.segment(&image).unwrap();
+        let tiles = crate::TileConfig::square(64, 2).unwrap(); // tile >= image
+        let streamed = pipeline
+            .segment_streaming(&imaging::ImageView::full(&image), &tiles)
+            .unwrap();
+        assert_eq!((streamed.tiles_x, streamed.tiles_y), (1, 1));
+        assert_eq!(streamed.label_map.as_raw(), whole.label_map.as_raw());
+        assert_eq!(streamed.stitched_labels, 2);
+        assert!(streamed.peak_matrix_bytes > 0);
+    }
+
+    #[test]
+    fn streaming_multi_tile_matches_the_whole_image_partition() {
+        let (image, truth) = square_image(32);
+        let pipeline = SegHdc::new(fast_config()).unwrap();
+        let whole = pipeline.segment(&image).unwrap();
+        for tiles in [
+            crate::TileConfig::square(16, 4).unwrap(),
+            crate::TileConfig::square(16, 0).unwrap(),
+            crate::TileConfig::new(12, 20, 3).unwrap(),
+        ] {
+            let streamed = pipeline
+                .segment_streaming(&imaging::ImageView::full(&image), &tiles)
+                .unwrap();
+            assert!(
+                streamed.label_map.is_permutation_of(&whole.label_map),
+                "partition mismatch with {tiles:?}"
+            );
+            let iou = metrics::matched_binary_iou(&streamed.label_map, &truth).unwrap();
+            assert!(iou > 0.9, "IoU {iou} with {tiles:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_segments_a_cropped_view() {
+        let (image, _) = square_image(32);
+        let view = imaging::ImageView::crop(&image, 4, 4, 24, 20).unwrap();
+        let pipeline = SegHdc::new(fast_config()).unwrap();
+        let tiles = crate::TileConfig::square(12, 2).unwrap();
+        let streamed = pipeline.segment_streaming(&view, &tiles).unwrap();
+        assert_eq!(streamed.label_map.width(), 24);
+        assert_eq!(streamed.label_map.height(), 20);
+        // The cropped region still contains both the square and background.
+        assert!(streamed.stitched_labels >= 2);
+    }
+
+    #[test]
+    fn streaming_batch_matches_per_image_streaming() {
+        let (a, _) = square_image(20);
+        let (b, _) = square_image(28);
+        let pipeline = SegHdc::new(fast_config()).unwrap();
+        let tiles = crate::TileConfig::square(10, 2).unwrap();
+        let batch = pipeline
+            .segment_streaming_batch(&[a.clone(), b.clone()], &tiles)
+            .unwrap();
+        assert_eq!(batch.len(), 2);
+        for (image, batched) in [a, b].iter().zip(&batch) {
+            let single = pipeline
+                .segment_streaming(&imaging::ImageView::full(image), &tiles)
+                .unwrap();
+            assert_eq!(single.label_map.as_raw(), batched.label_map.as_raw());
+            assert_eq!(single.stitched_labels, batched.stitched_labels);
+        }
+        assert!(pipeline
+            .segment_streaming_batch(&[], &tiles)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn streaming_arena_reuse_accumulates_the_peak() {
+        let (small, _) = square_image(16);
+        let (large, _) = square_image(32);
+        let pipeline = SegHdc::new(fast_config()).unwrap();
+        let tiles = crate::TileConfig::square(16, 2).unwrap();
+        let mut arena = crate::TileArena::new();
+        let first = pipeline
+            .segment_streaming_in(&imaging::ImageView::full(&large), &tiles, &mut arena)
+            .unwrap();
+        let second = pipeline
+            .segment_streaming_in(&imaging::ImageView::full(&small), &tiles, &mut arena)
+            .unwrap();
+        // The arena keeps the high-water mark across runs.
+        assert_eq!(second.peak_matrix_bytes, first.peak_matrix_bytes);
+        assert_eq!(arena.peak_matrix_bytes(), first.peak_matrix_bytes);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use crate::{ColorEncoder, PositionEncoder, Result, SegHdcError};
 use hdc::{BinaryHypervector, HvMatrix};
-use imaging::DynamicImage;
+use imaging::{DynamicImage, ImageView, TileRect};
 
 /// Produces pixel hypervectors by binding position and colour hypervectors
 /// with XOR (§III-3 of the paper, Fig. 5).
@@ -105,14 +105,87 @@ impl PixelEncoder {
     /// Returns [`SegHdcError::InvalidConfig`] if the image shape or channel
     /// count does not match the encoders.
     pub fn encode_matrix(&self, image: &DynamicImage) -> Result<HvMatrix> {
-        let width = image.width();
-        let height = image.height();
         self.check_shape(image)?;
+        let view = ImageView::full(image);
+        let full = TileRect {
+            x: 0,
+            y: 0,
+            width: image.width(),
+            height: image.height(),
+        };
+        let mut matrix = HvMatrix::zeros(image.pixel_count(), self.dimension())?;
+        self.encode_region_into(&view, &full, &mut matrix)?;
+        Ok(matrix)
+    }
+
+    /// Encodes the `region` rectangle of `view` into `matrix`, one row per
+    /// region pixel in region-local row-major order (row index
+    /// `ly * region.width + lx`).
+    ///
+    /// The view must have the exact shape the encoders were built for —
+    /// positions are taken from the **view-global** coordinate
+    /// `(region.y + ly, region.x + lx)`, so a tile encoded through this
+    /// method gets bit-identical rows to the same pixels in a whole-view
+    /// [`encode_matrix`](Self::encode_matrix) call. This is the streaming
+    /// tiled segmenter's encoding primitive: the caller hands in a reused
+    /// arena matrix (already shaped to `region.area()` rows) and no other
+    /// allocation happens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegHdcError::InvalidConfig`] if the view shape or channel
+    /// count does not match the encoders, if `region` does not fit in the
+    /// view, or if `matrix` is not shaped `region.area() × dimension()`.
+    pub fn encode_region_into(
+        &self,
+        view: &ImageView<'_>,
+        region: &TileRect,
+        matrix: &mut HvMatrix,
+    ) -> Result<()> {
+        if view.height() != self.position.rows() || view.width() != self.position.cols() {
+            return Err(SegHdcError::InvalidConfig {
+                message: format!(
+                    "view is {}x{} but the position encoder was built for {}x{}",
+                    view.width(),
+                    view.height(),
+                    self.position.cols(),
+                    self.position.rows()
+                ),
+            });
+        }
+        if view.channels() != self.color.channels() {
+            return Err(SegHdcError::InvalidConfig {
+                message: format!(
+                    "view has {} channels but the colour encoder was built for {}",
+                    view.channels(),
+                    self.color.channels()
+                ),
+            });
+        }
+        if region.area() == 0 || region.right() > view.width() || region.bottom() > view.height() {
+            return Err(SegHdcError::InvalidConfig {
+                message: format!(
+                    "region {region:?} does not fit in the {}x{} view",
+                    view.width(),
+                    view.height()
+                ),
+            });
+        }
+        if matrix.rows() != region.area() || matrix.dim() != self.dimension() {
+            return Err(SegHdcError::InvalidConfig {
+                message: format!(
+                    "matrix is {}x{} but the region needs {}x{}",
+                    matrix.rows(),
+                    matrix.dim(),
+                    region.area(),
+                    self.dimension()
+                ),
+            });
+        }
         let channels = self.color.channels();
-        let mut matrix = HvMatrix::zeros(width * height, self.dimension())?;
         matrix.fill_rows(|index, row| {
-            let x = index % width;
-            let y = index / width;
+            let x = region.x + index % region.width;
+            let y = region.y + index / region.width;
             // The shape checks above make every lookup below in-range.
             let position_row = self
                 .position
@@ -122,9 +195,9 @@ impl PixelEncoder {
                 .position
                 .col_hv(x)
                 .expect("column index is within the validated grid");
-            let px = image
+            let px = view
                 .channels_at(x, y)
-                .expect("pixel coordinate is within the validated image");
+                .expect("pixel coordinate is within the validated view");
             row.copy_from(position_row)
                 .expect("encoder dimensions are validated at construction");
             row.xor_assign(position_col)
@@ -134,7 +207,7 @@ impl PixelEncoder {
                     .expect("encoder dimensions are validated at construction");
             }
         });
-        Ok(matrix)
+        Ok(())
     }
 
     /// Encodes every pixel of `image` in row-major order, as owned
@@ -261,6 +334,70 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn region_rows_agree_bitwise_with_the_whole_image_matrix() {
+        let enc = encoder(1000, 9, 6);
+        let image = gradient_image(9, 6);
+        let whole = enc.encode_matrix(&image).unwrap();
+        let view = ImageView::full(&image);
+        let region = TileRect {
+            x: 2,
+            y: 1,
+            width: 5,
+            height: 4,
+        };
+        let mut matrix = HvMatrix::zeros(region.area(), 1000).unwrap();
+        enc.encode_region_into(&view, &region, &mut matrix).unwrap();
+        for ly in 0..region.height {
+            for lx in 0..region.width {
+                let global = (region.y + ly) * 9 + (region.x + lx);
+                assert_eq!(
+                    matrix.row(ly * region.width + lx).to_hypervector(),
+                    whole.row(global).to_hypervector(),
+                    "pixel ({lx},{ly})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encode_region_validates_its_inputs() {
+        let enc = encoder(512, 6, 4);
+        let image = gradient_image(6, 4);
+        let view = ImageView::full(&image);
+        let region = TileRect {
+            x: 0,
+            y: 0,
+            width: 6,
+            height: 4,
+        };
+        // Matrix shape must match the region.
+        let mut wrong_rows = HvMatrix::zeros(5, 512).unwrap();
+        assert!(enc
+            .encode_region_into(&view, &region, &mut wrong_rows)
+            .is_err());
+        let mut wrong_dim = HvMatrix::zeros(24, 256).unwrap();
+        assert!(enc
+            .encode_region_into(&view, &region, &mut wrong_dim)
+            .is_err());
+        // Region must fit in the view.
+        let mut ok = HvMatrix::zeros(24, 512).unwrap();
+        let outside = TileRect {
+            x: 3,
+            y: 0,
+            width: 4,
+            height: 4,
+        };
+        assert!(enc.encode_region_into(&view, &outside, &mut ok).is_err());
+        // View must match the encoder grid.
+        let small = gradient_image(4, 4);
+        let small_view = ImageView::full(&small);
+        assert!(enc
+            .encode_region_into(&small_view, &region, &mut ok)
+            .is_err());
+        assert!(enc.encode_region_into(&view, &region, &mut ok).is_ok());
     }
 
     #[test]

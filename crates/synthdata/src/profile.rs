@@ -137,6 +137,36 @@ impl DatasetProfile {
         }
     }
 
+    /// Profile approximating a full **microscopy scan**: a 1024×1024
+    /// single-channel stitched-objective capture with many well-separated
+    /// bright nuclei on a dark, lightly vignetted background. This is the
+    /// large-image workload the streaming tiled segmenter (seghdc's
+    /// `segment_streaming` path) exists for — the whole-image hypervector
+    /// matrix of a scan this size does not fit on the paper's target edge
+    /// devices.
+    pub fn microscopy_scan_like() -> Self {
+        Self {
+            name: "MicroscopyScan".to_string(),
+            width: 1024,
+            height: 1024,
+            channels: 1,
+            min_nuclei: 45,
+            max_nuclei: 90,
+            min_radius: 11.0,
+            max_radius: 22.0,
+            background_level: 16,
+            nucleus_level: 210,
+            nucleus_level_jitter: 18,
+            gradient_strength: 10.0,
+            noise_sigma: 3.0,
+            texture_amplitude: 0.0,
+            texture_cell: 64.0,
+            blur_sigma: 1.0,
+            allow_overlap: false,
+            max_eccentricity: 1.5,
+        }
+    }
+
     /// Returns a copy of the profile with a different image size, scaling
     /// the nucleus count with the image area so density stays comparable.
     ///
@@ -228,6 +258,20 @@ mod tests {
         for p in [bbbc, dsb, monu] {
             p.validate().unwrap();
         }
+    }
+
+    #[test]
+    fn microscopy_scan_profile_is_a_valid_large_single_channel_workload() {
+        let scan = DatasetProfile::microscopy_scan_like();
+        assert_eq!((scan.width, scan.height, scan.channels), (1024, 1024, 1));
+        scan.validate().unwrap();
+        // High contrast and clean background: the streaming equivalence
+        // harness relies on this profile segmenting cleanly.
+        assert!(scan.contrast() > 150);
+        assert!(!scan.allow_overlap);
+        // Scaled-down variants stay valid (used by benches and smoke tests).
+        scan.scaled(256, 256).validate().unwrap();
+        scan.scaled(16, 16).validate().unwrap();
     }
 
     #[test]

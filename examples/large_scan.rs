@@ -1,0 +1,61 @@
+//! Streaming tiled segmentation of a full microscopy scan.
+//!
+//! Generates a synthetic 1024×1024 scan (the workload class whose
+//! whole-image hypervector matrix does not fit on the paper's target edge
+//! devices), streams it through `segment_streaming` one halo-padded tile at
+//! a time, and reports the stitched quality plus the measured peak matrix
+//! memory against what the whole-image path would have allocated.
+//!
+//! Run with: `cargo run --release --example large_scan`
+
+use seghdc_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dimension = 2048;
+    let profile = DatasetProfile::microscopy_scan_like();
+    println!(
+        "generating a {}x{} synthetic microscopy scan...",
+        profile.width, profile.height
+    );
+    let generator = NucleiImageGenerator::new(profile, 2023)?;
+    let sample = generator.generate(0)?;
+
+    let config = SegHdcConfig::builder()
+        .dimension(dimension)
+        .iterations(3)
+        .beta(16)
+        .build()?;
+    let pipeline = SegHdc::new(config)?;
+    let tiles = TileConfig::square(256, 8)?;
+
+    println!(
+        "streaming through {}x{} tiles with a {}-pixel halo...",
+        tiles.tile_width, tiles.tile_height, tiles.halo
+    );
+    let result = pipeline.segment_streaming(&ImageView::full(&sample.image), &tiles)?;
+
+    let iou = metrics::matched_binary_iou(&result.label_map, &sample.ground_truth.to_binary())?;
+    let whole_image_bytes = sample.image.pixel_count() * dimension.div_ceil(64) * 8;
+    println!();
+    println!(
+        "tiles processed:       {} ({}x{} grid)",
+        result.tile_count(),
+        result.tiles_x,
+        result.tiles_y
+    );
+    println!("stitched label groups: {}", result.stitched_labels);
+    println!("IoU vs ground truth:   {iou:.4}");
+    println!(
+        "peak matrix memory:    {:.1} MB (whole-image path: {:.1} MB, {:.0}x more)",
+        result.peak_matrix_bytes as f64 / 1e6,
+        whole_image_bytes as f64 / 1e6,
+        whole_image_bytes as f64 / result.peak_matrix_bytes as f64
+    );
+    println!(
+        "time: encode {:.1}s, cluster {:.1}s, stitch {:.2}s",
+        result.encode_time.as_secs_f64(),
+        result.cluster_time.as_secs_f64(),
+        result.stitch_time.as_secs_f64()
+    );
+    Ok(())
+}

@@ -50,9 +50,10 @@ pub mod prelude {
     pub use cnn_baseline::{KimConfig, KimSegmenter};
     pub use edge_device::{DeviceProfile, Workload};
     pub use hdc::{Accumulator, BinaryHypervector, HdcRng, HvMatrix};
-    pub use imaging::{metrics, DynamicImage, GrayImage, LabelMap, RgbImage};
+    pub use imaging::{metrics, DynamicImage, GrayImage, ImageView, LabelMap, RgbImage, TileGrid};
     pub use seghdc::{
         ColorEncoding, DistanceMetric, PositionEncoding, SegHdc, SegHdcConfig, Segmentation,
+        StreamingSegmentation, TileArena, TileConfig,
     };
     pub use synthdata::{DatasetProfile, NucleiImageGenerator, Sample, SyntheticDataset};
 }
