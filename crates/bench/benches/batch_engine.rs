@@ -26,7 +26,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hdc::BinaryHypervector;
 use imaging::DynamicImage;
-use seghdc::{DistanceMetric, HvKmeans, PixelEncoder, SegHdc, SegHdcConfig};
+use seghdc::{
+    DistanceMetric, HvKmeans, PixelEncoder, SegEngine, SegHdc, SegHdcConfig, SegmentRequest,
+};
 use std::hint::black_box;
 use synthdata::{DatasetProfile, NucleiImageGenerator};
 
@@ -132,7 +134,7 @@ fn bench_end_to_end_naive_vs_batched(c: &mut Criterion) {
     group.sample_size(10);
     for &size in &[64usize, 128] {
         let image = sample_image(size, size);
-        let pipeline = SegHdc::new(config()).expect("config is valid");
+        let engine = SegEngine::new(config()).expect("config is valid");
         group.bench_with_input(
             BenchmarkId::new("naive_per_vector", format!("{size}x{size}")),
             &image,
@@ -152,7 +154,15 @@ fn bench_end_to_end_naive_vs_batched(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("batched_matrix", format!("{size}x{size}")),
             &image,
-            |bencher, image| bencher.iter(|| black_box(pipeline.segment(image).unwrap())),
+            |bencher, image| {
+                bencher.iter(|| {
+                    black_box(
+                        engine
+                            .run(&SegmentRequest::image(image).whole_image())
+                            .unwrap(),
+                    )
+                })
+            },
         );
     }
     group.finish();

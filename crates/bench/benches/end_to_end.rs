@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use imaging::DynamicImage;
-use seghdc::{SegHdc, SegHdcConfig};
+use seghdc::{SegEngine, SegHdcConfig, SegmentRequest};
 use std::hint::black_box;
 use synthdata::{DatasetProfile, NucleiImageGenerator};
 
@@ -36,8 +36,14 @@ fn bench_by_image_size(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{width}x{height}")),
             &image,
             |bencher, image| {
-                let pipeline = SegHdc::new(edge_config(3)).expect("config is valid");
-                bencher.iter(|| black_box(pipeline.segment(image).unwrap()))
+                let engine = SegEngine::new(edge_config(3)).expect("config is valid");
+                bencher.iter(|| {
+                    black_box(
+                        engine
+                            .run(&SegmentRequest::image(image).whole_image())
+                            .unwrap(),
+                    )
+                })
             },
         );
     }
@@ -53,8 +59,14 @@ fn bench_by_iterations(c: &mut Criterion) {
             BenchmarkId::from_parameter(iterations),
             &iterations,
             |bencher, &iterations| {
-                let pipeline = SegHdc::new(edge_config(iterations)).expect("config is valid");
-                bencher.iter(|| black_box(pipeline.segment(&image).unwrap()))
+                let engine = SegEngine::new(edge_config(iterations)).expect("config is valid");
+                bencher.iter(|| {
+                    black_box(
+                        engine
+                            .run(&SegmentRequest::image(&image).whole_image())
+                            .unwrap(),
+                    )
+                })
             },
         );
     }

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use imaging::DynamicImage;
-use seghdc::{SegHdc, SegHdcConfig};
+use seghdc::{SegEngine, SegHdcConfig, SegmentRequest};
 use std::hint::black_box;
 use synthdata::{DatasetProfile, NucleiImageGenerator};
 
@@ -33,8 +33,14 @@ fn bench_beta(c: &mut Criterion) {
                     .iterations(3)
                     .build()
                     .expect("parameters are valid");
-                let pipeline = SegHdc::new(config).expect("pipeline builds");
-                bencher.iter(|| black_box(pipeline.segment(&image).unwrap()))
+                let engine = SegEngine::new(config).expect("engine builds");
+                bencher.iter(|| {
+                    black_box(
+                        engine
+                            .run(&SegmentRequest::image(&image).whole_image())
+                            .unwrap(),
+                    )
+                })
             },
         );
     }
@@ -57,8 +63,14 @@ fn bench_gamma(c: &mut Criterion) {
                     .iterations(3)
                     .build()
                     .expect("parameters are valid");
-                let pipeline = SegHdc::new(config).expect("pipeline builds");
-                bencher.iter(|| black_box(pipeline.segment(&image).unwrap()))
+                let engine = SegEngine::new(config).expect("engine builds");
+                bencher.iter(|| {
+                    black_box(
+                        engine
+                            .run(&SegmentRequest::image(&image).whole_image())
+                            .unwrap(),
+                    )
+                })
             },
         );
     }
@@ -81,8 +93,14 @@ fn bench_cluster_count(c: &mut Criterion) {
                     .iterations(3)
                     .build()
                     .expect("parameters are valid");
-                let pipeline = SegHdc::new(config).expect("pipeline builds");
-                bencher.iter(|| black_box(pipeline.segment(&image).unwrap()))
+                let engine = SegEngine::new(config).expect("engine builds");
+                bencher.iter(|| {
+                    black_box(
+                        engine
+                            .run(&SegmentRequest::image(&image).whole_image())
+                            .unwrap(),
+                    )
+                })
             },
         );
     }

@@ -19,7 +19,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use imaging::{DynamicImage, ImageView};
-use seghdc::{SegHdc, SegHdcConfig, TileConfig};
+use seghdc::{SegEngine, SegHdcConfig, SegmentRequest, TileConfig};
 use std::hint::black_box;
 use synthdata::{DatasetProfile, NucleiImageGenerator};
 
@@ -34,48 +34,60 @@ fn scan_image(edge: usize) -> DynamicImage {
         .image
 }
 
-fn pipeline() -> SegHdc {
+fn engine() -> SegEngine {
     let config = SegHdcConfig::builder()
         .dimension(DIMENSION)
         .beta(8)
         .iterations(3)
         .build()
         .expect("parameters are valid");
-    SegHdc::new(config).expect("config is valid")
+    SegEngine::new(config).expect("config is valid")
 }
 
 fn bench_whole_vs_streaming(c: &mut Criterion) {
     let mut group = c.benchmark_group("whole_image_vs_streaming_tiles");
     group.sample_size(10);
-    let pipeline = pipeline();
+    let engine = engine();
     for &edge in &[128usize, 256] {
         let image = scan_image(edge);
         let tiles = TileConfig::square(64, 4).expect("tile parameters are valid");
 
         // Report the memory trade once per size, outside the timing loop.
         let view = ImageView::full(&image);
-        let streamed = pipeline
-            .segment_streaming(&view, &tiles)
+        let mut arena = seghdc::TileArena::new();
+        engine
+            .run_tiled_in(&view, &tiles, &mut arena)
             .expect("streaming segmentation succeeds");
         let whole_bytes = edge * edge * DIMENSION.div_ceil(64) * 8;
         println!(
             "{edge}x{edge}: whole-image matrix {whole_bytes} B, streaming peak {} B ({:.1}x less)",
-            streamed.peak_matrix_bytes,
-            whole_bytes as f64 / streamed.peak_matrix_bytes as f64
+            arena.peak_matrix_bytes(),
+            whole_bytes as f64 / arena.peak_matrix_bytes() as f64
         );
 
         group.bench_with_input(
             BenchmarkId::new("whole_image", format!("{edge}x{edge}")),
             &image,
-            |bencher, image| bencher.iter(|| black_box(pipeline.segment(image).unwrap())),
+            |bencher, image| {
+                bencher.iter(|| {
+                    black_box(
+                        engine
+                            .run(&SegmentRequest::image(image).whole_image())
+                            .unwrap(),
+                    )
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("streaming_64px_tiles", format!("{edge}x{edge}")),
             &image,
             |bencher, image| {
                 bencher.iter(|| {
-                    let view = ImageView::full(image);
-                    black_box(pipeline.segment_streaming(&view, &tiles).unwrap())
+                    black_box(
+                        engine
+                            .run(&SegmentRequest::image(image).tiled(tiles))
+                            .unwrap(),
+                    )
                 })
             },
         );
@@ -86,11 +98,17 @@ fn bench_whole_vs_streaming(c: &mut Criterion) {
 fn bench_streaming_batch(c: &mut Criterion) {
     let mut group = c.benchmark_group("streaming_batch");
     group.sample_size(10);
-    let pipeline = pipeline();
+    let engine = engine();
     let images: Vec<DynamicImage> = (0..2).map(|_| scan_image(128)).collect();
     let tiles = TileConfig::square(64, 4).expect("tile parameters are valid");
     group.bench_function(BenchmarkId::from_parameter("2x128x128"), |bencher| {
-        bencher.iter(|| black_box(pipeline.segment_streaming_batch(&images, &tiles).unwrap()))
+        bencher.iter(|| {
+            black_box(
+                engine
+                    .run(&SegmentRequest::batch(&images).tiled(tiles))
+                    .unwrap(),
+            )
+        })
     });
     group.finish();
 }

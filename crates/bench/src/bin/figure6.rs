@@ -8,7 +8,7 @@
 
 use cnn_baseline::KimSegmenter;
 use imaging::{metrics, pnm};
-use seghdc::SegHdc;
+use seghdc::{SegEngine, SegmentRequest};
 use seghdc_bench::{baseline_config_for, dataset_profiles, seghdc_config_for, Scale};
 use std::path::PathBuf;
 use synthdata::NucleiImageGenerator;
@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             output_dir.join(format!("{short_name}_baseline.pgm")),
         )?;
 
-        let seghdc = SegHdc::new(seghdc_config_for(&profile, scale))?.segment(&sample.image)?;
+        let engine = SegEngine::new(seghdc_config_for(&profile, scale))?;
+        let seghdc = engine
+            .run(&SegmentRequest::image(&sample.image).whole_image())?
+            .outputs
+            .remove(0);
         let seghdc_iou = metrics::matched_binary_iou(&seghdc.label_map, &truth)?;
         pnm::save_pgm(
             &seghdc.label_map.to_gray_visualization(),

@@ -6,7 +6,7 @@
 //! Usage: `cargo run -p seghdc_bench --release --bin figure8 [--full|--tiny]`
 
 use imaging::{metrics, pnm};
-use seghdc::SegHdc;
+use seghdc::{SegEngine, SegmentRequest};
 use seghdc_bench::{seghdc_config_for, Scale};
 use std::path::PathBuf;
 use synthdata::{DatasetProfile, NucleiImageGenerator};
@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{:>10} {:>10}", "iteration", "IoU");
 
-    let segmentation = SegHdc::new(config)?.segment(&sample.image)?;
+    let segmentation = SegEngine::new(config)?
+        .run(&SegmentRequest::image(&sample.image).whole_image())?
+        .outputs
+        .remove(0);
     for (index, snapshot) in segmentation.snapshots.iter().enumerate() {
         let iou = metrics::matched_binary_iou(snapshot, &truth)?;
         pnm::save_pgm(

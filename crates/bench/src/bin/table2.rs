@@ -12,7 +12,7 @@
 
 use edge_device::{DeviceProfile, Workload};
 use imaging::metrics;
-use seghdc::{SegHdc, SegHdcConfig};
+use seghdc::{SegEngine, SegHdcConfig, SegmentRequest};
 use seghdc_bench::Scale;
 use synthdata::{DatasetProfile, NucleiImageGenerator};
 
@@ -98,8 +98,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             config.dimension = 256;
             config.iterations = 2;
         }
-        let segmentation = SegHdc::new(config)?
-            .segment_batch(std::slice::from_ref(&sample.image))?
+        let segmentation = SegEngine::new(config)?
+            .run(&SegmentRequest::image(&sample.image).whole_image())?
+            .outputs
             .remove(0);
         let iou =
             metrics::matched_binary_iou(&segmentation.label_map, &sample.ground_truth.to_binary())?;

@@ -14,7 +14,7 @@
 
 use cnn_baseline::{KimConfig, KimSegmenter};
 use imaging::{metrics, LabelMap};
-use seghdc::{ColorEncoding, PositionEncoding, SegHdc, SegHdcConfig};
+use seghdc::{ColorEncoding, PositionEncoding, SegEngine, SegHdcConfig, SegmentRequest};
 use synthdata::{DatasetProfile, SyntheticDataset};
 
 /// Scale at which an experiment harness runs.
@@ -162,12 +162,12 @@ fn seghdc_variant_for(method: Method, base: &SegHdcConfig) -> Option<SegHdcConfi
 /// Runs one method over a whole batch of images and returns one matched
 /// binary IoU per image.
 ///
-/// Every SegHDC-family method goes through the public
-/// [`SegHdc::segment_batch`] engine, so codebooks are derived **once per
-/// image shape** for the whole batch instead of once per image — this is
-/// the entry point all experiment binaries route their segmentations
-/// through. The CNN baseline trains per image by construction and is run
-/// in a loop.
+/// Every SegHDC-family method goes through one [`SegEngine`] batch
+/// request, so codebooks are derived **once per image shape** for the whole
+/// batch (via the engine's persistent codebook cache) instead of once per
+/// image — this is the entry point all experiment binaries route their
+/// segmentations through. The CNN baseline trains per image by
+/// construction and is run in a loop.
 ///
 /// # Errors
 ///
@@ -184,10 +184,11 @@ pub fn evaluate_method_batch(
         return Err(format!("{} images but {} ground truths", images.len(), truths.len()).into());
     }
     let predictions: Vec<LabelMap> = match seghdc_variant_for(method, seghdc_config) {
-        Some(config) => SegHdc::new(config)?
-            .segment_batch(images)?
+        Some(config) => SegEngine::new(config)?
+            .run(&SegmentRequest::batch(images).whole_image())?
+            .outputs
             .into_iter()
-            .map(|segmentation| segmentation.label_map)
+            .map(|output| output.label_map)
             .collect(),
         None => {
             let mut maps = Vec::with_capacity(images.len());

@@ -79,6 +79,35 @@ impl Accumulator {
         self.items = 0;
     }
 
+    /// Reshapes the accumulator in place to dimension `dim`, zeroing every
+    /// count.
+    ///
+    /// Like [`crate::HvMatrix::reset`], the backing allocation is reused
+    /// whenever its capacity suffices, which makes a set of accumulators
+    /// usable as bounded scratch across a sequence of differently-sized
+    /// batches (the tiled segmentation arena resets its per-cluster bundle
+    /// accumulators once per tile instead of allocating per tile).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ZeroDimension`] if `dim == 0`.
+    pub fn reset(&mut self, dim: usize) -> Result<()> {
+        if dim == 0 {
+            return Err(HdcError::ZeroDimension);
+        }
+        self.counts.clear();
+        self.counts.resize(dim, 0);
+        self.items = 0;
+        Ok(())
+    }
+
+    /// Heap bytes held by the counts buffer (its capacity, not its length)
+    /// — the scratch-accounting companion of
+    /// [`crate::HvMatrix::capacity_bytes`].
+    pub fn heap_bytes(&self) -> usize {
+        self.counts.capacity() * std::mem::size_of::<u32>()
+    }
+
     /// Adds a binary hypervector element-wise.
     ///
     /// # Errors
@@ -693,5 +722,21 @@ mod tests {
         let zero_hv = BinaryHypervector::zeros(16).unwrap();
         let nonzero = Accumulator::from_binary(&hv);
         assert_eq!(nonzero.cosine_similarity(&zero_hv).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn reset_reshapes_and_reuses_the_allocation() {
+        let hv = BinaryHypervector::ones(64).unwrap();
+        let mut acc = Accumulator::from_binary(&hv);
+        let bytes_before = acc.heap_bytes();
+        assert!(bytes_before >= 64 * 4);
+        acc.reset(32).unwrap();
+        assert_eq!(acc.dim(), 32);
+        assert_eq!(acc.items(), 0);
+        assert!(acc.counts().iter().all(|&c| c == 0));
+        // Shrinking reuses the buffer; the capacity (and thus heap_bytes)
+        // never shrinks.
+        assert_eq!(acc.heap_bytes(), bytes_before);
+        assert!(acc.reset(0).is_err());
     }
 }

@@ -158,6 +158,13 @@ impl BinaryHypervector {
         &self.words
     }
 
+    /// Heap bytes held by the packed word buffer — the number that matters
+    /// when accounting codebooks (collections of hypervectors) against a
+    /// byte-capacity budget, e.g. the segmentation engine's codebook cache.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+    }
+
     /// Returns the value of bit `index`.
     ///
     /// # Errors

@@ -4,7 +4,7 @@ use crate::{NnError, Result, Tensor};
 ///
 /// The optimiser keeps one velocity buffer per parameter tensor, identified
 /// by position in the parameter list, so the same network must be passed in
-/// the same layer order on every step (which [`crate::Sequential::parameters_mut`]
+/// the same layer order on every step (which [`crate::Layer::parameters_mut`]
 /// guarantees).
 ///
 /// # Example

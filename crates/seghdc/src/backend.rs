@@ -1,0 +1,203 @@
+//! Pluggable per-tile execution backends for the segmentation engine.
+//!
+//! The unit of work every [`crate::SegEngine`] path reduces to — whole
+//! image, batch, or streaming tiles — is "encode one region into a scratch
+//! matrix, then cluster that matrix". [`ExecBackend`] abstracts exactly that
+//! unit so it can be dispatched to different hardware: [`CpuBackend`] is the
+//! reference implementation running the existing word-parallel Rust kernels,
+//! and a GPU/accelerator backend only needs to reproduce these two calls
+//! over a device-resident scratch buffer.
+
+use crate::{ClusterOutcome, HvKmeans, PixelEncoder, Result};
+use hdc::HvMatrix;
+use imaging::{ImageView, TileRect};
+
+/// A segmentation execution backend: the per-tile "encode region + cluster
+/// matrix" unit every engine path runs through.
+///
+/// # Scratch-buffer lifecycle (the `TileArena` contract)
+///
+/// Both calls operate over **one [`crate::TileArena`]-sized scratch
+/// buffer** owned by the caller (the engine or the streaming tiler), never
+/// by the backend:
+///
+/// 1. Before [`encode_region`](Self::encode_region) the caller shapes the
+///    arena's matrix to exactly `region.area()` rows of the encoder's
+///    dimension with [`crate::TileArena::prepare`] (which calls
+///    [`hdc::HvMatrix::reset`] — the backing allocation is *reused*, not
+///    reallocated, whenever its capacity suffices).
+/// 2. The backend fills the matrix in place. It must **not** grow, shrink
+///    or reallocate the buffer: [`hdc::HvMatrix::capacity_bytes`] is the
+///    high-water mark the streaming-memory guarantee is asserted against,
+///    and a backend that allocates its own full-size buffers silently
+///    breaks it.
+/// 3. [`cluster_matrix`](Self::cluster_matrix) reads the same matrix
+///    immutably and returns the labels; the caller then resets the arena
+///    for the next tile.
+///
+/// This is deliberately the lifecycle of a device scratch buffer: an
+/// accelerator backend maps `prepare`/`reset` to (re)binding one
+/// pre-allocated device allocation and `capacity_bytes` to its size.
+///
+/// # Determinism
+///
+/// Implementations must be deterministic for fixed inputs and must produce
+/// labels equivalent to [`CpuBackend`]'s (byte-identical for the CPU-exact
+/// case; a backend with different float reduction order should document its
+/// tolerance). The engine's equivalence tests pin `CpuBackend` to the
+/// legacy single-call pipeline bit-for-bit.
+pub trait ExecBackend: std::fmt::Debug + Send + Sync {
+    /// A short human-readable backend name for telemetry and reports.
+    fn name(&self) -> &'static str;
+
+    /// Encodes the `region` rectangle of `view` into `scratch`, one row per
+    /// region pixel in region-local row-major order.
+    ///
+    /// `scratch` is the arena matrix, already shaped to
+    /// `region.area() × encoder.dimension()` by the caller (see the
+    /// trait-level lifecycle contract). Positions are taken from the
+    /// view-global coordinates, so rows must be bit-identical to the same
+    /// pixels of a whole-view encode.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the view, region, or scratch shape does not
+    /// match the encoder.
+    fn encode_region(
+        &self,
+        encoder: &PixelEncoder,
+        view: &ImageView<'_>,
+        region: &TileRect,
+        scratch: &mut HvMatrix,
+    ) -> Result<()>;
+
+    /// Clusters the scratch matrix filled by
+    /// [`encode_region`](Self::encode_region).
+    ///
+    /// `intensities` holds one scalar intensity per matrix row (used for
+    /// centroid initialisation) in the same row order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrix is empty, the row and intensity
+    /// counts disagree, or there are fewer rows than clusters.
+    fn cluster_matrix(
+        &self,
+        kmeans: &HvKmeans,
+        pixels: &HvMatrix,
+        intensities: &[u8],
+    ) -> Result<ClusterOutcome>;
+}
+
+/// The reference CPU backend: delegates to the crate's word-parallel
+/// kernels ([`PixelEncoder::encode_region_into`] and
+/// [`HvKmeans::cluster_matrix`]), which parallelise across rows with the
+/// workspace thread pool.
+///
+/// This is the backend every [`crate::SegEngine`] uses unless
+/// [`crate::SegEngineBuilder::backend`] installs another one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuBackend;
+
+impl ExecBackend for CpuBackend {
+    fn name(&self) -> &'static str {
+        "cpu"
+    }
+
+    fn encode_region(
+        &self,
+        encoder: &PixelEncoder,
+        view: &ImageView<'_>,
+        region: &TileRect,
+        scratch: &mut HvMatrix,
+    ) -> Result<()> {
+        encoder.encode_region_into(view, region, scratch)
+    }
+
+    fn cluster_matrix(
+        &self,
+        kmeans: &HvKmeans,
+        pixels: &HvMatrix,
+        intensities: &[u8],
+    ) -> Result<ClusterOutcome> {
+        kmeans.cluster_matrix(pixels, intensities)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColorEncoder, ColorEncoding, DistanceMetric, PositionEncoder, PositionEncoding};
+    use hdc::HdcRng;
+    use imaging::{DynamicImage, GrayImage};
+
+    fn encoder(dim: usize, width: usize, height: usize) -> PixelEncoder {
+        let mut rng = HdcRng::seed_from(41);
+        let position = PositionEncoder::new(
+            PositionEncoding::Manhattan,
+            dim,
+            height,
+            width,
+            1.0,
+            1,
+            &mut rng,
+        )
+        .unwrap();
+        let color = ColorEncoder::new(ColorEncoding::Manhattan, dim, 1, 1, &mut rng).unwrap();
+        PixelEncoder::new(position, color).unwrap()
+    }
+
+    fn gradient(width: usize, height: usize) -> DynamicImage {
+        let mut img = GrayImage::new(width, height).unwrap();
+        for y in 0..height {
+            for x in 0..width {
+                img.set(x, y, ((x * 255) / (width - 1).max(1)) as u8)
+                    .unwrap();
+            }
+        }
+        DynamicImage::Gray(img)
+    }
+
+    #[test]
+    fn cpu_backend_encode_matches_the_direct_kernel_bitwise() {
+        let enc = encoder(1000, 8, 6);
+        let image = gradient(8, 6);
+        let view = ImageView::full(&image);
+        let region = TileRect {
+            x: 1,
+            y: 2,
+            width: 5,
+            height: 3,
+        };
+        let mut direct = HvMatrix::zeros(region.area(), 1000).unwrap();
+        enc.encode_region_into(&view, &region, &mut direct).unwrap();
+        let mut via_backend = HvMatrix::zeros(region.area(), 1000).unwrap();
+        CpuBackend
+            .encode_region(&enc, &view, &region, &mut via_backend)
+            .unwrap();
+        assert_eq!(direct, via_backend);
+        assert_eq!(CpuBackend.name(), "cpu");
+    }
+
+    #[test]
+    fn cpu_backend_cluster_matches_the_direct_kernel() {
+        let enc = encoder(512, 6, 6);
+        let image = gradient(6, 6);
+        let matrix = enc.encode_matrix(&image).unwrap();
+        let intensities: Vec<u8> = (0..36).map(|i| (i * 7) as u8).collect();
+        let kmeans = HvKmeans::new(2, 3, DistanceMetric::Cosine, false).unwrap();
+        let direct = kmeans.cluster_matrix(&matrix, &intensities).unwrap();
+        let via_backend = CpuBackend
+            .cluster_matrix(&kmeans, &matrix, &intensities)
+            .unwrap();
+        assert_eq!(direct.labels, via_backend.labels);
+        assert_eq!(direct.cluster_sizes, via_backend.cluster_sizes);
+    }
+
+    #[test]
+    fn backend_trait_objects_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CpuBackend>();
+        assert_send_sync::<Box<dyn ExecBackend>>();
+    }
+}

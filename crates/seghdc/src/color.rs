@@ -187,6 +187,17 @@ impl ColorEncoder {
         self.encoding
     }
 
+    /// Heap bytes held by the per-channel and pre-placed codebooks — the
+    /// cost of keeping this encoder resident in the engine's codebook cache.
+    pub fn codebook_bytes(&self) -> usize {
+        self.channel_codes
+            .iter()
+            .chain(self.placed_codes.iter())
+            .flatten()
+            .map(hdc::BinaryHypervector::heap_bytes)
+            .sum()
+    }
+
     /// Bits flipped per intensity step (0 for the `Random` variant or when
     /// the chunk is smaller than 256 bits).
     pub fn flip_unit(&self) -> usize {

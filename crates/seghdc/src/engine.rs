@@ -1,0 +1,1023 @@
+//! The long-lived segmentation engine: one unified planner over every
+//! execution path.
+//!
+//! [`SegEngine`] replaces the five historical `SegHdc` entry points
+//! (`segment`, `segment_batch`, `segment_streaming`,
+//! `segment_streaming_in`, `segment_streaming_batch`) with one flow:
+//!
+//! ```text
+//! SegmentRequest ──► SegEngine::plan ──► SegEngine::run ──► SegmentReport
+//! ```
+//!
+//! The engine owns three long-lived pieces a per-call API cannot have:
+//!
+//! * an [`ExecBackend`] — the per-tile "encode region + cluster matrix"
+//!   unit every path executes through ([`CpuBackend`] by default, a device
+//!   backend via [`SegEngineBuilder::backend`]);
+//! * a persistent [`CodebookCache`] — codebooks are keyed on
+//!   `(seed, shape, dimension, encodings)` and reused across calls and
+//!   threads, so a warm request skips the dominant fixed cost;
+//! * a pool of [`TileArena`] scratch buffers, reused across requests and
+//!   workers, whose byte high-water mark is reported on every
+//!   [`SegmentReport`].
+//!
+//! # Example
+//!
+//! ```rust
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use imaging::{DynamicImage, GrayImage};
+//! use seghdc::{SegEngine, SegHdcConfig, SegmentRequest};
+//!
+//! let mut img = GrayImage::filled(24, 24, 15)?;
+//! for y in 6..18 {
+//!     for x in 6..18 {
+//!         img.set(x, y, 230)?;
+//!     }
+//! }
+//! let image = DynamicImage::Gray(img);
+//!
+//! let config = SegHdcConfig::builder().dimension(1024).iterations(3).build()?;
+//! let engine = SegEngine::new(config)?;
+//!
+//! let cold = engine.run(&SegmentRequest::image(&image))?;
+//! assert_eq!(cold.outputs[0].label_map.pixel_count(), 24 * 24);
+//! assert_eq!(cold.telemetry.cache_misses, 1);
+//!
+//! // Same shape again: the codebooks come from the cache.
+//! let warm = engine.run(&SegmentRequest::image(&image))?;
+//! assert_eq!(warm.telemetry.cache_hits, 1);
+//! assert_eq!(
+//!     cold.outputs[0].label_map.as_raw(),
+//!     warm.outputs[0].label_map.as_raw()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::cache::{CacheStats, CodebookCache, CodebookKey};
+use crate::tiled::{self, StreamingSegmentation, TileArena, TileConfig};
+use crate::{CpuBackend, ExecBackend, HvKmeans, PixelEncoder, Result, SegHdcConfig, SegHdcError};
+use imaging::{DynamicImage, ImageView, LabelMap, TileRect};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`SegEngine`], separate from the algorithmic
+/// [`SegHdcConfig`].
+///
+/// The defaults suit a workstation service: a 64 MiB codebook cache, a
+/// 128 MiB per-image matrix budget before the planner switches to
+/// streaming tiles, and 256×256 tiles with an 8-pixel halo when it does.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Byte capacity of the persistent codebook cache.
+    pub codebook_cache_bytes: usize,
+    /// Auto-planning threshold: a request whose whole-image hypervector
+    /// matrix would exceed this many bytes is executed in streaming tiled
+    /// mode instead.
+    pub matrix_budget_bytes: usize,
+    /// Tile geometry the planner uses when it chooses tiled execution on
+    /// its own ([`ExecutionMode::Tiled`] overrides it per request).
+    pub auto_tile: TileConfig,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            codebook_cache_bytes: 64 << 20,
+            matrix_budget_bytes: 128 << 20,
+            auto_tile: TileConfig::square(256, 8).expect("default tile geometry is valid"),
+        }
+    }
+}
+
+/// How a request asks to be executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Let the planner pick per image: whole-image when the hypervector
+    /// matrix fits [`EngineOptions::matrix_budget_bytes`], streaming tiles
+    /// otherwise.
+    Auto,
+    /// Force whole-image execution regardless of size.
+    WholeImage,
+    /// Force streaming tiled execution with this tile geometry.
+    Tiled(TileConfig),
+}
+
+/// The input of one [`SegEngine::run`] call.
+enum RequestInput<'a> {
+    Single(&'a DynamicImage),
+    Batch(&'a [DynamicImage]),
+    View(ImageView<'a>),
+}
+
+/// One segmentation request: what to segment and (optionally) how.
+///
+/// Construct with [`image`](Self::image), [`batch`](Self::batch) or
+/// [`view`](Self::view), then optionally pin the execution mode; by default
+/// the engine plans it ([`ExecutionMode::Auto`]).
+pub struct SegmentRequest<'a> {
+    input: RequestInput<'a>,
+    mode: ExecutionMode,
+}
+
+impl<'a> SegmentRequest<'a> {
+    /// A request over one image.
+    pub fn image(image: &'a DynamicImage) -> Self {
+        Self {
+            input: RequestInput::Single(image),
+            mode: ExecutionMode::Auto,
+        }
+    }
+
+    /// A request over a batch of images (executed in parallel, codebooks
+    /// shared per distinct shape through the engine cache).
+    pub fn batch(images: &'a [DynamicImage]) -> Self {
+        Self {
+            input: RequestInput::Batch(images),
+            mode: ExecutionMode::Auto,
+        }
+    }
+
+    /// A request over an image view (e.g. a crop of a larger scan).
+    pub fn view(view: ImageView<'a>) -> Self {
+        Self {
+            input: RequestInput::View(view),
+            mode: ExecutionMode::Auto,
+        }
+    }
+
+    /// Pins the execution mode instead of letting the engine plan it.
+    pub fn mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Shorthand for [`mode`](Self::mode)`(ExecutionMode::WholeImage)`.
+    pub fn whole_image(self) -> Self {
+        self.mode(ExecutionMode::WholeImage)
+    }
+
+    /// Shorthand for [`mode`](Self::mode)`(ExecutionMode::Tiled(tiles))`.
+    pub fn tiled(self, tiles: TileConfig) -> Self {
+        self.mode(ExecutionMode::Tiled(tiles))
+    }
+
+    /// Number of images in the request.
+    pub fn len(&self) -> usize {
+        match &self.input {
+            RequestInput::Single(_) | RequestInput::View(_) => 1,
+            RequestInput::Batch(images) => images.len(),
+        }
+    }
+
+    /// Whether the request holds no images (an empty batch).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The requested execution mode.
+    pub fn execution_mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// `(width, height, channels)` of image `index`.
+    fn shape(&self, index: usize) -> (usize, usize, usize) {
+        match &self.input {
+            RequestInput::Single(image) => (image.width(), image.height(), image.channels()),
+            RequestInput::Batch(images) => {
+                let image = &images[index];
+                (image.width(), image.height(), image.channels())
+            }
+            RequestInput::View(view) => (view.width(), view.height(), view.channels()),
+        }
+    }
+}
+
+/// The mode the planner chose for one image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannedMode {
+    /// Encode and cluster the whole image as one region.
+    WholeImage,
+    /// Stream the image through halo-padded tiles of this geometry.
+    Tiled(TileConfig),
+}
+
+/// One image's planning decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanDecision {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Colour channel count.
+    pub channels: usize,
+    /// Bytes the whole-image hypervector matrix would allocate — what the
+    /// decision is made against.
+    pub whole_matrix_bytes: usize,
+    /// The chosen execution mode.
+    pub mode: PlannedMode,
+}
+
+/// The engine's plan for a request: one decision per image, in request
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentPlan {
+    /// Per-image decisions.
+    pub decisions: Vec<PlanDecision>,
+}
+
+impl SegmentPlan {
+    /// Number of images planned for whole-image execution.
+    pub fn whole_image_count(&self) -> usize {
+        self.decisions
+            .iter()
+            .filter(|d| matches!(d.mode, PlannedMode::WholeImage))
+            .count()
+    }
+
+    /// Number of images planned for streaming tiled execution.
+    pub fn tiled_count(&self) -> usize {
+        self.decisions.len() - self.whole_image_count()
+    }
+}
+
+/// How one image was actually executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutedMode {
+    /// One whole-image encode + cluster round.
+    WholeImage,
+    /// Streaming tiles, stitched.
+    Tiled {
+        /// Tile columns processed.
+        tiles_x: usize,
+        /// Tile rows processed.
+        tiles_y: usize,
+        /// Distinct stitched label groups in the output.
+        stitched_labels: usize,
+    },
+}
+
+/// One image's segmentation result inside a [`SegmentReport`].
+#[derive(Debug, Clone)]
+pub struct SegmentOutput {
+    /// Final per-pixel labels.
+    pub label_map: LabelMap,
+    /// Per-iteration label maps (whole-image mode with
+    /// [`SegHdcConfig::record_snapshots`] only).
+    pub snapshots: Vec<LabelMap>,
+    /// Clustering iterations executed (per tile, in tiled mode).
+    pub iterations_run: usize,
+    /// Pixels per label: cluster sizes in cluster order for whole-image
+    /// mode, stitched-group sizes in ascending label order for tiled mode.
+    pub cluster_sizes: Vec<usize>,
+    /// How this image was executed.
+    pub mode: ExecutedMode,
+    /// Wall-clock encoding time (includes the codebook build on a cache
+    /// miss).
+    pub encode_time: Duration,
+    /// Wall-clock clustering time.
+    pub cluster_time: Duration,
+    /// Wall-clock stitching time (zero in whole-image mode).
+    pub stitch_time: Duration,
+}
+
+impl SegmentOutput {
+    /// Total wall-clock time (encode + cluster + stitch).
+    pub fn total_time(&self) -> Duration {
+        self.encode_time + self.cluster_time + self.stitch_time
+    }
+}
+
+/// Engine-level counters reported with every run.
+///
+/// Cache counters and the arena peak are **engine-lifetime** values (the
+/// cache and arenas outlive individual runs — that is the point); compare
+/// two reports to attribute deltas to one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineTelemetry {
+    /// Codebook-cache lookups served from a resident encoder.
+    pub cache_hits: u64,
+    /// Codebook-cache lookups that built the encoder.
+    pub cache_misses: u64,
+    /// Codebook-cache entries evicted to stay within capacity.
+    pub cache_evictions: u64,
+    /// Codebook bytes currently resident in the cache.
+    pub cache_bytes: usize,
+    /// Encoders currently resident in the cache.
+    pub cache_entries: usize,
+    /// High-water mark, in bytes, of any arena matrix allocation over the
+    /// engine's lifetime.
+    pub peak_matrix_bytes: usize,
+    /// Name of the execution backend.
+    pub backend: &'static str,
+}
+
+/// Result of one [`SegEngine::run`]: per-image outputs, the plan that was
+/// executed, and engine telemetry.
+#[derive(Debug, Clone)]
+pub struct SegmentReport {
+    /// One output per request image, in request order.
+    pub outputs: Vec<SegmentOutput>,
+    /// The plan the engine executed.
+    pub plan: SegmentPlan,
+    /// Engine-lifetime counters snapshotted after the run.
+    pub telemetry: EngineTelemetry,
+    /// Wall-clock time of the whole run.
+    pub total_time: Duration,
+}
+
+impl SegmentReport {
+    /// The single output of a one-image request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request held more or fewer than one image.
+    pub fn single(&self) -> &SegmentOutput {
+        assert_eq!(
+            self.outputs.len(),
+            1,
+            "report holds {} outputs",
+            self.outputs.len()
+        );
+        &self.outputs[0]
+    }
+}
+
+/// Builder for [`SegEngine`].
+pub struct SegEngineBuilder {
+    config: SegHdcConfig,
+    options: EngineOptions,
+    backend: Option<Box<dyn ExecBackend>>,
+    cache: Option<Arc<CodebookCache>>,
+}
+
+impl SegEngineBuilder {
+    /// Replaces the whole option set.
+    pub fn options(mut self, options: EngineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the codebook-cache byte capacity (ignored when a shared cache
+    /// is installed with [`cache`](Self::cache)).
+    pub fn codebook_cache_bytes(mut self, bytes: usize) -> Self {
+        self.options.codebook_cache_bytes = bytes;
+        self
+    }
+
+    /// Sets the auto-planning matrix byte budget.
+    pub fn matrix_budget_bytes(mut self, bytes: usize) -> Self {
+        self.options.matrix_budget_bytes = bytes;
+        self
+    }
+
+    /// Sets the tile geometry used when the planner chooses tiled mode.
+    pub fn auto_tile(mut self, tiles: TileConfig) -> Self {
+        self.options.auto_tile = tiles;
+        self
+    }
+
+    /// Installs an execution backend (default: [`CpuBackend`]).
+    pub fn backend(mut self, backend: Box<dyn ExecBackend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Installs a shared codebook cache, so several engines (e.g. one per
+    /// swept configuration) amortise codebooks across each other.
+    pub fn cache(mut self, cache: Arc<CodebookCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Validates the configuration and builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegHdcError::InvalidConfig`] if the configuration is
+    /// inconsistent.
+    pub fn build(self) -> Result<SegEngine> {
+        self.config.validate()?;
+        let cache = self.cache.unwrap_or_else(|| {
+            Arc::new(CodebookCache::with_capacity(
+                self.options.codebook_cache_bytes,
+            ))
+        });
+        Ok(SegEngine {
+            config: self.config,
+            options: self.options,
+            backend: self.backend.unwrap_or_else(|| Box::new(CpuBackend)),
+            cache,
+            arenas: Mutex::new(Vec::new()),
+            // One retained arena per worker is the most any run can reuse.
+            max_pooled_arenas: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            peak_matrix_bytes: AtomicUsize::new(0),
+        })
+    }
+}
+
+/// The long-lived segmentation engine (see the [module docs](self)).
+///
+/// All methods take `&self`; an engine behind an `Arc` serves concurrent
+/// requests from many threads, sharing its codebook cache and arena pool.
+#[derive(Debug)]
+pub struct SegEngine {
+    config: SegHdcConfig,
+    options: EngineOptions,
+    backend: Box<dyn ExecBackend>,
+    cache: Arc<CodebookCache>,
+    /// Reusable scratch arenas, one checked out per in-flight image.
+    arenas: Mutex<Vec<TileArena>>,
+    /// Pool retention cap: arenas returned beyond this count are dropped.
+    max_pooled_arenas: usize,
+    /// Engine-lifetime high-water mark across every arena.
+    peak_matrix_bytes: AtomicUsize,
+}
+
+impl SegEngine {
+    /// An engine with default [`EngineOptions`] and the [`CpuBackend`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegHdcError::InvalidConfig`] if the configuration is
+    /// inconsistent.
+    pub fn new(config: SegHdcConfig) -> Result<Self> {
+        Self::builder(config).build()
+    }
+
+    /// Starts a builder for an engine running `config`.
+    pub fn builder(config: SegHdcConfig) -> SegEngineBuilder {
+        SegEngineBuilder {
+            config,
+            options: EngineOptions::default(),
+            backend: None,
+            cache: None,
+        }
+    }
+
+    /// The algorithmic configuration this engine runs.
+    pub fn config(&self) -> &SegHdcConfig {
+        &self.config
+    }
+
+    /// The engine tuning options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// The execution backend's name.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Snapshot of the codebook-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The shared codebook cache (hand it to another engine's builder via
+    /// [`SegEngineBuilder::cache`] to share codebooks across engines).
+    pub fn cache(&self) -> Arc<CodebookCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Plans a request without executing it: one [`PlanDecision`] per
+    /// image.
+    ///
+    /// In [`ExecutionMode::Auto`] an image goes tiled exactly when its
+    /// whole-image hypervector matrix (`pixels × ⌈d/64⌉ × 8` bytes) would
+    /// exceed [`EngineOptions::matrix_budget_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for well-formed requests; the `Result` reserves
+    /// room for geometry validation.
+    pub fn plan(&self, request: &SegmentRequest<'_>) -> Result<SegmentPlan> {
+        let row_bytes = self.config.dimension.div_ceil(64) * 8;
+        let decisions = (0..request.len())
+            .map(|index| {
+                let (width, height, channels) = request.shape(index);
+                let whole_matrix_bytes = width * height * row_bytes;
+                let mode = match request.mode {
+                    ExecutionMode::WholeImage => PlannedMode::WholeImage,
+                    ExecutionMode::Tiled(tiles) => PlannedMode::Tiled(tiles),
+                    ExecutionMode::Auto => {
+                        if whole_matrix_bytes > self.options.matrix_budget_bytes {
+                            PlannedMode::Tiled(self.options.auto_tile)
+                        } else {
+                            PlannedMode::WholeImage
+                        }
+                    }
+                };
+                PlanDecision {
+                    width,
+                    height,
+                    channels,
+                    whole_matrix_bytes,
+                    mode,
+                }
+            })
+            .collect();
+        Ok(SegmentPlan { decisions })
+    }
+
+    /// Plans and executes a request.
+    ///
+    /// Codebooks are resolved once per distinct image shape through the
+    /// persistent cache; batch images execute in parallel, each on a pooled
+    /// scratch arena, all through the engine's [`ExecBackend`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error produced by any image. An empty batch
+    /// returns an empty report.
+    pub fn run(&self, request: &SegmentRequest<'_>) -> Result<SegmentReport> {
+        let start = Instant::now();
+        let plan = self.plan(request)?;
+        let encoders = self.resolve_encoders(&plan)?;
+
+        let outputs: Vec<SegmentOutput> = match &request.input {
+            RequestInput::Single(image) => {
+                let view = ImageView::full(image);
+                vec![self.run_one(&view, &plan.decisions[0], &encoders)?]
+            }
+            RequestInput::View(view) => vec![self.run_one(view, &plan.decisions[0], &encoders)?],
+            RequestInput::Batch(images) => {
+                let decisions = &plan.decisions;
+                let encoders = &encoders;
+                (0..images.len())
+                    .into_par_iter()
+                    .map(|index| {
+                        let view = ImageView::full(&images[index]);
+                        self.run_one(&view, &decisions[index], encoders)
+                    })
+                    .collect::<Result<Vec<_>>>()?
+            }
+        };
+
+        Ok(SegmentReport {
+            outputs,
+            plan,
+            telemetry: self.telemetry(),
+            total_time: start.elapsed(),
+        })
+    }
+
+    /// Streaming tiled execution into a **caller-owned** arena — the
+    /// escape hatch for services that manage their own scratch memory (and
+    /// the implementation of the deprecated
+    /// [`crate::SegHdc::segment_streaming_in`]). The codebooks still come
+    /// from the engine cache and every tile executes through the engine
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tile geometry is invalid for the view shape
+    /// or if encoding/clustering fails.
+    pub fn run_tiled_in(
+        &self,
+        view: &ImageView<'_>,
+        tiles: &TileConfig,
+        arena: &mut TileArena,
+    ) -> Result<StreamingSegmentation> {
+        let encoder = self.encoder_for(view.width(), view.height(), view.channels())?;
+        let result = tiled::segment_streaming_with(
+            &self.config,
+            &encoder,
+            view,
+            tiles,
+            arena,
+            self.backend.as_ref(),
+        );
+        self.peak_matrix_bytes
+            .fetch_max(arena.peak_matrix_bytes(), Ordering::Relaxed);
+        result
+    }
+
+    /// Current engine-lifetime telemetry.
+    pub fn telemetry(&self) -> EngineTelemetry {
+        let stats = self.cache.stats();
+        EngineTelemetry {
+            cache_hits: stats.hits,
+            cache_misses: stats.misses,
+            cache_evictions: stats.evictions,
+            cache_bytes: stats.bytes,
+            cache_entries: stats.entries,
+            peak_matrix_bytes: self.peak_matrix_bytes.load(Ordering::Relaxed),
+            backend: self.backend.name(),
+        }
+    }
+
+    /// Resolves (and warms) one encoder per distinct shape in the plan.
+    fn resolve_encoders(
+        &self,
+        plan: &SegmentPlan,
+    ) -> Result<HashMap<(usize, usize, usize), Arc<PixelEncoder>>> {
+        let mut encoders = HashMap::new();
+        for decision in &plan.decisions {
+            let shape = (decision.width, decision.height, decision.channels);
+            if let std::collections::hash_map::Entry::Vacant(entry) = encoders.entry(shape) {
+                entry.insert(self.encoder_for(shape.0, shape.1, shape.2)?);
+            }
+        }
+        Ok(encoders)
+    }
+
+    /// Cache lookup (or build) of the encoder for one image shape.
+    fn encoder_for(
+        &self,
+        width: usize,
+        height: usize,
+        channels: usize,
+    ) -> Result<Arc<PixelEncoder>> {
+        let key = CodebookKey::for_shape(&self.config, width, height, channels);
+        let config = &self.config;
+        self.cache
+            .get_or_build(key, || build_encoder(config, width, height, channels))
+    }
+
+    /// Executes one image according to its plan decision.
+    fn run_one(
+        &self,
+        view: &ImageView<'_>,
+        decision: &PlanDecision,
+        encoders: &HashMap<(usize, usize, usize), Arc<PixelEncoder>>,
+    ) -> Result<SegmentOutput> {
+        let shape = (decision.width, decision.height, decision.channels);
+        let encoder = encoders
+            .get(&shape)
+            .ok_or_else(|| SegHdcError::InvalidConfig {
+                message: format!("no encoder resolved for shape {shape:?}"),
+            })?;
+        match decision.mode {
+            PlannedMode::WholeImage => self.run_whole(view, encoder),
+            PlannedMode::Tiled(tiles) => self.run_tiled(view, &tiles, encoder),
+        }
+    }
+
+    /// Whole-image execution: the full view is one backend region.
+    fn run_whole(&self, view: &ImageView<'_>, encoder: &PixelEncoder) -> Result<SegmentOutput> {
+        self.with_arena(|arena| {
+            let encode_start = Instant::now();
+            let rows = view.pixel_count();
+            arena.prepare(rows, self.config.dimension)?;
+            let full = TileRect {
+                x: 0,
+                y: 0,
+                width: view.width(),
+                height: view.height(),
+            };
+            self.backend
+                .encode_region(encoder, view, &full, &mut arena.matrix)?;
+            for y in 0..view.height() {
+                for x in 0..view.width() {
+                    arena.intensities.push(view.intensity_at(x, y)?);
+                }
+            }
+            let encode_time = encode_start.elapsed();
+
+            let cluster_start = Instant::now();
+            let kmeans = HvKmeans::new(
+                self.config.clusters,
+                self.config.iterations,
+                self.config.distance_metric,
+                self.config.record_snapshots,
+            )?;
+            let outcome =
+                self.backend
+                    .cluster_matrix(&kmeans, &arena.matrix, &arena.intensities)?;
+            let cluster_time = cluster_start.elapsed();
+
+            let width = view.width();
+            let height = view.height();
+            let to_map = |labels: &[u32]| -> Result<LabelMap> {
+                Ok(LabelMap::from_raw(width, height, labels.to_vec())?)
+            };
+            let label_map = to_map(&outcome.labels)?;
+            let snapshots = outcome
+                .snapshots
+                .iter()
+                .map(|labels| to_map(labels))
+                .collect::<Result<Vec<_>>>()?;
+
+            Ok(SegmentOutput {
+                label_map,
+                snapshots,
+                iterations_run: outcome.iterations_run,
+                cluster_sizes: outcome.cluster_sizes,
+                mode: ExecutedMode::WholeImage,
+                encode_time,
+                cluster_time,
+                stitch_time: Duration::ZERO,
+            })
+        })
+    }
+
+    /// Streaming tiled execution on a pooled arena.
+    fn run_tiled(
+        &self,
+        view: &ImageView<'_>,
+        tiles: &TileConfig,
+        encoder: &PixelEncoder,
+    ) -> Result<SegmentOutput> {
+        self.with_arena(|arena| {
+            let streamed = tiled::segment_streaming_with(
+                &self.config,
+                encoder,
+                view,
+                tiles,
+                arena,
+                self.backend.as_ref(),
+            )?;
+
+            // Stitched-group sizes in ascending label order, so the report
+            // shape matches whole-image outputs.
+            let mut sizes: std::collections::BTreeMap<u32, usize> =
+                std::collections::BTreeMap::new();
+            for &label in streamed.label_map.as_raw() {
+                *sizes.entry(label).or_insert(0) += 1;
+            }
+
+            Ok(SegmentOutput {
+                label_map: streamed.label_map,
+                snapshots: Vec::new(),
+                iterations_run: self.config.iterations,
+                cluster_sizes: sizes.into_values().collect(),
+                mode: ExecutedMode::Tiled {
+                    tiles_x: streamed.tiles_x,
+                    tiles_y: streamed.tiles_y,
+                    stitched_labels: streamed.stitched_labels,
+                },
+                encode_time: streamed.encode_time,
+                cluster_time: streamed.cluster_time,
+                stitch_time: streamed.stitch_time,
+            })
+        })
+    }
+
+    /// Checks an arena out of the pool, runs `f`, records the peak and
+    /// returns the arena to the pool (also on error).
+    ///
+    /// Retention is bounded so the pool cannot pin memory for the engine's
+    /// lifetime: at most one arena per hardware thread is kept, and an
+    /// arena whose matrix grew beyond
+    /// [`EngineOptions::matrix_budget_bytes`] (a forced over-budget
+    /// whole-image run) is dropped instead of pooled — the steady state
+    /// retains only budget-sized scratch.
+    fn with_arena<T>(&self, f: impl FnOnce(&mut TileArena) -> Result<T>) -> Result<T> {
+        let mut arena = self
+            .arenas
+            .lock()
+            .expect("arena pool lock poisoned")
+            .pop()
+            .unwrap_or_default();
+        let result = f(&mut arena);
+        self.peak_matrix_bytes
+            .fetch_max(arena.peak_matrix_bytes(), Ordering::Relaxed);
+        if arena.matrix.capacity_bytes() <= self.options.matrix_budget_bytes {
+            let mut pool = self.arenas.lock().expect("arena pool lock poisoned");
+            if pool.len() < self.max_pooled_arenas {
+                pool.push(arena);
+            }
+        }
+        result
+    }
+}
+
+/// Builds the pixel encoder (position + colour codebooks) for `config` at
+/// one image shape — the single codebook-construction path every engine
+/// lookup funnels through.
+pub(crate) fn build_encoder(
+    config: &SegHdcConfig,
+    width: usize,
+    height: usize,
+    channels: usize,
+) -> Result<PixelEncoder> {
+    let root = hdc::HdcRng::seed_from(config.seed);
+    let mut position_rng = root.derive(1);
+    let mut color_rng = root.derive(2);
+    let position = crate::PositionEncoder::new(
+        config.position_encoding,
+        config.dimension,
+        height,
+        width,
+        config.alpha,
+        config.beta,
+        &mut position_rng,
+    )?;
+    let color = crate::ColorEncoder::new(
+        config.color_encoding,
+        config.dimension,
+        channels,
+        config.gamma,
+        &mut color_rng,
+    )?;
+    PixelEncoder::new(position, color)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imaging::GrayImage;
+
+    fn square_image(size: usize) -> DynamicImage {
+        let mut img = GrayImage::filled(size, size, 20).unwrap();
+        for y in size / 4..3 * size / 4 {
+            for x in size / 4..3 * size / 4 {
+                img.set(x, y, 220).unwrap();
+            }
+        }
+        DynamicImage::Gray(img)
+    }
+
+    fn fast_config() -> SegHdcConfig {
+        SegHdcConfig::builder()
+            .dimension(512)
+            .iterations(3)
+            .beta(4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates_the_configuration() {
+        let bad = SegHdcConfig {
+            clusters: 1,
+            ..SegHdcConfig::default()
+        };
+        assert!(SegEngine::new(bad).is_err());
+        let engine = SegEngine::new(fast_config()).unwrap();
+        assert_eq!(engine.backend_name(), "cpu");
+        assert_eq!(engine.config().dimension, 512);
+    }
+
+    #[test]
+    fn auto_plan_picks_whole_image_under_the_budget_and_tiles_over_it() {
+        let image = square_image(32);
+        let engine = SegEngine::new(fast_config()).unwrap();
+        let plan = engine.plan(&SegmentRequest::image(&image)).unwrap();
+        assert_eq!(plan.decisions.len(), 1);
+        assert_eq!(plan.decisions[0].mode, PlannedMode::WholeImage);
+        assert_eq!(
+            plan.decisions[0].whole_matrix_bytes,
+            32 * 32 * 512usize.div_ceil(64) * 8
+        );
+
+        let tiny_budget = SegEngine::builder(fast_config())
+            .matrix_budget_bytes(1024)
+            .auto_tile(TileConfig::square(16, 2).unwrap())
+            .build()
+            .unwrap();
+        let plan = tiny_budget.plan(&SegmentRequest::image(&image)).unwrap();
+        assert_eq!(
+            plan.decisions[0].mode,
+            PlannedMode::Tiled(TileConfig::square(16, 2).unwrap())
+        );
+        assert_eq!(plan.whole_image_count(), 0);
+        assert_eq!(plan.tiled_count(), 1);
+    }
+
+    #[test]
+    fn forced_modes_override_the_planner() {
+        let image = square_image(32);
+        let engine = SegEngine::builder(fast_config())
+            .matrix_budget_bytes(0)
+            .build()
+            .unwrap();
+        let forced = engine
+            .plan(&SegmentRequest::image(&image).whole_image())
+            .unwrap();
+        assert_eq!(forced.decisions[0].mode, PlannedMode::WholeImage);
+        let tiles = TileConfig::square(16, 2).unwrap();
+        let forced = engine
+            .plan(&SegmentRequest::image(&image).tiled(tiles))
+            .unwrap();
+        assert_eq!(forced.decisions[0].mode, PlannedMode::Tiled(tiles));
+    }
+
+    #[test]
+    fn whole_and_tiled_runs_agree_on_the_partition() {
+        let image = square_image(32);
+        let engine = SegEngine::new(fast_config()).unwrap();
+        let whole = engine
+            .run(&SegmentRequest::image(&image).whole_image())
+            .unwrap();
+        let tiles = TileConfig::square(16, 4).unwrap();
+        let tiled = engine
+            .run(&SegmentRequest::image(&image).tiled(tiles))
+            .unwrap();
+        assert!(matches!(whole.single().mode, ExecutedMode::WholeImage));
+        assert!(matches!(
+            tiled.single().mode,
+            ExecutedMode::Tiled {
+                tiles_x: 2,
+                tiles_y: 2,
+                ..
+            }
+        ));
+        assert!(tiled
+            .single()
+            .label_map
+            .is_permutation_of(&whole.single().label_map));
+        assert_eq!(tiled.single().cluster_sizes.iter().sum::<usize>(), 32 * 32);
+    }
+
+    #[test]
+    fn batch_outputs_match_single_runs_byte_for_byte() {
+        let a = square_image(24);
+        let b = square_image(32);
+        let engine = SegEngine::new(fast_config()).unwrap();
+        let batch = engine
+            .run(&SegmentRequest::batch(std::slice::from_ref(&a)).whole_image())
+            .unwrap();
+        let single = engine
+            .run(&SegmentRequest::image(&a).whole_image())
+            .unwrap();
+        assert_eq!(
+            batch.outputs[0].label_map.as_raw(),
+            single.single().label_map.as_raw()
+        );
+        let both = [a, b];
+        let batch = engine
+            .run(&SegmentRequest::batch(&both).whole_image())
+            .unwrap();
+        assert_eq!(batch.outputs.len(), 2);
+        for (image, output) in both.iter().zip(&batch.outputs) {
+            let single = engine
+                .run(&SegmentRequest::image(image).whole_image())
+                .unwrap();
+            assert_eq!(
+                output.label_map.as_raw(),
+                single.single().label_map.as_raw()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batches_produce_empty_reports() {
+        let engine = SegEngine::new(fast_config()).unwrap();
+        let report = engine.run(&SegmentRequest::batch(&[])).unwrap();
+        assert!(report.outputs.is_empty());
+        assert!(report.plan.decisions.is_empty());
+        assert!(SegmentRequest::batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn telemetry_reports_cache_and_arena_activity() {
+        let image = square_image(24);
+        let engine = SegEngine::new(fast_config()).unwrap();
+        let cold = engine.run(&SegmentRequest::image(&image)).unwrap();
+        assert_eq!(cold.telemetry.cache_misses, 1);
+        assert_eq!(cold.telemetry.cache_hits, 0);
+        assert_eq!(cold.telemetry.cache_entries, 1);
+        assert!(cold.telemetry.cache_bytes > 0);
+        assert!(cold.telemetry.peak_matrix_bytes >= 24 * 24 * 8);
+        assert_eq!(cold.telemetry.backend, "cpu");
+        let warm = engine.run(&SegmentRequest::image(&image)).unwrap();
+        assert_eq!(warm.telemetry.cache_misses, 1);
+        assert_eq!(warm.telemetry.cache_hits, 1);
+        assert_eq!(
+            cold.outputs[0].label_map.as_raw(),
+            warm.outputs[0].label_map.as_raw()
+        );
+    }
+
+    #[test]
+    fn views_are_segmented_whole_or_tiled() {
+        let image = square_image(32);
+        let engine = SegEngine::new(fast_config()).unwrap();
+        let view = ImageView::crop(&image, 4, 4, 24, 20).unwrap();
+        let whole = engine
+            .run(&SegmentRequest::view(view).whole_image())
+            .unwrap();
+        assert_eq!(whole.single().label_map.width(), 24);
+        assert_eq!(whole.single().label_map.height(), 20);
+        let tiles = TileConfig::square(12, 2).unwrap();
+        let view = ImageView::crop(&image, 4, 4, 24, 20).unwrap();
+        let tiled = engine
+            .run(&SegmentRequest::view(view).tiled(tiles))
+            .unwrap();
+        assert_eq!(tiled.single().label_map.width(), 24);
+        assert!(matches!(tiled.single().mode, ExecutedMode::Tiled { .. }));
+    }
+
+    #[test]
+    fn shared_cache_spans_engines() {
+        let image = square_image(24);
+        let first = SegEngine::new(fast_config()).unwrap();
+        first.run(&SegmentRequest::image(&image)).unwrap();
+        // Same config, second engine sharing the cache: no rebuild.
+        let second = SegEngine::builder(fast_config())
+            .cache(first.cache())
+            .build()
+            .unwrap();
+        let report = second.run(&SegmentRequest::image(&image)).unwrap();
+        assert_eq!(report.telemetry.cache_misses, 1);
+        assert_eq!(report.telemetry.cache_hits, 1);
+    }
+}

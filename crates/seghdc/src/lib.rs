@@ -21,20 +21,27 @@
 //!   colour difference and updated by integer bundling (§III-4, Eq. 7).
 //!   [`HvKmeans::cluster_matrix`] clusters an [`hdc::HvMatrix`] in place,
 //!   parallelising the assignment step across pixel rows.
-//! * [`SegHdc`] — the full pipeline: encode every pixel, cluster, emit a
-//!   [`imaging::LabelMap`]. [`SegHdc::segment_batch`] runs many images in
-//!   parallel, reusing codebooks across images of the same shape.
+//! * [`SegEngine`] — the long-lived execution engine and the crate's
+//!   primary entry point: one [`SegmentRequest`] → [`SegEngine::plan`] →
+//!   [`SegEngine::run`] flow replaces the five legacy `SegHdc` calls. The
+//!   engine owns an [`ExecBackend`] (the per-tile "encode region + cluster
+//!   matrix" unit, [`CpuBackend`] by default), a persistent byte-bounded
+//!   [`CodebookCache`] shared across calls and threads, and a pool of
+//!   reusable [`TileArena`] scratch buffers; it plans whole-image versus
+//!   streaming tiled execution per image against a memory budget and
+//!   reports cache/arena telemetry on every [`SegmentReport`].
+//! * [`SegHdc`] — the legacy per-call pipeline; its segmentation methods
+//!   remain as thin deprecated wrappers over the engine.
 //! * [`tiled`] — streaming tiled segmentation for images larger than
-//!   memory: [`SegHdc::segment_streaming`] encodes and clusters one
-//!   halo-padded tile at a time inside a bounded [`TileArena`] and stitches
-//!   the per-tile labels into one globally consistent map.
+//!   memory: one halo-padded tile at a time inside a bounded [`TileArena`],
+//!   stitched into one globally consistent map.
 //!
 //! # Quickstart
 //!
 //! ```rust
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! use imaging::{DynamicImage, GrayImage};
-//! use seghdc::{SegHdc, SegHdcConfig};
+//! use seghdc::{SegEngine, SegHdcConfig, SegmentRequest};
 //!
 //! // A small synthetic image: dark background, bright square.
 //! let mut img = GrayImage::filled(32, 32, 20)?;
@@ -49,8 +56,11 @@
 //!     .clusters(2)
 //!     .iterations(3)
 //!     .build()?;
-//! let segmentation = SegHdc::new(config)?.segment(&DynamicImage::Gray(img))?;
-//! assert_eq!(segmentation.label_map.distinct_labels(), 2);
+//! let engine = SegEngine::new(config)?;
+//! let report = engine.run(&SegmentRequest::image(&DynamicImage::Gray(img)))?;
+//! assert_eq!(report.outputs[0].label_map.distinct_labels(), 2);
+//! // A second run of the same shape reuses the cached codebooks:
+//! assert_eq!(report.telemetry.cache_misses, 1);
 //! # Ok(())
 //! # }
 //! ```
@@ -58,9 +68,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod cache;
 mod cluster;
 mod color;
 mod config;
+pub mod engine;
 mod error;
 mod pipeline;
 mod pixel;
@@ -69,10 +82,16 @@ pub mod sweep;
 pub mod tiled;
 pub mod toy;
 
+pub use backend::{CpuBackend, ExecBackend};
+pub use cache::{CacheStats, CodebookCache, CodebookKey};
 pub use cluster::{ClusterOutcome, HvKmeans};
 pub use color::ColorEncoder;
 pub use config::{
     ColorEncoding, DistanceMetric, PositionEncoding, SegHdcConfig, SegHdcConfigBuilder,
+};
+pub use engine::{
+    EngineOptions, EngineTelemetry, ExecutedMode, ExecutionMode, PlanDecision, PlannedMode,
+    SegEngine, SegEngineBuilder, SegmentOutput, SegmentPlan, SegmentReport, SegmentRequest,
 };
 pub use error::SegHdcError;
 pub use pipeline::{SegHdc, Segmentation};

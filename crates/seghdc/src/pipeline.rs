@@ -1,10 +1,9 @@
-use crate::tiled::{self, StreamingSegmentation, TileArena, TileConfig};
-use crate::{ColorEncoder, HvKmeans, PixelEncoder, PositionEncoder, Result, SegHdcConfig};
-use hdc::HdcRng;
+use crate::engine::{SegEngine, SegmentOutput, SegmentRequest};
+use crate::tiled::{StreamingSegmentation, TileArena, TileConfig};
+use crate::{PixelEncoder, Result, SegHdcConfig};
 use imaging::{DynamicImage, ImageView, LabelMap};
 use rayon::prelude::*;
-use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Result of running the SegHDC pipeline on one image.
 #[derive(Debug, Clone)]
@@ -29,21 +28,36 @@ impl Segmentation {
     pub fn total_time(&self) -> Duration {
         self.encode_time + self.cluster_time
     }
+
+    /// Converts one engine output into the legacy result shape.
+    fn from_output(output: SegmentOutput) -> Self {
+        Self {
+            label_map: output.label_map,
+            snapshots: output.snapshots,
+            iterations_run: output.iterations_run,
+            cluster_sizes: output.cluster_sizes,
+            encode_time: output.encode_time,
+            cluster_time: output.cluster_time,
+        }
+    }
 }
 
-/// The complete SegHDC segmentation pipeline (Fig. 2 of the paper):
-/// position encoder → colour encoder → pixel HV producer → clusterer.
+/// The legacy per-call entry point to the SegHDC pipeline (Fig. 2 of the
+/// paper): position encoder → colour encoder → pixel HV producer →
+/// clusterer.
 ///
-/// A `SegHdc` value is cheap to construct (it only stores the configuration);
-/// codebooks are built per image inside [`segment`](Self::segment) because
-/// their shape depends on the image size.
-///
-/// # Example
+/// Since the engine redesign every `SegHdc` segmentation method is a thin
+/// deprecated wrapper that constructs a default [`SegEngine`] and runs one
+/// [`SegmentRequest`] through it; outputs are unchanged (byte-identical
+/// labels for the same seed), but each call pays the full codebook build
+/// because the per-call engine's cache is always cold. Long-lived callers
+/// should hold a [`SegEngine`] instead and let its persistent codebook
+/// cache amortise that cost:
 ///
 /// ```rust
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// use imaging::{DynamicImage, GrayImage};
-/// use seghdc::{SegHdc, SegHdcConfig};
+/// use seghdc::{SegEngine, SegHdcConfig, SegmentRequest};
 ///
 /// let mut img = GrayImage::filled(24, 24, 15)?;
 /// for y in 6..18 {
@@ -52,8 +66,9 @@ impl Segmentation {
 ///     }
 /// }
 /// let config = SegHdcConfig::builder().dimension(1024).iterations(3).build()?;
-/// let result = SegHdc::new(config)?.segment(&DynamicImage::Gray(img))?;
-/// assert_eq!(result.label_map.pixel_count(), 24 * 24);
+/// let engine = SegEngine::new(config)?;
+/// let report = engine.run(&SegmentRequest::image(&DynamicImage::Gray(img)))?;
+/// assert_eq!(report.outputs[0].label_map.pixel_count(), 24 * 24);
 /// # Ok(())
 /// # }
 /// ```
@@ -92,34 +107,19 @@ impl SegHdc {
         height: usize,
         channels: usize,
     ) -> Result<PixelEncoder> {
-        let root = HdcRng::seed_from(self.config.seed);
-        let mut position_rng = root.derive(1);
-        let mut color_rng = root.derive(2);
-        let position = PositionEncoder::new(
-            self.config.position_encoding,
-            self.config.dimension,
-            height,
-            width,
-            self.config.alpha,
-            self.config.beta,
-            &mut position_rng,
-        )?;
-        let color = ColorEncoder::new(
-            self.config.color_encoding,
-            self.config.dimension,
-            channels,
-            self.config.gamma,
-            &mut color_rng,
-        )?;
-        PixelEncoder::new(position, color)
+        crate::engine::build_encoder(&self.config, width, height, channels)
     }
 
-    /// Segments an image.
+    /// The single-use engine every deprecated wrapper below runs through.
+    fn wrapper_engine(&self) -> Result<SegEngine> {
+        SegEngine::new(self.config.clone())
+    }
+
+    /// Segments an image whole, regardless of its size.
     ///
-    /// Codebooks are built for the image's shape, every pixel is encoded
-    /// into one [`hdc::HvMatrix`] row, and the matrix is clustered with the
-    /// batched [`HvKmeans::cluster_matrix`] path — no per-pixel heap
-    /// allocation anywhere past the codebook construction.
+    /// Thin wrapper over [`SegEngine::run`] with a forced whole-image
+    /// [`SegmentRequest`]; labels are byte-identical to the engine path for
+    /// the same seed.
     ///
     /// # Errors
     ///
@@ -127,37 +127,49 @@ impl SegHdc {
     /// incompatible (e.g. the hypervector dimension is smaller than the
     /// number of colour channels) or if an underlying hypervector operation
     /// fails.
+    #[deprecated(
+        since = "0.3.0",
+        note = "hold a long-lived SegEngine and run(SegmentRequest::image(..)) instead"
+    )]
     pub fn segment(&self, image: &DynamicImage) -> Result<Segmentation> {
-        let encode_start = Instant::now();
-        let encoder = self.build_encoder(image.width(), image.height(), image.channels())?;
-        self.segment_with_encoder(&encoder, image, encode_start)
+        let report = self
+            .wrapper_engine()?
+            .run(&SegmentRequest::image(image).whole_image())?;
+        let output = report
+            .outputs
+            .into_iter()
+            .next()
+            .expect("one image in, one output out");
+        Ok(Segmentation::from_output(output))
     }
 
-    /// Segments a batch of images, reusing codebooks across images of the
-    /// same shape and running the images in parallel.
+    /// Segments a batch of images in parallel, codebooks shared per
+    /// distinct image shape.
     ///
-    /// Codebook construction is the per-image fixed cost of
-    /// [`segment`](Self::segment); for a batch of same-shaped images (the
-    /// common microscopy case) it is paid once here. The per-image results
-    /// are byte-identical to calling `segment` on each image individually,
-    /// because the codebooks depend only on the configured seed and the
-    /// image shape.
+    /// Thin wrapper over [`SegEngine::run`] with a forced whole-image batch
+    /// [`SegmentRequest`]. The per-shape codebook reuse that used to live
+    /// here is now the engine's persistent [`crate::CodebookCache`] — one
+    /// construction path for every entry point. Per-image results stay
+    /// byte-identical to calling [`segment`](Self::segment) on each image
+    /// individually.
     ///
     /// # Errors
     ///
     /// Returns the first error produced by any image; an empty batch
     /// returns an empty vector.
+    #[deprecated(
+        since = "0.3.0",
+        note = "hold a long-lived SegEngine and run(SegmentRequest::batch(..)) instead"
+    )]
     pub fn segment_batch(&self, images: &[DynamicImage]) -> Result<Vec<Segmentation>> {
-        let encoders = self.shape_encoders(images)?;
-        let encoders = &encoders;
-        images
-            .par_iter()
-            .map(|image| {
-                let shape = (image.width(), image.height(), image.channels());
-                let encoder = &encoders[&shape];
-                self.segment_with_encoder(encoder, image, Instant::now())
-            })
-            .collect()
+        let report = self
+            .wrapper_engine()?
+            .run(&SegmentRequest::batch(images).whole_image())?;
+        Ok(report
+            .outputs
+            .into_iter()
+            .map(Segmentation::from_output)
+            .collect())
     }
 
     /// Segments a view in streaming tiled mode: one halo-padded tile is
@@ -173,165 +185,88 @@ impl SegHdc {
     /// ([`SegHdcConfig::record_snapshots`]) does not apply in streaming
     /// mode.
     ///
-    /// # Example
-    ///
-    /// ```rust
-    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-    /// use imaging::{DynamicImage, GrayImage, ImageView};
-    /// use seghdc::{SegHdc, SegHdcConfig, TileConfig};
-    ///
-    /// let mut img = GrayImage::filled(32, 32, 20)?;
-    /// for y in 8..24 {
-    ///     for x in 8..24 {
-    ///         img.set(x, y, 220)?;
-    ///     }
-    /// }
-    /// let image = DynamicImage::Gray(img);
-    /// let config = SegHdcConfig::builder().dimension(512).iterations(3).beta(4).build()?;
-    /// let result = SegHdc::new(config)?
-    ///     .segment_streaming(&ImageView::full(&image), &TileConfig::square(16, 2)?)?;
-    /// assert_eq!(result.label_map.pixel_count(), 32 * 32);
-    /// assert_eq!((result.tiles_x, result.tiles_y), (2, 2));
-    /// # Ok(())
-    /// # }
-    /// ```
+    /// Thin wrapper over [`SegEngine::run_tiled_in`] with a fresh arena.
     ///
     /// # Errors
     ///
     /// Returns an error if the tile geometry is invalid for the view shape
     /// or if encoding/clustering fails.
+    #[deprecated(
+        since = "0.3.0",
+        note = "hold a long-lived SegEngine and run(SegmentRequest::view(..).tiled(..)) instead"
+    )]
     pub fn segment_streaming(
         &self,
         view: &ImageView<'_>,
         tiles: &TileConfig,
     ) -> Result<StreamingSegmentation> {
         let mut arena = TileArena::new();
-        self.segment_streaming_in(view, tiles, &mut arena)
+        self.wrapper_engine()?.run_tiled_in(view, tiles, &mut arena)
     }
 
     /// [`segment_streaming`](Self::segment_streaming) with a caller-owned
     /// [`TileArena`], so a long-running service can reuse the tile buffers
     /// across calls (the arena's peak byte counter keeps accumulating).
     ///
+    /// Thin wrapper over [`SegEngine::run_tiled_in`].
+    ///
     /// # Errors
     ///
     /// Same as [`segment_streaming`](Self::segment_streaming).
+    #[deprecated(
+        since = "0.3.0",
+        note = "hold a long-lived SegEngine and use SegEngine::run_tiled_in instead"
+    )]
     pub fn segment_streaming_in(
         &self,
         view: &ImageView<'_>,
         tiles: &TileConfig,
         arena: &mut TileArena,
     ) -> Result<StreamingSegmentation> {
-        let encoder = self.build_encoder(view.width(), view.height(), view.channels())?;
-        tiled::segment_streaming_with(&self.config, &encoder, view, tiles, arena)
+        self.wrapper_engine()?.run_tiled_in(view, tiles, arena)
     }
 
     /// Streaming-segments a batch of images, pipelining tiles across the
-    /// images in parallel: each image streams through its own bounded
-    /// [`TileArena`] on a worker, while codebooks are shared across images
-    /// of the same shape exactly as in [`segment_batch`](Self::segment_batch).
+    /// images in parallel, codebooks shared per shape.
     ///
-    /// Peak matrix memory is ≈ one halo-padded tile **per worker**, so the
-    /// batch keeps the streaming guarantee (workers ≤ cores) instead of
-    /// scaling with the number or size of the images.
+    /// Thin wrapper over [`SegEngine::run_tiled_in`], one fresh
+    /// [`TileArena`] per image exactly as before the engine redesign, so
+    /// each result's `peak_matrix_bytes` remains that image's own arena
+    /// high-water mark (≈ one halo-padded tile per worker). The codebooks
+    /// are still shared per shape through the engine cache.
     ///
     /// # Errors
     ///
     /// Returns the first error produced by any image; an empty batch
     /// returns an empty vector.
+    #[deprecated(
+        since = "0.3.0",
+        note = "hold a long-lived SegEngine and run(SegmentRequest::batch(..).tiled(..)) instead"
+    )]
     pub fn segment_streaming_batch(
         &self,
         images: &[DynamicImage],
         tiles: &TileConfig,
     ) -> Result<Vec<StreamingSegmentation>> {
-        let encoders = self.shape_encoders(images)?;
-        let encoders = &encoders;
+        let engine = self.wrapper_engine()?;
+        let engine = &engine;
         images
             .par_iter()
             .map(|image| {
-                let shape = (image.width(), image.height(), image.channels());
-                let encoder = &encoders[&shape];
-                let view = ImageView::full(image);
                 let mut arena = TileArena::new();
-                tiled::segment_streaming_with(&self.config, encoder, &view, tiles, &mut arena)
+                engine.run_tiled_in(&ImageView::full(image), tiles, &mut arena)
             })
             .collect()
-    }
-
-    /// Builds one encoder per distinct `(width, height, channels)` shape in
-    /// `images` — the codebook-sharing step of both batch entry points.
-    fn shape_encoders(
-        &self,
-        images: &[DynamicImage],
-    ) -> Result<HashMap<(usize, usize, usize), PixelEncoder>> {
-        let mut encoders: HashMap<(usize, usize, usize), PixelEncoder> = HashMap::new();
-        for image in images {
-            let shape = (image.width(), image.height(), image.channels());
-            if let std::collections::hash_map::Entry::Vacant(e) = encoders.entry(shape) {
-                let encoder = self.build_encoder(shape.0, shape.1, shape.2)?;
-                e.insert(encoder);
-            }
-        }
-        Ok(encoders)
-    }
-
-    /// Shared encode → cluster → label-map tail of both `segment` flavours.
-    ///
-    /// `encode_start` is when encoding conceptually began (including the
-    /// codebook build for the single-image path), so `encode_time` stays
-    /// comparable with earlier releases.
-    fn segment_with_encoder(
-        &self,
-        encoder: &PixelEncoder,
-        image: &DynamicImage,
-        encode_start: Instant,
-    ) -> Result<Segmentation> {
-        let pixel_matrix = encoder.encode_matrix(image)?;
-        let encode_time = encode_start.elapsed();
-
-        // Scalar intensities drive the max-colour-difference initialisation.
-        let mut intensities = Vec::with_capacity(image.pixel_count());
-        for y in 0..image.height() {
-            for x in 0..image.width() {
-                intensities.push(image.intensity_at(x, y)?);
-            }
-        }
-
-        let cluster_start = Instant::now();
-        let kmeans = HvKmeans::new(
-            self.config.clusters,
-            self.config.iterations,
-            self.config.distance_metric,
-            self.config.record_snapshots,
-        )?;
-        let outcome = kmeans.cluster_matrix(&pixel_matrix, &intensities)?;
-        let cluster_time = cluster_start.elapsed();
-
-        let width = image.width();
-        let height = image.height();
-        let to_map = |labels: &[u32]| -> Result<LabelMap> {
-            Ok(LabelMap::from_raw(width, height, labels.to_vec())?)
-        };
-        let label_map = to_map(&outcome.labels)?;
-        let snapshots = outcome
-            .snapshots
-            .iter()
-            .map(|labels| to_map(labels))
-            .collect::<Result<Vec<_>>>()?;
-
-        Ok(Segmentation {
-            label_map,
-            snapshots,
-            iterations_run: outcome.iterations_run,
-            cluster_sizes: outcome.cluster_sizes,
-            encode_time,
-            cluster_time,
-        })
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // These tests deliberately exercise the deprecated wrappers: they are
+    // the regression suite proving the wrappers still behave exactly like
+    // the engine they delegate to.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::{ColorEncoding, PositionEncoding};
     use imaging::{metrics, GrayImage, RgbImage};

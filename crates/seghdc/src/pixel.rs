@@ -69,6 +69,13 @@ impl PixelEncoder {
         &self.color
     }
 
+    /// Heap bytes held by the position and colour codebooks together — what
+    /// one cached encoder costs the engine's byte-capacity-bounded
+    /// [`crate::CodebookCache`].
+    pub fn codebook_bytes(&self) -> usize {
+        self.position.codebook_bytes() + self.color.codebook_bytes()
+    }
+
     /// Encodes the pixel at `(x, y)` of `image` as
     /// `position(y, x) XOR colour(image[x, y])`.
     ///

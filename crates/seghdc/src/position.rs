@@ -175,6 +175,16 @@ impl PositionEncoder {
         self.cols.len()
     }
 
+    /// Heap bytes held by the row and column codebooks — the cost of
+    /// keeping this encoder resident in the engine's codebook cache.
+    pub fn codebook_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .chain(self.cols.iter())
+            .map(hdc::BinaryHypervector::heap_bytes)
+            .sum()
+    }
+
     /// Number of bits flipped per row step (0 for the `Random` variant).
     pub fn row_flip_unit(&self) -> usize {
         self.row_flip_unit

@@ -6,8 +6,9 @@
 //! run those sweeps over any image with ground truth and return one record
 //! per setting.
 
-use crate::{Result, SegHdc, SegHdcConfig};
+use crate::{CodebookCache, Result, SegEngine, SegHdcConfig, SegmentRequest};
 use imaging::{metrics, DynamicImage, LabelMap};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One record of a parameter sweep: the swept value, the IoU achieved and
@@ -26,6 +27,11 @@ pub struct SweepPoint {
 /// Runs the Fig. 7(a) sweep: IoU and latency as a function of the number of
 /// clustering iterations.
 ///
+/// One [`CodebookCache`] is shared across the per-setting engines: the
+/// iteration count does not enter the codebook key, so every point after
+/// the first reuses the cached codebooks and the sweep measures clustering
+/// cost, not repeated codebook construction.
+///
 /// # Errors
 ///
 /// Propagates configuration and pipeline errors.
@@ -35,19 +41,23 @@ pub fn iteration_sweep(
     image: &DynamicImage,
     truth: &LabelMap,
 ) -> Result<Vec<SweepPoint>> {
+    let cache = Arc::new(CodebookCache::with_capacity(64 << 20));
     let mut points = Vec::new();
     for value in iterations {
         let config = SegHdcConfig {
             iterations: value,
             ..base.clone()
         };
-        let pipeline = SegHdc::new(config)?;
-        let segmentation = pipeline.segment(image)?;
-        let iou = metrics::matched_binary_iou(&segmentation.label_map, truth)?;
+        let engine = SegEngine::builder(config)
+            .cache(Arc::clone(&cache))
+            .build()?;
+        let report = engine.run(&SegmentRequest::image(image).whole_image())?;
+        let output = &report.outputs[0];
+        let iou = metrics::matched_binary_iou(&output.label_map, truth)?;
         points.push(SweepPoint {
             value,
             iou,
-            latency: segmentation.total_time(),
+            latency: output.total_time(),
         });
     }
     Ok(points)
@@ -71,13 +81,14 @@ pub fn dimension_sweep(
             dimension: value,
             ..base.clone()
         };
-        let pipeline = SegHdc::new(config)?;
-        let segmentation = pipeline.segment(image)?;
-        let iou = metrics::matched_binary_iou(&segmentation.label_map, truth)?;
+        let engine = SegEngine::new(config)?;
+        let report = engine.run(&SegmentRequest::image(image).whole_image())?;
+        let output = &report.outputs[0];
+        let iou = metrics::matched_binary_iou(&output.label_map, truth)?;
         points.push(SweepPoint {
             value,
             iou,
-            latency: segmentation.total_time(),
+            latency: output.total_time(),
         });
     }
     Ok(points)

@@ -1,7 +1,7 @@
 //! Streaming tiled segmentation: encode and cluster one halo-padded tile at
 //! a time inside a bounded, reusable [`TileArena`], then stitch the per-tile
 //! cluster labels into one globally consistent
-//! [`LabelMap`](imaging::LabelMap).
+//! [`imaging::LabelMap`].
 //!
 //! A whole-image [`crate::SegHdc::segment`] run materialises one packed
 //! hypervector row per pixel — a 512×512 scan at `d = 4096` needs ~128 MB of
@@ -9,7 +9,7 @@
 //! paper targets. Streaming mode bounds that transient to roughly **one
 //! halo-padded tile** regardless of the image size:
 //!
-//! 1. [`TileGrid`](imaging::TileGrid) plans interiors (an exact partition of
+//! 1. [`imaging::TileGrid`] plans interiors (an exact partition of
 //!    the image) plus halo-padded processing regions.
 //! 2. Each padded region is encoded into the arena's single reused
 //!    [`HvMatrix`] (positions are taken from the *global* codebooks, so tile
@@ -29,7 +29,7 @@
 //!    stitched label instead of being absorbed into the least-dissimilar
 //!    neighbour group.
 
-use crate::{HvKmeans, PixelEncoder, Result, SegHdcConfig, SegHdcError};
+use crate::{ExecBackend, HvKmeans, PixelEncoder, Result, SegHdcConfig, SegHdcError};
 use hdc::{Accumulator, BitSlicedCounts, HvMatrix};
 use imaging::{ImageView, LabelMap, TileGrid};
 use std::collections::HashMap;
@@ -129,8 +129,9 @@ impl TileConfig {
 /// halo-padded tile.
 #[derive(Debug)]
 pub struct TileArena {
-    matrix: HvMatrix,
-    intensities: Vec<u8>,
+    pub(crate) matrix: HvMatrix,
+    pub(crate) intensities: Vec<u8>,
+    pub(crate) bundles: Vec<Accumulator>,
     peak_matrix_bytes: usize,
 }
 
@@ -141,6 +142,7 @@ impl TileArena {
         Self {
             matrix: HvMatrix::zeros(0, 1).expect("dimension 1 is valid"),
             intensities: Vec::new(),
+            bundles: Vec::new(),
             peak_matrix_bytes: 0,
         }
     }
@@ -152,12 +154,38 @@ impl TileArena {
         self.peak_matrix_bytes
     }
 
-    /// Shapes the arena for a tile of `rows` pixels at dimension `dim` and
-    /// records the resulting allocation high-water mark.
-    fn prepare(&mut self, rows: usize, dim: usize) -> Result<()> {
+    /// Shapes the arena for a region of `rows` pixels at dimension `dim`,
+    /// clears the intensity buffer and records the allocation high-water
+    /// mark.
+    ///
+    /// This is step 1 of the [`ExecBackend`] scratch-buffer lifecycle: the
+    /// matrix is reshaped with [`HvMatrix::reset`], which **reuses** the
+    /// backing allocation whenever its capacity suffices, so a sequence of
+    /// `prepare` → encode → cluster rounds touches one allocation whose
+    /// [`HvMatrix::capacity_bytes`] is the number the streaming memory
+    /// guarantee is asserted against.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim` is zero.
+    pub fn prepare(&mut self, rows: usize, dim: usize) -> Result<()> {
         self.matrix.reset(rows, dim)?;
         self.peak_matrix_bytes = self.peak_matrix_bytes.max(self.matrix.capacity_bytes());
         self.intensities.clear();
+        Ok(())
+    }
+
+    /// Shapes the arena's per-cluster bundle accumulators to `clusters`
+    /// accumulators of dimension `dim`, zeroed, reusing their allocations
+    /// (the centroid-snapshot scratch of the stitching pass).
+    pub(crate) fn prepare_bundles(&mut self, clusters: usize, dim: usize) -> Result<()> {
+        while self.bundles.len() < clusters {
+            self.bundles.push(Accumulator::zeros(dim)?);
+        }
+        self.bundles.truncate(clusters);
+        for bundle in &mut self.bundles {
+            bundle.reset(dim)?;
+        }
         Ok(())
     }
 }
@@ -244,13 +272,15 @@ impl UnionFind {
 type TileCentroids = Vec<Option<BitSlicedCounts>>;
 
 /// Runs the streaming engine. `encoder` must have been built for the view's
-/// exact shape; `arena` supplies (and keeps) the bounded working memory.
+/// exact shape; `arena` supplies (and keeps) the bounded working memory;
+/// every per-tile encode and cluster executes through `backend`.
 pub(crate) fn segment_streaming_with(
     config: &SegHdcConfig,
     encoder: &PixelEncoder,
     view: &ImageView<'_>,
     tiles: &TileConfig,
     arena: &mut TileArena,
+    backend: &dyn ExecBackend,
 ) -> Result<StreamingSegmentation> {
     let grid = tiles.grid_for(view.width(), view.height())?;
     let width = view.width();
@@ -279,7 +309,7 @@ pub(crate) fn segment_streaming_with(
 
         let encode_start = Instant::now();
         arena.prepare(rows, config.dimension)?;
-        encoder.encode_region_into(view, &padded, &mut arena.matrix)?;
+        backend.encode_region(encoder, view, &padded, &mut arena.matrix)?;
         for ly in 0..padded.height {
             for lx in 0..padded.width {
                 arena
@@ -295,20 +325,20 @@ pub(crate) fn segment_streaming_with(
             // local cluster; stitching merges it into a neighbour group.
             vec![0u32; rows]
         } else {
-            kmeans
-                .cluster_matrix(&arena.matrix, &arena.intensities)?
+            backend
+                .cluster_matrix(&kmeans, &arena.matrix, &arena.intensities)?
                 .labels
         };
 
-        // Bundle each local cluster's rows into centroids for stitching.
-        let mut bundles: Vec<Accumulator> = (0..clusters)
-            .map(|_| Accumulator::zeros(config.dimension))
-            .collect::<std::result::Result<_, _>>()?;
+        // Bundle each local cluster's rows into centroids for stitching,
+        // reusing the arena's accumulators across tiles.
+        arena.prepare_bundles(clusters, config.dimension)?;
         for (row, &label) in labels.iter().enumerate() {
-            bundles[label as usize].add_row(arena.matrix.row(row))?;
+            arena.bundles[label as usize].add_row(arena.matrix.row(row))?;
         }
         centroids.push(
-            bundles
+            arena
+                .bundles
                 .iter()
                 .map(|b| (b.items() > 0).then(|| b.to_bit_sliced()))
                 .collect(),

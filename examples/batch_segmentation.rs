@@ -1,6 +1,6 @@
 //! Batch segmentation: run SegHDC over a whole directory-worth of images
-//! with one call, reusing codebooks across images of the same shape and
-//! processing images in parallel.
+//! with one engine request, codebooks shared through the persistent cache
+//! and images processed in parallel.
 //!
 //! Run with: `cargo run --release --example batch_segmentation`
 
@@ -24,26 +24,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .beta(8)
         .iterations(5)
         .build()?;
-    let pipeline = SegHdc::new(config)?;
+    let engine = SegEngine::new(config)?;
 
-    // 2. Per-image calls: every call rebuilds the position/colour codebooks
-    //    for the image shape.
+    // 2. Per-image requests: the first call builds the codebooks, every
+    //    call after that hits the engine's persistent codebook cache.
     let start = Instant::now();
-    let singles: Vec<Segmentation> = images
-        .iter()
-        .map(|image| pipeline.segment(image))
-        .collect::<Result<_, _>>()?;
+    let mut singles = Vec::with_capacity(images.len());
+    for image in &images {
+        let mut report = engine.run(&SegmentRequest::image(image))?;
+        singles.push(report.outputs.remove(0));
+    }
     let per_image_time = start.elapsed();
 
-    // 3. One batch call: codebooks are built once per shape and the images
-    //    run in parallel. The label maps are byte-identical to the
-    //    per-image calls.
+    // 3. One batch request: the images run in parallel through the same
+    //    engine. The label maps are byte-identical to the per-image calls.
     let start = Instant::now();
-    let batch = pipeline.segment_batch(&images)?;
+    let batch = engine.run(&SegmentRequest::batch(&images))?;
     let batch_time = start.elapsed();
 
     let mut iou_sum = 0.0;
-    for ((single, batched), truth) in singles.iter().zip(&batch).zip(&truths) {
+    for ((single, batched), truth) in singles.iter().zip(&batch.outputs).zip(&truths) {
         assert_eq!(
             single.label_map, batched.label_map,
             "batch output must match per-image output exactly"
@@ -51,12 +51,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         iou_sum += metrics::matched_binary_iou(&batched.label_map, truth)?;
     }
 
+    let telemetry = batch.telemetry;
     println!("segmented {} images of 64x64", images.len());
-    println!("  per-image calls: {per_image_time:.2?}");
-    println!("  one batch call:  {batch_time:.2?}");
+    println!("  per-image requests: {per_image_time:.2?}");
+    println!("  one batch request:  {batch_time:.2?}");
     println!(
         "  mean IoU {:.4} (outputs verified byte-identical)",
-        iou_sum / batch.len() as f64
+        iou_sum / batch.outputs.len() as f64
+    );
+    println!(
+        "  codebook cache: {} hits / {} misses ({} entries, {:.1} KB resident)",
+        telemetry.cache_hits,
+        telemetry.cache_misses,
+        telemetry.cache_entries,
+        telemetry.cache_bytes as f64 / 1e3
     );
     Ok(())
 }

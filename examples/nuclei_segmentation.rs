@@ -55,10 +55,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .clusters(clusters)
             .iterations(5)
             .build()?;
+        // One engine per dataset: the codebook cache makes every image
+        // after the first skip the codebook build.
+        let engine = SegEngine::new(seghdc_config)?;
         let seghdc_iou = mean_iou(&dataset, samples, |image| {
-            Ok(SegHdc::new(seghdc_config.clone())?
-                .segment(image)?
-                .label_map)
+            let mut report = engine.run(&SegmentRequest::image(image))?;
+            Ok(report.outputs.remove(0).label_map)
         })?;
 
         println!(

@@ -27,10 +27,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .beta(8)
         .iterations(5)
         .build()?;
-    let pipeline = SegHdc::new(config)?;
+    let engine = SegEngine::new(config)?;
 
-    // 3. Segment and score.
-    let segmentation = pipeline.segment(&sample.image)?;
+    // 3. Segment and score. The engine plans whole-image vs tiled execution
+    //    itself; a 96x96 request fits the matrix budget and runs whole.
+    let report = engine.run(&SegmentRequest::image(&sample.image))?;
+    let segmentation = &report.outputs[0];
     let iou =
         metrics::matched_binary_iou(&segmentation.label_map, &sample.ground_truth.to_binary())?;
     println!(

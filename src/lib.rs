@@ -26,8 +26,12 @@
 //! let dataset = SyntheticDataset::new(DatasetProfile::dsb2018_like().scaled(48, 48), 1, 1)?;
 //! let sample = dataset.sample(0)?;
 //! let config = SegHdcConfig::builder().dimension(1000).iterations(3).beta(4).build()?;
-//! let result = SegHdc::new(config)?.segment(&sample.image)?;
-//! let iou = metrics::matched_binary_iou(&result.label_map, &sample.ground_truth.to_binary())?;
+//! let engine = SegEngine::new(config)?;
+//! let report = engine.run(&SegmentRequest::image(&sample.image))?;
+//! let iou = metrics::matched_binary_iou(
+//!     &report.outputs[0].label_map,
+//!     &sample.ground_truth.to_binary(),
+//! )?;
 //! assert!(iou > 0.0);
 //! # Ok(())
 //! # }
@@ -52,8 +56,9 @@ pub mod prelude {
     pub use hdc::{Accumulator, BinaryHypervector, HdcRng, HvMatrix};
     pub use imaging::{metrics, DynamicImage, GrayImage, ImageView, LabelMap, RgbImage, TileGrid};
     pub use seghdc::{
-        ColorEncoding, DistanceMetric, PositionEncoding, SegHdc, SegHdcConfig, Segmentation,
-        StreamingSegmentation, TileArena, TileConfig,
+        CodebookCache, ColorEncoding, CpuBackend, DistanceMetric, EngineOptions, ExecBackend,
+        ExecutedMode, ExecutionMode, PositionEncoding, SegEngine, SegHdc, SegHdcConfig,
+        SegmentReport, SegmentRequest, Segmentation, StreamingSegmentation, TileArena, TileConfig,
     };
     pub use synthdata::{DatasetProfile, NucleiImageGenerator, Sample, SyntheticDataset};
 }

@@ -1,6 +1,12 @@
 //! Integration tests comparing SegHDC with the CNN baseline across crates —
 //! the qualitative claims of Table I and Table II at test scale.
 
+// These tests run through the deprecated `SegHdc` wrappers on purpose:
+// since the engine redesign they double as the regression suite proving the
+// legacy entry points still delegate to `SegEngine` without observable
+// change (see `tests/engine_equivalence.rs` for the direct comparison).
+#![allow(deprecated)]
+
 use seghdc_suite::prelude::*;
 
 #[test]

@@ -1,6 +1,12 @@
 //! Property tests for the batched engine: `segment_batch` must be an
 //! observationally exact, faster spelling of per-image `segment`.
 
+// These tests run through the deprecated `SegHdc` wrappers on purpose:
+// since the engine redesign they double as the regression suite proving the
+// legacy entry points still delegate to `SegEngine` without observable
+// change (see `tests/engine_equivalence.rs` for the direct comparison).
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use seghdc_suite::prelude::*;
 

@@ -1,8 +1,16 @@
 //! Cross-crate integration tests: synthetic data generation → SegHDC
-//! segmentation → metric scoring, exercising the whole stack the way the
-//! experiment harnesses do.
+//! segmentation → metric scoring, exercising the whole stack (through the
+//! `SegEngine` request API) the way the experiment harnesses do.
 
 use seghdc_suite::prelude::*;
+
+fn segment_one(engine: &SegEngine, image: &DynamicImage) -> seghdc::SegmentOutput {
+    engine
+        .run(&SegmentRequest::image(image))
+        .unwrap()
+        .outputs
+        .remove(0)
+}
 
 fn quick_config(clusters: usize) -> SegHdcConfig {
     SegHdcConfig::builder()
@@ -18,9 +26,9 @@ fn quick_config(clusters: usize) -> SegHdcConfig {
 fn seghdc_segments_synthetic_bbbc005_images_accurately() {
     let dataset =
         SyntheticDataset::new(DatasetProfile::bbbc005_like().scaled(72, 72), 31, 2).unwrap();
-    let pipeline = SegHdc::new(quick_config(2)).unwrap();
+    let engine = SegEngine::new(quick_config(2)).unwrap();
     for sample in dataset.iter() {
-        let segmentation = pipeline.segment(&sample.image).unwrap();
+        let segmentation = segment_one(&engine, &sample.image);
         let iou =
             metrics::matched_binary_iou(&segmentation.label_map, &sample.ground_truth.to_binary())
                 .unwrap();
@@ -34,10 +42,10 @@ fn seghdc_beats_the_ablations_on_dsb2018_style_images() {
     let dataset =
         SyntheticDataset::new(DatasetProfile::dsb2018_like().scaled(64, 64), 17, 2).unwrap();
     let score = |config: SegHdcConfig| -> f64 {
-        let pipeline = SegHdc::new(config).unwrap();
+        let engine = SegEngine::new(config).unwrap();
         let mut total = 0.0;
         for sample in dataset.iter() {
-            let segmentation = pipeline.segment(&sample.image).unwrap();
+            let segmentation = segment_one(&engine, &sample.image);
             total += metrics::matched_binary_iou(
                 &segmentation.label_map,
                 &sample.ground_truth.to_binary(),
@@ -72,10 +80,8 @@ fn seghdc_handles_grayscale_and_rgb_profiles_alike() {
         };
         let dataset = SyntheticDataset::new(profile, 3, 1).unwrap();
         let sample = dataset.sample(0).unwrap();
-        let segmentation = SegHdc::new(quick_config(clusters))
-            .unwrap()
-            .segment(&sample.image)
-            .unwrap();
+        let engine = SegEngine::new(quick_config(clusters)).unwrap();
+        let segmentation = segment_one(&engine, &sample.image);
         assert_eq!(segmentation.label_map.pixel_count(), 48 * 48);
         assert!(segmentation.label_map.distinct_labels() <= clusters);
     }
@@ -86,14 +92,8 @@ fn segmentation_results_are_reproducible_across_pipeline_instances() {
     let dataset =
         SyntheticDataset::new(DatasetProfile::dsb2018_like().scaled(56, 56), 77, 1).unwrap();
     let sample = dataset.sample(0).unwrap();
-    let a = SegHdc::new(quick_config(2))
-        .unwrap()
-        .segment(&sample.image)
-        .unwrap();
-    let b = SegHdc::new(quick_config(2))
-        .unwrap()
-        .segment(&sample.image)
-        .unwrap();
+    let a = segment_one(&SegEngine::new(quick_config(2)).unwrap(), &sample.image);
+    let b = segment_one(&SegEngine::new(quick_config(2)).unwrap(), &sample.image);
     assert_eq!(a.label_map, b.label_map);
     assert_eq!(a.cluster_sizes, b.cluster_sizes);
 }
@@ -103,10 +103,8 @@ fn predicted_masks_roundtrip_through_pnm_files() {
     let dataset =
         SyntheticDataset::new(DatasetProfile::bbbc005_like().scaled(40, 40), 5, 1).unwrap();
     let sample = dataset.sample(0).unwrap();
-    let segmentation = SegHdc::new(quick_config(2))
-        .unwrap()
-        .segment(&sample.image)
-        .unwrap();
+    let engine = SegEngine::new(quick_config(2)).unwrap();
+    let segmentation = segment_one(&engine, &sample.image);
     let visualization = segmentation.label_map.to_gray_visualization();
 
     let mut buffer = Vec::new();

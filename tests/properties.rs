@@ -1,6 +1,12 @@
 //! Workspace-level property-based tests: invariants that must hold across
 //! crate boundaries for arbitrary (small) inputs.
 
+// These tests run through the deprecated `SegHdc` wrappers on purpose:
+// since the engine redesign they double as the regression suite proving the
+// legacy entry points still delegate to `SegEngine` without observable
+// change (see `tests/engine_equivalence.rs` for the direct comparison).
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use seghdc_suite::prelude::*;
 

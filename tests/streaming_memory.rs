@@ -5,6 +5,12 @@
 //! [`TileArena`] byte counter makes that guarantee observable; this test
 //! pins it so it cannot silently rot.
 
+// These tests run through the deprecated `SegHdc` wrappers on purpose:
+// since the engine redesign they double as the regression suite proving the
+// legacy entry points still delegate to `SegEngine` without observable
+// change (see `tests/engine_equivalence.rs` for the direct comparison).
+#![allow(deprecated)]
+
 use seghdc_suite::prelude::*;
 
 /// Bytes of one packed hypervector row at dimension `dim`.

@@ -11,6 +11,12 @@
 //! * Tile geometry invariants (exact interior cover, halo clamping) hold
 //!   for arbitrary grids.
 
+// These tests run through the deprecated `SegHdc` wrappers on purpose:
+// since the engine redesign they double as the regression suite proving the
+// legacy entry points still delegate to `SegEngine` without observable
+// change (see `tests/engine_equivalence.rs` for the direct comparison).
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use seghdc_suite::imaging::TileRect;
 use seghdc_suite::prelude::*;
