@@ -8,7 +8,11 @@
 //! * the naive end-to-end pipeline (per-pixel encode + per-vector
 //!   `cluster`) versus the batched `segment` path — the ≥2× speedup
 //!   acceptance gate of the batch-engine refactor, checked at 128×128 with
-//!   d = 2048.
+//!   d = 2048;
+//! * full engine requests through the scalar-pinned backend versus the
+//!   default SIMD-auto backend (`backend_scalar_vs_simd`) — the kernel
+//!   layer's end-to-end speedup; current numbers live in this crate's
+//!   `README.md` ("Kernel layer" section).
 //!
 //! Reference numbers from the 1-core CI container (release, medians of 10
 //! samples):
@@ -28,6 +32,7 @@ use hdc::BinaryHypervector;
 use imaging::DynamicImage;
 use seghdc::{
     DistanceMetric, HvKmeans, PixelEncoder, SegEngine, SegHdc, SegHdcConfig, SegmentRequest,
+    SimdCpuBackend,
 };
 use std::hint::black_box;
 use synthdata::{DatasetProfile, NucleiImageGenerator};
@@ -168,10 +173,55 @@ fn bench_end_to_end_naive_vs_batched(c: &mut Criterion) {
     group.finish();
 }
 
+/// Full engine requests with the scalar-pinned backend versus the default
+/// SIMD-auto backend — the end-to-end view of the kernel-layer speedup
+/// (labels are byte-identical; see `tests/kernel_equivalence.rs`).
+fn bench_backend_scalar_vs_simd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_scalar_vs_simd");
+    group.sample_size(10);
+    for &size in &[64usize, 128] {
+        let image = sample_image(size, size);
+        let scalar_engine = SegEngine::builder(config())
+            .backend(Box::new(SimdCpuBackend::scalar()))
+            .build()
+            .expect("config is valid");
+        let simd_engine = SegEngine::builder(config())
+            .backend(Box::new(SimdCpuBackend::auto()))
+            .build()
+            .expect("config is valid");
+        let simd_label = format!("simd_auto[{}]", simd_engine.kernel_isa());
+        for (name, engine) in [
+            ("scalar".to_string(), scalar_engine),
+            (simd_label, simd_engine),
+        ] {
+            // Warm the codebook cache so the comparison isolates the
+            // encode + cluster kernels.
+            engine
+                .run(&SegmentRequest::image(&image).whole_image())
+                .expect("segmentation succeeds");
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{size}x{size}")),
+                &image,
+                |bencher, image| {
+                    bencher.iter(|| {
+                        black_box(
+                            engine
+                                .run(&SegmentRequest::image(image).whole_image())
+                                .unwrap(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_encode_per_pixel_vs_matrix,
     bench_kmeans_serial_vs_parallel,
-    bench_end_to_end_naive_vs_batched
+    bench_end_to_end_naive_vs_batched,
+    bench_backend_scalar_vs_simd
 );
 criterion_main!(benches);

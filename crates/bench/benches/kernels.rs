@@ -1,0 +1,151 @@
+//! Scalar-versus-SIMD benchmarks of the unified word-kernel layer.
+//!
+//! Measures the raw `hdc::kernels` operations the pipeline's hot loops
+//! dispatch through (popcount-fused Hamming, bit-sliced plane dots,
+//! vertical-counter carry adds, XOR binds) and one composed stage — the
+//! K-Means iteration (`cluster_matrix_with`) — with the scalar reference
+//! kernels against the runtime-detected `auto` selection. On hardware
+//! without SIMD support the two selections coincide and the bench acts as
+//! a dispatch-overhead check.
+//!
+//! Results are recorded in `crates/bench/README.md` ("Kernel layer"
+//! section).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdc::kernels::{self, Kernels};
+use hdc::{Accumulator, BinaryHypervector, HdcRng, HvMatrix};
+use seghdc::{DistanceMetric, HvKmeans};
+use std::hint::black_box;
+
+const DIMENSION: usize = 16_384;
+const ROWS: usize = 2_000;
+
+fn selections() -> Vec<(&'static str, &'static dyn Kernels)> {
+    let mut all = vec![("scalar", kernels::scalar())];
+    let auto = kernels::auto();
+    all.push((auto.name(), auto));
+    all
+}
+
+fn random_matrix(rows: usize, dim: usize, seed: u64) -> HvMatrix {
+    let mut rng = HdcRng::seed_from(seed);
+    let vectors: Vec<BinaryHypervector> = (0..rows)
+        .map(|_| BinaryHypervector::random(dim, &mut rng))
+        .collect();
+    HvMatrix::from_vectors(&vectors).expect("vectors share a dimension")
+}
+
+fn bench_hamming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_hamming");
+    group.sample_size(10);
+    let matrix = random_matrix(ROWS, DIMENSION, 1);
+    let probe = matrix.row(0).to_hypervector();
+    for (name, k) in selections() {
+        group.bench_function(BenchmarkId::new(name, format!("{ROWS}x{DIMENSION}")), |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for row in 0..ROWS {
+                    total += k.hamming(matrix.row(row).as_words(), probe.as_words());
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_plane_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_plane_dot");
+    group.sample_size(10);
+    let matrix = random_matrix(ROWS, DIMENSION, 2);
+    let mut accumulator = Accumulator::zeros(DIMENSION).expect("dimension is non-zero");
+    for row in 0..9 {
+        accumulator.add_row(matrix.row(row)).expect("dims match");
+    }
+    for (name, k) in selections() {
+        let sliced = accumulator.to_bit_sliced_with(k);
+        group.bench_function(BenchmarkId::new(name, format!("{ROWS}x{DIMENSION}")), |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for row in 0..ROWS {
+                    total += sliced.dot_row_with(matrix.row(row), k).expect("dims match");
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bundle_add(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_bundle_add");
+    group.sample_size(10);
+    let matrix = random_matrix(ROWS, DIMENSION, 3);
+    for (name, k) in selections() {
+        group.bench_function(BenchmarkId::new(name, format!("{ROWS}x{DIMENSION}")), |b| {
+            b.iter(|| {
+                let mut accumulator = Accumulator::zeros(DIMENSION).expect("non-zero");
+                for row in 0..ROWS {
+                    accumulator
+                        .add_row_with(matrix.row(row), k)
+                        .expect("dims match");
+                }
+                black_box(accumulator.items())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_xor_into(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_xor_into");
+    group.sample_size(10);
+    let matrix = random_matrix(ROWS, DIMENSION, 4);
+    let key = matrix.row(0).to_hypervector();
+    for (name, k) in selections() {
+        let mut scratch = random_matrix(ROWS, DIMENSION, 5);
+        group.bench_function(BenchmarkId::new(name, format!("{ROWS}x{DIMENSION}")), |b| {
+            b.iter(|| {
+                for row in 0..ROWS {
+                    scratch
+                        .row_mut(row)
+                        .xor_assign_with(&key, k)
+                        .expect("dims match");
+                }
+                black_box(scratch.row(0).count_ones())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cluster_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_cluster_matrix");
+    group.sample_size(10);
+    // A 128x128 image's worth of rows at the paper's edge dimension.
+    let matrix = random_matrix(128 * 128, 2048, 6);
+    let intensities: Vec<u8> = (0..matrix.rows()).map(|i| (i % 251) as u8).collect();
+    let kmeans = HvKmeans::new(2, 3, DistanceMetric::Cosine, false).expect("valid");
+    for (name, k) in selections() {
+        group.bench_function(BenchmarkId::new(name, "128x128xd2048"), |b| {
+            b.iter(|| {
+                black_box(
+                    kmeans
+                        .cluster_matrix_with(&matrix, &intensities, k)
+                        .expect("clustering succeeds"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hamming,
+    bench_plane_dot,
+    bench_bundle_add,
+    bench_xor_into,
+    bench_cluster_iteration
+);
+criterion_main!(benches);

@@ -1,13 +1,32 @@
+use crate::kernels::{self, Kernels};
 use crate::{BinaryHypervector, HdcError, HvRow, Result};
 
 /// An integer "bundled" hypervector: the element-wise sum of binary
-/// hypervectors.
+/// hypervectors, stored as a **vertical counter**.
 ///
 /// The SegHDC clusterer updates each K-Means centroid by summing all pixel
 /// hypervectors assigned to it. Because cosine distance ignores vector
 /// length, the raw integer sum can be compared against binary pixel vectors
 /// directly without normalisation — exactly the argument given in §III-4 of
 /// the paper for choosing cosine over Hamming distance.
+///
+/// # Representation
+///
+/// The per-element counts are stored transposed, as a little-endian stack
+/// of packed binary *planes*: bit `i` of plane `p` is bit `p` of
+/// `counts[i]`. Adding a binary hypervector is then a word-parallel
+/// bit-serial ripple-carry add ([`Kernels::bundle_add_planes`]) instead of
+/// one counter increment per set bit, dot products decompose into
+/// word-wide `AND` + popcount passes ([`Kernels::plane_dot`]), and with `n`
+/// accumulated vectors there are at most `⌈log2(n + 1)⌉` planes — so a
+/// bundle costs ~`dim / 64 · log2(n)` words instead of `4 · dim` bytes of
+/// `u32` counts. Every operation dispatches through the
+/// [`kernels`](crate::kernels) layer (`_with` variants take an explicit
+/// selection; the plain methods use [`kernels::auto()`]).
+///
+/// The arithmetic is exact integer arithmetic in every representation, so
+/// results are identical to a plain `u32`-counts implementation; use
+/// [`counts`](Self::counts) to materialise that form.
 ///
 /// # Example
 ///
@@ -25,12 +44,50 @@ use crate::{BinaryHypervector, HdcError, HvRow, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+// Serde caveat: the workspace's vendored `serde_derive` stub expands to
+// nothing, so this derive only keeps the attribute position compiling.
+// When the real serde is restored (see ROADMAP), `Accumulator` needs a
+// custom impl that (a) skips the `carry` scratch buffer — it is excluded
+// from `PartialEq` and would make logically-equal values serialize
+// differently — and (b) decides a migration story for the pre-0.4
+// `counts: Vec<u32>` wire layout this plane representation replaced.
+#[derive(Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Accumulator {
-    counts: Vec<u32>,
+    dim: usize,
+    words_per_plane: usize,
+    /// Plane-major packed counter bits: `planes[p * words_per_plane + w]`.
+    /// Canonical form: the most-significant plane, when present, is
+    /// non-zero. Tail bits beyond `dim` are always zero (inherited from the
+    /// masked tails of every added vector).
+    planes: Vec<u64>,
+    /// Carry scratch for the ripple add, kept allocated between adds so
+    /// bundling a row never allocates.
+    carry: Vec<u64>,
     items: usize,
 }
+
+impl std::fmt::Debug for Accumulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Accumulator")
+            .field("dim", &self.dim)
+            .field("items", &self.items)
+            .field("planes", &self.plane_count())
+            .finish()
+    }
+}
+
+impl PartialEq for Accumulator {
+    fn eq(&self, other: &Self) -> bool {
+        // The carry buffer is scratch; equality is the logical counter
+        // state. Plane vectors are canonical (binary representation is
+        // unique and the top plane is non-zero), so comparing them compares
+        // the counts.
+        self.dim == other.dim && self.items == other.items && self.planes == other.planes
+    }
+}
+
+impl Eq for Accumulator {}
 
 impl Accumulator {
     /// Creates an all-zero accumulator of dimension `dim`.
@@ -42,25 +99,26 @@ impl Accumulator {
         if dim == 0 {
             return Err(HdcError::ZeroDimension);
         }
+        let words_per_plane = dim.div_ceil(64);
         Ok(Self {
-            counts: vec![0; dim],
+            dim,
+            words_per_plane,
+            planes: Vec::new(),
+            carry: vec![0; words_per_plane],
             items: 0,
         })
     }
 
     /// Creates an accumulator seeded with a single binary hypervector.
     pub fn from_binary(hv: &BinaryHypervector) -> Self {
-        let mut acc = Self {
-            counts: vec![0; hv.dim()],
-            items: 0,
-        };
+        let mut acc = Self::zeros(hv.dim()).expect("hypervector dimensions are non-zero");
         acc.add(hv).expect("dimensions match by construction");
         acc
     }
 
     /// Returns the dimension of the accumulator.
     pub fn dim(&self) -> usize {
-        self.counts.len()
+        self.dim
     }
 
     /// Returns the number of hypervectors accumulated so far.
@@ -68,22 +126,38 @@ impl Accumulator {
         self.items
     }
 
-    /// Returns the per-element counts.
-    pub fn counts(&self) -> &[u32] {
-        &self.counts
+    /// Number of counter bit planes currently held
+    /// (`⌈log2(max_count + 1)⌉`).
+    pub fn plane_count(&self) -> usize {
+        self.planes.len() / self.words_per_plane
+    }
+
+    /// Materialises the per-element counts.
+    ///
+    /// The counter is stored bit-sliced (see the type docs), so this
+    /// allocates and transposes; use it for inspection and tests, not in
+    /// hot loops.
+    pub fn counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.dim];
+        for (p, plane) in self.planes.chunks_exact(self.words_per_plane).enumerate() {
+            for index in kernels::iter_set_bits(plane) {
+                counts[index] += 1u32 << p;
+            }
+        }
+        counts
     }
 
     /// Resets the accumulator to all zeros.
     pub fn clear(&mut self) {
-        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.planes.clear();
         self.items = 0;
     }
 
     /// Reshapes the accumulator in place to dimension `dim`, zeroing every
     /// count.
     ///
-    /// Like [`crate::HvMatrix::reset`], the backing allocation is reused
-    /// whenever its capacity suffices, which makes a set of accumulators
+    /// Like [`crate::HvMatrix::reset`], the backing allocations are reused
+    /// whenever their capacity suffices, which makes a set of accumulators
     /// usable as bounded scratch across a sequence of differently-sized
     /// batches (the tiled segmentation arena resets its per-cluster bundle
     /// accumulators once per tile instead of allocating per tile).
@@ -95,17 +169,53 @@ impl Accumulator {
         if dim == 0 {
             return Err(HdcError::ZeroDimension);
         }
-        self.counts.clear();
-        self.counts.resize(dim, 0);
+        self.dim = dim;
+        self.words_per_plane = dim.div_ceil(64);
+        self.planes.clear();
+        self.carry.clear();
+        self.carry.resize(self.words_per_plane, 0);
         self.items = 0;
         Ok(())
     }
 
-    /// Heap bytes held by the counts buffer (its capacity, not its length)
-    /// — the scratch-accounting companion of
+    /// Heap bytes held by the plane and carry buffers (their capacity, not
+    /// their length) — the scratch-accounting companion of
     /// [`crate::HvMatrix::capacity_bytes`].
     pub fn heap_bytes(&self) -> usize {
-        self.counts.capacity() * std::mem::size_of::<u32>()
+        (self.planes.capacity() + self.carry.capacity()) * std::mem::size_of::<u64>()
+    }
+
+    /// Ripple-carry-adds one packed binary vector into the counter planes.
+    fn add_words(&mut self, words: &[u64], kernels: &dyn Kernels) {
+        self.carry.copy_from_slice(words);
+        let overflow =
+            kernels.bundle_add_planes(&mut self.planes, self.words_per_plane, &mut self.carry);
+        if overflow {
+            self.planes.extend_from_slice(&self.carry);
+        }
+        self.items += 1;
+    }
+
+    /// Carry-adds one packed bit plane at significance `level` (counts get
+    /// `2^level` wherever `bits` is set). Used by [`merge`](Self::merge).
+    fn add_plane_at_level(&mut self, level: usize, bits: &[u64], kernels: &dyn Kernels) {
+        if bits.iter().all(|&word| word == 0) {
+            return;
+        }
+        while self.plane_count() < level {
+            self.planes
+                .resize(self.planes.len() + self.words_per_plane, 0);
+        }
+        self.carry.copy_from_slice(bits);
+        let start = level * self.words_per_plane;
+        let overflow = kernels.bundle_add_planes(
+            &mut self.planes[start..],
+            self.words_per_plane,
+            &mut self.carry,
+        );
+        if overflow {
+            self.planes.extend_from_slice(&self.carry);
+        }
     }
 
     /// Adds a binary hypervector element-wise.
@@ -114,16 +224,22 @@ impl Accumulator {
     ///
     /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
     pub fn add(&mut self, hv: &BinaryHypervector) -> Result<()> {
-        if hv.dim() != self.dim() {
+        self.add_with(hv, kernels::auto())
+    }
+
+    /// [`add`](Self::add) through an explicit [`Kernels`] selection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn add_with(&mut self, hv: &BinaryHypervector, kernels: &dyn Kernels) -> Result<()> {
+        if hv.dim() != self.dim {
             return Err(HdcError::DimensionMismatch {
-                left: self.dim(),
+                left: self.dim,
                 right: hv.dim(),
             });
         }
-        for idx in hv.iter_ones() {
-            self.counts[idx] += 1;
-        }
-        self.items += 1;
+        self.add_words(hv.as_words(), kernels);
         Ok(())
     }
 
@@ -135,33 +251,44 @@ impl Accumulator {
     ///
     /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
     pub fn add_row(&mut self, row: HvRow<'_>) -> Result<()> {
-        if row.dim() != self.dim() {
+        self.add_row_with(row, kernels::auto())
+    }
+
+    /// [`add_row`](Self::add_row) through an explicit [`Kernels`] selection
+    /// — the K-Means update step threads its backend kernels in here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn add_row_with(&mut self, row: HvRow<'_>, kernels: &dyn Kernels) -> Result<()> {
+        if row.dim() != self.dim {
             return Err(HdcError::DimensionMismatch {
-                left: self.dim(),
+                left: self.dim,
                 right: row.dim(),
             });
         }
-        for idx in row.iter_ones() {
-            self.counts[idx] += 1;
-        }
-        self.items += 1;
+        self.add_words(row.as_words(), kernels);
         Ok(())
     }
 
-    /// Merges another accumulator into this one.
+    /// Merges another accumulator into this one (plane-wise carry adds, one
+    /// per plane of `other`).
     ///
     /// # Errors
     ///
     /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
     pub fn merge(&mut self, other: &Self) -> Result<()> {
-        if other.dim() != self.dim() {
+        if other.dim != self.dim {
             return Err(HdcError::DimensionMismatch {
-                left: self.dim(),
-                right: other.dim(),
+                left: self.dim,
+                right: other.dim,
             });
         }
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
+        let kernels = kernels::auto();
+        for level in 0..other.plane_count() {
+            let start = level * other.words_per_plane;
+            let plane = &other.planes[start..start + other.words_per_plane];
+            self.add_plane_at_level(level, plane, kernels);
         }
         self.items += other.items;
         Ok(())
@@ -173,13 +300,13 @@ impl Accumulator {
     ///
     /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
     pub fn dot(&self, hv: &BinaryHypervector) -> Result<u64> {
-        if hv.dim() != self.dim() {
+        if hv.dim() != self.dim {
             return Err(HdcError::DimensionMismatch {
-                left: self.dim(),
+                left: self.dim,
                 right: hv.dim(),
             });
         }
-        Ok(hv.iter_ones().map(|i| u64::from(self.counts[i])).sum())
+        Ok(kernels::auto().plane_dot(&self.planes, self.words_per_plane, hv.as_words()))
     }
 
     /// Dot product with a matrix row (sum of counts at set bits), without
@@ -189,22 +316,39 @@ impl Accumulator {
     ///
     /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
     pub fn dot_row(&self, row: HvRow<'_>) -> Result<u64> {
-        if row.dim() != self.dim() {
+        if row.dim() != self.dim {
             return Err(HdcError::DimensionMismatch {
-                left: self.dim(),
+                left: self.dim,
                 right: row.dim(),
             });
         }
-        Ok(row.iter_ones().map(|i| u64::from(self.counts[i])).sum())
+        Ok(kernels::auto().plane_dot(&self.planes, self.words_per_plane, row.as_words()))
     }
 
     /// Euclidean norm of the integer count vector.
+    ///
+    /// Computed exactly: `Σ_i counts[i]²` decomposes plane-against-plane as
+    /// `Σ_{p,q} 2^{p+q} · popcount(plane_p AND plane_q)`, an exact integer,
+    /// so the result is identical whichever kernels computed it.
     pub fn norm(&self) -> f64 {
-        self.counts
-            .iter()
-            .map(|&c| f64::from(c) * f64::from(c))
-            .sum::<f64>()
-            .sqrt()
+        self.norm_with(kernels::auto())
+    }
+
+    /// [`norm`](Self::norm) through an explicit [`Kernels`] selection.
+    pub fn norm_with(&self, kernels: &dyn Kernels) -> f64 {
+        // The cross product is symmetric, so only the upper triangle is
+        // computed (off-diagonal terms doubled) — P(P+1)/2 kernel passes
+        // instead of P². Exact integers throughout, so the value is
+        // identical to the full double loop.
+        let planes: Vec<&[u64]> = self.planes.chunks_exact(self.words_per_plane).collect();
+        let mut total = 0u128;
+        for (p, plane_p) in planes.iter().enumerate() {
+            for (q, plane_q) in planes.iter().enumerate().skip(p) {
+                let term = u128::from(kernels.and_popcount(plane_p, plane_q)) << (p + q);
+                total += if q == p { term } else { 2 * term };
+            }
+        }
+        (total as f64).sqrt()
     }
 
     /// Cosine similarity between this accumulator and a binary hypervector,
@@ -251,17 +395,26 @@ impl Accumulator {
         Ok(1.0 - self.cosine_similarity_row(row)?)
     }
 
-    /// Snapshots the accumulator into a bit-sliced form for fast repeated
-    /// dot products against matrix rows.
+    /// Snapshots the accumulator into a [`BitSlicedCounts`] for fast
+    /// repeated dot products against matrix rows.
     ///
-    /// The batched clusterer computes one dot product per pixel per
-    /// centroid per iteration; [`BitSlicedCounts`] turns each of those from
-    /// a per-set-bit counter walk into a handful of word-wide
-    /// `AND` + `popcount` passes. The dot products are exact (integers),
-    /// so distances derived from the snapshot are bit-identical to
-    /// [`cosine_distance`](Self::cosine_distance).
+    /// Since the accumulator itself is stored bit-sliced, the snapshot is a
+    /// plane copy plus the cached norm; dot products and distances derived
+    /// from it are bit-identical to [`cosine_distance`](Self::cosine_distance).
     pub fn to_bit_sliced(&self) -> BitSlicedCounts {
-        BitSlicedCounts::from_accumulator(self)
+        self.to_bit_sliced_with(kernels::auto())
+    }
+
+    /// [`to_bit_sliced`](Self::to_bit_sliced) through an explicit
+    /// [`Kernels`] selection (used for the cached norm computation).
+    pub fn to_bit_sliced_with(&self, kernels: &dyn Kernels) -> BitSlicedCounts {
+        BitSlicedCounts {
+            dim: self.dim,
+            words_per_plane: self.words_per_plane,
+            planes: self.planes.clone(),
+            norm: self.norm_with(kernels),
+            items: self.items,
+        }
     }
 
     /// Thresholds the accumulator back into a binary hypervector with the
@@ -275,8 +428,12 @@ impl Accumulator {
         if self.items == 0 {
             return Err(HdcError::EmptyInput);
         }
-        let threshold = self.items as u32;
-        let bits: Vec<bool> = self.counts.iter().map(|&c| 2 * c > threshold).collect();
+        let threshold = self.items as u64;
+        let bits: Vec<bool> = self
+            .counts()
+            .iter()
+            .map(|&c| 2 * u64::from(c) > threshold)
+            .collect();
         BinaryHypervector::from_bits(&bits)
     }
 }
@@ -284,12 +441,13 @@ impl Accumulator {
 /// A bit-sliced snapshot of an [`Accumulator`], optimised for computing
 /// many dot products against [`HvRow`]s.
 ///
-/// The integer count vector is transposed into binary *planes*: plane `p`
-/// is a packed bit vector whose bit `i` is bit `p` of `counts[i]`. A dot
-/// product with a binary row then decomposes as
-/// `Σ_p 2^p · popcount(row AND plane_p)` — word-wide operations instead of
-/// a per-set-bit counter walk. With `n` accumulated vectors there are at
-/// most `⌈log2(n + 1)⌉` planes.
+/// The integer count vector is held as binary *planes*: plane `p` is a
+/// packed bit vector whose bit `i` is bit `p` of `counts[i]`. A dot product
+/// with a binary row then decomposes as
+/// `Σ_p 2^p · popcount(row AND plane_p)` — word-wide operations dispatched
+/// through the [`kernels`](crate::kernels) layer instead of a per-set-bit
+/// counter walk. With `n` accumulated vectors there are at most
+/// `⌈log2(n + 1)⌉` planes.
 ///
 /// The snapshot also caches the Euclidean norm, which the cosine metric
 /// needs once per centroid rather than once per pixel. Dot products are
@@ -306,29 +464,6 @@ pub struct BitSlicedCounts {
 }
 
 impl BitSlicedCounts {
-    fn from_accumulator(accumulator: &Accumulator) -> Self {
-        let dim = accumulator.dim();
-        let words_per_plane = dim.div_ceil(64);
-        let max_count = accumulator.counts.iter().copied().max().unwrap_or(0);
-        let plane_count = (32 - max_count.leading_zeros()) as usize;
-        let mut planes = vec![0u64; plane_count * words_per_plane];
-        for (index, &count) in accumulator.counts.iter().enumerate() {
-            let mut remaining = count;
-            while remaining != 0 {
-                let plane = remaining.trailing_zeros() as usize;
-                planes[plane * words_per_plane + index / 64] |= 1u64 << (index % 64);
-                remaining &= remaining - 1;
-            }
-        }
-        Self {
-            dim,
-            words_per_plane,
-            planes,
-            norm: accumulator.norm(),
-            items: accumulator.items(),
-        }
-    }
-
     /// The hypervector dimension.
     pub fn dim(&self) -> usize {
         self.dim
@@ -358,22 +493,23 @@ impl BitSlicedCounts {
     ///
     /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
     pub fn dot_row(&self, row: HvRow<'_>) -> Result<u64> {
+        self.dot_row_with(row, kernels::auto())
+    }
+
+    /// [`dot_row`](Self::dot_row) through an explicit [`Kernels`]
+    /// selection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn dot_row_with(&self, row: HvRow<'_>, kernels: &dyn Kernels) -> Result<u64> {
         if row.dim() != self.dim {
             return Err(HdcError::DimensionMismatch {
                 left: self.dim,
                 right: row.dim(),
             });
         }
-        let row_words = row.as_words();
-        let mut total = 0u64;
-        for (plane_index, plane) in self.planes.chunks_exact(self.words_per_plane).enumerate() {
-            let mut ones = 0u64;
-            for (p, r) in plane.iter().zip(row_words) {
-                ones += u64::from((p & r).count_ones());
-            }
-            total += ones << plane_index;
-        }
-        Ok(total)
+        Ok(kernels.plane_dot(&self.planes, self.words_per_plane, row.as_words()))
     }
 
     /// Cosine similarity against a matrix row, arithmetically identical to
@@ -384,7 +520,22 @@ impl BitSlicedCounts {
     ///
     /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
     pub fn cosine_similarity_row(&self, row: HvRow<'_>) -> Result<f64> {
-        Ok(cosine_of(self.dot_row(row)?, self.norm, row.count_ones()))
+        self.cosine_similarity_row_with(row, kernels::auto())
+    }
+
+    /// [`cosine_similarity_row`](Self::cosine_similarity_row) through an
+    /// explicit [`Kernels`] selection — the K-Means assignment step threads
+    /// its backend kernels in here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn cosine_similarity_row_with(&self, row: HvRow<'_>, kernels: &dyn Kernels) -> Result<f64> {
+        Ok(cosine_of(
+            self.dot_row_with(row, kernels)?,
+            self.norm,
+            kernels.popcount(row.as_words()) as usize,
+        ))
     }
 
     /// Cosine distance (`1 - cosine_similarity_row`).
@@ -396,19 +547,39 @@ impl BitSlicedCounts {
         Ok(1.0 - self.cosine_similarity_row(row)?)
     }
 
+    /// [`cosine_distance_row`](Self::cosine_distance_row) through an
+    /// explicit [`Kernels`] selection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn cosine_distance_row_with(&self, row: HvRow<'_>, kernels: &dyn Kernels) -> Result<f64> {
+        Ok(1.0 - self.cosine_similarity_row_with(row, kernels)?)
+    }
+
     /// Exact dot product between two bit-sliced count vectors:
     /// `Σ_i self.counts[i] · other.counts[i]`, computed plane-against-plane
     /// as `Σ_{p,q} 2^{p+q} · popcount(plane_p AND other_plane_q)`.
     ///
     /// This is the centroid-against-centroid similarity primitive the tiled
     /// segmenter's label stitching runs on: with `P` and `Q` planes the
-    /// whole dot product costs `P · Q` word-wide AND+popcount passes
+    /// whole dot product costs `P · Q` word-wide AND+popcount kernel passes
     /// instead of a `dim`-length integer multiply-accumulate.
     ///
     /// # Errors
     ///
     /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
     pub fn dot_sliced(&self, other: &BitSlicedCounts) -> Result<u64> {
+        self.dot_sliced_with(other, kernels::auto())
+    }
+
+    /// [`dot_sliced`](Self::dot_sliced) through an explicit [`Kernels`]
+    /// selection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn dot_sliced_with(&self, other: &BitSlicedCounts, kernels: &dyn Kernels) -> Result<u64> {
         if other.dim != self.dim {
             return Err(HdcError::DimensionMismatch {
                 left: self.dim,
@@ -418,11 +589,7 @@ impl BitSlicedCounts {
         let mut total = 0u64;
         for (p, plane) in self.planes.chunks_exact(self.words_per_plane).enumerate() {
             for (q, other_plane) in other.planes.chunks_exact(other.words_per_plane).enumerate() {
-                let mut ones = 0u64;
-                for (a, b) in plane.iter().zip(other_plane) {
-                    ones += u64::from((a & b).count_ones());
-                }
-                total += ones << (p + q);
+                total += kernels.and_popcount(plane, other_plane) << (p + q);
             }
         }
         Ok(total)
@@ -436,7 +603,22 @@ impl BitSlicedCounts {
     ///
     /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
     pub fn cosine_similarity_sliced(&self, other: &BitSlicedCounts) -> Result<f64> {
-        let dot = self.dot_sliced(other)? as f64;
+        self.cosine_similarity_sliced_with(other, kernels::auto())
+    }
+
+    /// [`cosine_similarity_sliced`](Self::cosine_similarity_sliced) through
+    /// an explicit [`Kernels`] selection — the tiled segmenter's stitching
+    /// pass threads its backend kernels in here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn cosine_similarity_sliced_with(
+        &self,
+        other: &BitSlicedCounts,
+        kernels: &dyn Kernels,
+    ) -> Result<f64> {
+        let dot = self.dot_sliced_with(other, kernels)? as f64;
         if self.norm == 0.0 || other.norm == 0.0 {
             return Ok(0.0);
         }
@@ -475,8 +657,32 @@ mod tests {
         let mut acc = Accumulator::zeros(4).unwrap();
         acc.add(&hv).unwrap();
         acc.add(&hv).unwrap();
-        assert_eq!(acc.counts(), &[2, 0, 2, 2]);
+        assert_eq!(acc.counts(), [2, 0, 2, 2]);
         assert_eq!(acc.items(), 2);
+        // Count 2 needs exactly two planes (binary 10).
+        assert_eq!(acc.plane_count(), 2);
+    }
+
+    #[test]
+    fn counts_match_a_naive_per_index_walk() {
+        let mut rng = HdcRng::seed_from(99);
+        for dim in [70usize, 256, 1000] {
+            let members: Vec<BinaryHypervector> = (0..11)
+                .map(|_| BinaryHypervector::random(dim, &mut rng))
+                .collect();
+            let mut acc = Accumulator::zeros(dim).unwrap();
+            for m in &members {
+                acc.add(m).unwrap();
+            }
+            let counts = acc.counts();
+            for (i, &count) in counts.iter().enumerate() {
+                let naive = members.iter().filter(|m| m.bit(i).unwrap()).count() as u32;
+                assert_eq!(count, naive, "dim {dim}, index {i}");
+            }
+            // Canonical planes: exactly enough for the largest count.
+            let max_count = counts.iter().copied().max().unwrap();
+            assert_eq!(acc.plane_count(), (32 - max_count.leading_zeros()) as usize);
+        }
     }
 
     #[test]
@@ -548,6 +754,25 @@ mod tests {
         }
         left.merge(&right).unwrap();
         assert_eq!(left, all);
+        assert_eq!(left.counts(), all.counts());
+    }
+
+    #[test]
+    fn merge_into_an_empty_accumulator_copies_the_counts() {
+        let mut rng = HdcRng::seed_from(44);
+        let mut source = Accumulator::zeros(300).unwrap();
+        for _ in 0..9 {
+            source
+                .add(&BinaryHypervector::random(300, &mut rng))
+                .unwrap();
+        }
+        let mut target = Accumulator::zeros(300).unwrap();
+        target.merge(&source).unwrap();
+        assert_eq!(target, source);
+        // And merging an empty accumulator changes nothing.
+        let before = target.clone();
+        target.merge(&Accumulator::zeros(300).unwrap()).unwrap();
+        assert_eq!(target.counts(), before.counts());
     }
 
     #[test]
@@ -574,7 +799,9 @@ mod tests {
         assert_eq!(acc.items(), 1);
         acc.clear();
         assert_eq!(acc.items(), 0);
+        assert_eq!(acc.plane_count(), 0);
         assert!(acc.counts().iter().all(|&c| c == 0));
+        assert_eq!(acc, Accumulator::zeros(32).unwrap());
     }
 
     #[test]
@@ -614,6 +841,45 @@ mod tests {
                 .unwrap()
                 .to_bits()
         );
+    }
+
+    #[test]
+    fn scalar_and_auto_kernels_accumulate_identically() {
+        let mut rng = HdcRng::seed_from(31);
+        for dim in [70usize, 1000] {
+            let members: Vec<BinaryHypervector> = (0..13)
+                .map(|_| BinaryHypervector::random(dim, &mut rng))
+                .collect();
+            let matrix = crate::HvMatrix::from_vectors(&members).unwrap();
+            let mut by_scalar = Accumulator::zeros(dim).unwrap();
+            let mut by_auto = Accumulator::zeros(dim).unwrap();
+            for i in 0..members.len() {
+                by_scalar
+                    .add_row_with(matrix.row(i), kernels::scalar())
+                    .unwrap();
+                by_auto
+                    .add_row_with(matrix.row(i), kernels::auto())
+                    .unwrap();
+            }
+            assert_eq!(by_scalar, by_auto);
+            assert_eq!(
+                by_scalar.norm_with(kernels::scalar()).to_bits(),
+                by_auto.norm_with(kernels::auto()).to_bits()
+            );
+            let probe = matrix.row(0);
+            assert_eq!(
+                by_scalar
+                    .to_bit_sliced_with(kernels::scalar())
+                    .cosine_distance_row_with(probe, kernels::scalar())
+                    .unwrap()
+                    .to_bits(),
+                by_auto
+                    .to_bit_sliced_with(kernels::auto())
+                    .cosine_distance_row_with(probe, kernels::auto())
+                    .unwrap()
+                    .to_bits()
+            );
+        }
     }
 
     #[test]
@@ -676,10 +942,11 @@ mod tests {
             for _ in 0..12 {
                 b.add(&BinaryHypervector::random(dim, &mut rng)).unwrap();
             }
+            let b_counts = b.counts();
             let expected: u64 = a
                 .counts()
                 .iter()
-                .zip(b.counts())
+                .zip(&b_counts)
                 .map(|(&x, &y)| u64::from(x) * u64::from(y))
                 .sum();
             let sa = a.to_bit_sliced();
@@ -725,18 +992,33 @@ mod tests {
     }
 
     #[test]
+    fn adding_a_zero_vector_only_bumps_items() {
+        let mut acc = Accumulator::zeros(64).unwrap();
+        acc.add(&BinaryHypervector::zeros(64).unwrap()).unwrap();
+        assert_eq!(acc.items(), 1);
+        assert_eq!(acc.plane_count(), 0);
+        assert!(acc.counts().iter().all(|&c| c == 0));
+    }
+
+    #[test]
     fn reset_reshapes_and_reuses_the_allocation() {
-        let hv = BinaryHypervector::ones(64).unwrap();
+        let hv = BinaryHypervector::ones(1024).unwrap();
         let mut acc = Accumulator::from_binary(&hv);
         let bytes_before = acc.heap_bytes();
-        assert!(bytes_before >= 64 * 4);
-        acc.reset(32).unwrap();
-        assert_eq!(acc.dim(), 32);
+        // One plane plus the carry scratch: two 16-word buffers.
+        assert!(bytes_before >= 2 * 16 * 8);
+        acc.reset(512).unwrap();
+        assert_eq!(acc.dim(), 512);
         assert_eq!(acc.items(), 0);
+        assert_eq!(acc.plane_count(), 0);
         assert!(acc.counts().iter().all(|&c| c == 0));
-        // Shrinking reuses the buffer; the capacity (and thus heap_bytes)
+        // Shrinking reuses the buffers; the capacity (and thus heap_bytes)
         // never shrinks.
         assert_eq!(acc.heap_bytes(), bytes_before);
         assert!(acc.reset(0).is_err());
+        // The reshaped accumulator still adds correctly.
+        let small = BinaryHypervector::ones(512).unwrap();
+        acc.add(&small).unwrap();
+        assert_eq!(acc.counts(), vec![1u32; 512]);
     }
 }

@@ -1,4 +1,4 @@
-use crate::{HdcError, HdcRng, Result};
+use crate::{kernels, HdcError, HdcRng, Result};
 
 /// A densely packed binary hypervector.
 ///
@@ -261,7 +261,7 @@ impl BinaryHypervector {
 
     /// Returns the number of bits set to one.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernels::auto().popcount(&self.words) as usize
     }
 
     /// Returns the Hamming distance (number of differing bits) to `other`.
@@ -271,12 +271,7 @@ impl BinaryHypervector {
     /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
     pub fn hamming(&self, other: &Self) -> Result<usize> {
         self.check_dim(other)?;
-        Ok(self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum())
+        Ok(kernels::auto().hamming(&self.words, &other.words) as usize)
     }
 
     /// Returns the normalized Hamming distance (`hamming / dim`) in `[0, 1]`.
@@ -297,12 +292,7 @@ impl BinaryHypervector {
     /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
     pub fn cosine_similarity(&self, other: &Self) -> Result<f64> {
         self.check_dim(other)?;
-        let dot: usize = self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum();
+        let dot = kernels::auto().and_popcount(&self.words, &other.words) as usize;
         let na = self.count_ones() as f64;
         let nb = other.count_ones() as f64;
         if na == 0.0 || nb == 0.0 {
@@ -331,9 +321,7 @@ impl BinaryHypervector {
     /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
     pub fn xor_assign(&mut self, other: &Self) -> Result<()> {
         self.check_dim(other)?;
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a ^= b;
-        }
+        kernels::auto().xor_into(&mut self.words, &other.words);
         Ok(())
     }
 
@@ -385,18 +373,7 @@ impl BinaryHypervector {
 
     /// Iterates over the indices of the bits that are set to one.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            let mut word = w;
-            std::iter::from_fn(move || {
-                if word == 0 {
-                    None
-                } else {
-                    let bit = word.trailing_zeros() as usize;
-                    word &= word - 1;
-                    Some(wi * 64 + bit)
-                }
-            })
-        })
+        kernels::iter_set_bits(&self.words)
     }
 
     fn check_dim(&self, other: &Self) -> Result<()> {

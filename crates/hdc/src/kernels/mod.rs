@@ -1,0 +1,330 @@
+//! The unified word-level bit-kernel layer.
+//!
+//! Every hot loop in the SegHDC pipeline — XOR binding during encoding,
+//! Hamming distances during clustering, the `AND` + popcount passes behind
+//! bit-sliced centroid dot products, and the bit-serial carry adds of the
+//! vertical-counter [`crate::Accumulator`] — reduces to a handful of
+//! word-wide operations over packed `u64` slices. This module extracts those
+//! operations into one dispatchable [`Kernels`] trait so a single selection
+//! decides, for the whole stack, whether they run as portable scalar Rust or
+//! as explicit SIMD (AVX2 on `x86_64`, NEON on `aarch64`).
+//!
+//! # Dispatch
+//!
+//! * [`scalar()`] always returns the portable reference implementation.
+//! * [`auto()`] returns the best implementation for the running CPU: with
+//!   the `simd` crate feature enabled it probes the CPU once (at first use)
+//!   and picks AVX2/NEON when supported, otherwise it falls back to scalar.
+//!   Setting the environment variable `SEGHDC_KERNELS=scalar` forces the
+//!   scalar kernels even when SIMD is available (checked once, at the same
+//!   first use).
+//! * [`simd()`] returns the SIMD implementation when one is compiled in
+//!   *and* supported by the running CPU, `None` otherwise.
+//!
+//! All implementations are **bit-exact**: for identical inputs every kernel
+//! returns identical integers (and mutates buffers identically) regardless
+//! of ISA. The pipeline's float math consumes only these exact integers, so
+//! segmentation labels are byte-identical across kernel selections — the
+//! invariant pinned by the `kernel_equivalence` test suite.
+
+use std::sync::OnceLock;
+
+mod scalar;
+#[cfg(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod simd;
+
+pub use scalar::ScalarKernels;
+
+/// Word-wide bit kernels over packed `u64` slices.
+///
+/// # Contract
+///
+/// * Paired slices (`dst`/`src`, `a`/`b`, plane/`row`) must have equal
+///   lengths; callers validate dimensions before dispatch, so length
+///   mismatches are caller bugs (checked with `debug_assert!`, unspecified
+///   garbage in release).
+/// * Slices are packed 64 bits per word, least-significant bit first. Bits
+///   beyond a caller's logical dimension must already be masked to zero —
+///   kernels operate on whole words and never re-mask tails.
+/// * Implementations must be **bit-exact** with [`ScalarKernels`]: same
+///   integers returned, same buffer contents written, for every input.
+///   There is no tolerance; the scalar implementation is the specification.
+/// * Implementations are stateless and must be `Send + Sync`; the same
+///   kernel object is shared freely across threads.
+pub trait Kernels: std::fmt::Debug + Send + Sync {
+    /// A short ISA name for telemetry (`"scalar"`, `"avx2"`, `"neon"`).
+    fn name(&self) -> &'static str;
+
+    /// XORs `src` into `dst` element-wise (the HDC binding operation).
+    fn xor_into(&self, dst: &mut [u64], src: &[u64]);
+
+    /// Total number of set bits across `words`.
+    fn popcount(&self, words: &[u64]) -> u64;
+
+    /// Number of differing bits between `a` and `b` (`popcount(a ^ b)`).
+    fn hamming(&self, a: &[u64], b: &[u64]) -> u64;
+
+    /// Number of shared set bits between `a` and `b` (`popcount(a & b)`).
+    fn and_popcount(&self, a: &[u64], b: &[u64]) -> u64;
+
+    /// Dot product between a bit-sliced integer vector and a binary row:
+    /// `Σ_p 2^p · popcount(plane_p AND row)`.
+    ///
+    /// `planes` holds `planes.len() / words_per_plane` bit planes
+    /// back-to-back, least-significant plane first; `row` holds
+    /// `words_per_plane` words.
+    fn plane_dot(&self, planes: &[u64], words_per_plane: usize, row: &[u64]) -> u64 {
+        debug_assert_ne!(words_per_plane, 0);
+        debug_assert_eq!(planes.len() % words_per_plane, 0);
+        debug_assert_eq!(row.len(), words_per_plane);
+        planes
+            .chunks_exact(words_per_plane)
+            .enumerate()
+            .map(|(p, plane)| self.and_popcount(plane, row) << p)
+            .sum()
+    }
+
+    /// Bit-serial ripple-carry add of a binary vector into a vertical
+    /// counter.
+    ///
+    /// `planes` is a little-endian stack of bit planes (`words_per_plane`
+    /// words each) holding one integer counter per bit position; `carry`
+    /// enters holding the binary vector to add and is used as the carry
+    /// word buffer. Each plane consumes the incoming carry
+    /// (`plane' = plane XOR carry`, `carry' = plane AND carry`) and the add
+    /// stops early once the carry dies.
+    ///
+    /// Returns `true` when a carry survives past the last plane; the caller
+    /// must then append `carry`'s contents as a new most-significant plane.
+    /// On early exit `carry` is all zeros.
+    fn bundle_add_planes(
+        &self,
+        planes: &mut [u64],
+        words_per_plane: usize,
+        carry: &mut [u64],
+    ) -> bool {
+        debug_assert_ne!(words_per_plane, 0);
+        debug_assert_eq!(planes.len() % words_per_plane, 0);
+        debug_assert_eq!(carry.len(), words_per_plane);
+        for plane in planes.chunks_exact_mut(words_per_plane) {
+            let mut live = 0u64;
+            for (p, c) in plane.iter_mut().zip(carry.iter_mut()) {
+                let overflow = *p & *c;
+                *p ^= *c;
+                *c = overflow;
+                live |= overflow;
+            }
+            if live == 0 {
+                return false;
+            }
+        }
+        carry.iter().any(|&word| word != 0)
+    }
+}
+
+/// The portable scalar reference kernels (always available).
+pub fn scalar() -> &'static dyn Kernels {
+    &ScalarKernels
+}
+
+/// The SIMD kernels, when compiled in (`simd` feature) and supported by the
+/// running CPU; `None` otherwise.
+pub fn simd() -> Option<&'static dyn Kernels> {
+    #[cfg(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        simd::detect()
+    }
+    #[cfg(not(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    {
+        None
+    }
+}
+
+/// The best kernels for the running CPU, probed once at first use.
+///
+/// Returns the SIMD implementation when available (see [`simd()`]), unless
+/// the `SEGHDC_KERNELS=scalar` environment variable forces the scalar path;
+/// falls back to [`scalar()`] otherwise.
+pub fn auto() -> &'static dyn Kernels {
+    static AUTO: OnceLock<&'static dyn Kernels> = OnceLock::new();
+    *AUTO.get_or_init(|| {
+        if std::env::var("SEGHDC_KERNELS").is_ok_and(|v| v.eq_ignore_ascii_case("scalar")) {
+            return scalar();
+        }
+        simd().unwrap_or_else(scalar)
+    })
+}
+
+/// Iterates over the indices of the set bits of a packed word slice, in
+/// ascending order.
+///
+/// This is the single definition of the set-bit walk that used to be
+/// duplicated between `BinaryHypervector::iter_ones` and `HvRow::iter_ones`.
+/// It is inherently scalar (one index out per set bit), so it lives beside
+/// the kernels rather than on the trait.
+pub fn iter_set_bits(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(wi, &w)| {
+        let mut word = w;
+        std::iter::from_fn(move || {
+            if word == 0 {
+                None
+            } else {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                Some(wi * 64 + bit)
+            }
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HdcRng;
+
+    fn words(len: usize, seed: u64) -> Vec<u64> {
+        let mut rng = HdcRng::seed_from(seed);
+        (0..len).map(|_| rng.next_word()).collect()
+    }
+
+    /// Every kernel implementation reachable in this build.
+    fn implementations() -> Vec<&'static dyn Kernels> {
+        let mut all = vec![scalar()];
+        if let Some(simd) = simd() {
+            all.push(simd);
+        }
+        all.push(auto());
+        all
+    }
+
+    #[test]
+    fn scalar_env_override_forces_the_scalar_kernels() {
+        // Only bites when the harness sets the variable (the CI
+        // scalar-fallback job runs this suite under
+        // `SEGHDC_KERNELS=scalar` on a SIMD build); without it the test is
+        // a no-op rather than mutating process-global env state.
+        if std::env::var("SEGHDC_KERNELS").is_ok_and(|v| v.eq_ignore_ascii_case("scalar")) {
+            assert_eq!(auto().name(), "scalar");
+        }
+    }
+
+    #[test]
+    fn selection_is_consistent() {
+        assert_eq!(scalar().name(), "scalar");
+        let auto_name = auto().name();
+        assert!(
+            ["scalar", "avx2", "neon"].contains(&auto_name),
+            "unexpected kernel name {auto_name}"
+        );
+        if let Some(simd) = simd() {
+            assert_ne!(simd.name(), "scalar");
+        }
+    }
+
+    #[test]
+    fn popcount_and_hamming_match_scalar_for_all_lengths() {
+        // Lengths straddle the SIMD lane width (4 words on AVX2, 2 on
+        // NEON), including non-lane-multiple tails and the empty slice.
+        for len in 0..40 {
+            let a = words(len, 0xA + len as u64);
+            let b = words(len, 0xB + len as u64);
+            let reference = scalar();
+            for kernels in implementations() {
+                assert_eq!(kernels.popcount(&a), reference.popcount(&a), "len {len}");
+                assert_eq!(
+                    kernels.hamming(&a, &b),
+                    reference.hamming(&a, &b),
+                    "len {len}"
+                );
+                assert_eq!(
+                    kernels.and_popcount(&a, &b),
+                    reference.and_popcount(&a, &b),
+                    "len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xor_into_matches_scalar() {
+        for len in 0..20 {
+            let src = words(len, 7);
+            let base = words(len, 11);
+            let mut expected = base.clone();
+            scalar().xor_into(&mut expected, &src);
+            for kernels in implementations() {
+                let mut buffer = base.clone();
+                kernels.xor_into(&mut buffer, &src);
+                assert_eq!(buffer, expected, "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn plane_dot_matches_a_naive_count_walk() {
+        let wpp = 5usize;
+        let planes = words(3 * wpp, 21);
+        let row = words(wpp, 22);
+        let mut naive = 0u64;
+        for (p, plane) in planes.chunks_exact(wpp).enumerate() {
+            for (pw, rw) in plane.iter().zip(&row) {
+                naive += u64::from((pw & rw).count_ones()) << p;
+            }
+        }
+        for kernels in implementations() {
+            assert_eq!(kernels.plane_dot(&planes, wpp, &row), naive);
+        }
+    }
+
+    #[test]
+    fn bundle_add_planes_counts_in_binary() {
+        let wpp = 3usize;
+        for kernels in implementations() {
+            let mut planes: Vec<u64> = Vec::new();
+            let ones = vec![u64::MAX; wpp];
+            // Add the all-ones vector seven times; every bit counter must
+            // read 7 (planes 0..3 all ones, never a fourth plane).
+            for round in 0..7 {
+                let mut carry = ones.clone();
+                let overflow = kernels.bundle_add_planes(&mut planes, wpp, &mut carry);
+                if overflow {
+                    planes.extend_from_slice(&carry);
+                }
+                let expected_planes =
+                    usize::BITS as usize - ((round + 1) as usize).leading_zeros() as usize;
+                assert_eq!(planes.len() / wpp, expected_planes, "round {round}");
+            }
+            assert_eq!(planes.len() / wpp, 3);
+            assert!(planes.iter().all(|&w| w == u64::MAX), "{}", kernels.name());
+        }
+    }
+
+    #[test]
+    fn bundle_add_planes_matches_scalar_on_random_input() {
+        let wpp = 7usize;
+        for trial in 0..16u64 {
+            let base_planes = words(4 * wpp, 100 + trial);
+            let row = words(wpp, 200 + trial);
+            let mut scalar_planes = base_planes.clone();
+            let mut scalar_carry = row.clone();
+            let scalar_overflow =
+                scalar().bundle_add_planes(&mut scalar_planes, wpp, &mut scalar_carry);
+            for kernels in implementations() {
+                let mut planes = base_planes.clone();
+                let mut carry = row.clone();
+                let overflow = kernels.bundle_add_planes(&mut planes, wpp, &mut carry);
+                assert_eq!(overflow, scalar_overflow, "trial {trial}");
+                assert_eq!(planes, scalar_planes, "trial {trial}");
+                assert_eq!(carry, scalar_carry, "trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn iter_set_bits_walks_ascending() {
+        let w = [0b1011u64, 0, 1u64 << 63];
+        let indices: Vec<usize> = iter_set_bits(&w).collect();
+        assert_eq!(indices, vec![0, 1, 3, 191]);
+        assert_eq!(iter_set_bits(&[]).count(), 0);
+    }
+}

@@ -13,7 +13,13 @@
 //!   with [`BinaryHypervector`] bit-for-bit.
 //! * [`Accumulator`] — an integer "bundled" hypervector used as a K-Means
 //!   centroid: the element-wise sum of many binary hypervectors (or matrix
-//!   rows), with cosine similarity against binary vectors.
+//!   rows), stored as a vertical (bit-sliced) counter and updated by
+//!   word-parallel bit-serial adds, with cosine similarity against binary
+//!   vectors.
+//! * [`kernels`] — the unified word-level bit-kernel layer every hot loop
+//!   above dispatches through: a [`kernels::Kernels`] trait with a scalar
+//!   reference implementation and runtime-detected SIMD (AVX2/NEON) behind
+//!   the `simd` feature.
 //! * [`ItemMemory`] / [`LevelMemory`] — classical HDC codebooks: random
 //!   (pseudo-orthogonal) item memories and linearly-correlated level
 //!   memories built by progressive bit flipping.
@@ -41,13 +47,18 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD kernel module (`kernels::simd`) is
+// the single place allowed to opt back in — vendor intrinsics require
+// `unsafe` — and does so behind runtime CPU detection. Everything else in
+// the crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod accumulator;
 mod binary;
 mod error;
 mod item_memory;
+pub mod kernels;
 mod matrix;
 pub mod permutation;
 mod rng;

@@ -1,3 +1,4 @@
+use crate::kernels::{self, Kernels};
 use crate::{BinaryHypervector, HdcError, Result};
 use rayon::prelude::*;
 
@@ -229,23 +230,12 @@ impl<'a> HvRow<'a> {
 
     /// Number of bits set to one.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernels::auto().popcount(self.words) as usize
     }
 
     /// Iterates over the indices of the set bits, in ascending order.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + 'a {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            let mut word = w;
-            std::iter::from_fn(move || {
-                if word == 0 {
-                    None
-                } else {
-                    let bit = word.trailing_zeros() as usize;
-                    word &= word - 1;
-                    Some(wi * 64 + bit)
-                }
-            })
-        })
+        kernels::iter_set_bits(self.words)
     }
 
     /// Hamming distance to another row.
@@ -260,7 +250,7 @@ impl<'a> HvRow<'a> {
                 right: other.dim,
             });
         }
-        Ok(hamming_words(self.words, other.words))
+        Ok(kernels::auto().hamming(self.words, other.words) as usize)
     }
 
     /// Hamming distance to a single hypervector.
@@ -269,13 +259,24 @@ impl<'a> HvRow<'a> {
     ///
     /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
     pub fn hamming_hv(&self, hv: &BinaryHypervector) -> Result<usize> {
+        self.hamming_hv_with(hv, kernels::auto())
+    }
+
+    /// [`hamming_hv`](Self::hamming_hv) through an explicit [`Kernels`]
+    /// selection — the hot-path variant an execution backend threads its
+    /// kernels into.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn hamming_hv_with(&self, hv: &BinaryHypervector, kernels: &dyn Kernels) -> Result<usize> {
         if self.dim != hv.dim() {
             return Err(HdcError::DimensionMismatch {
                 left: self.dim,
                 right: hv.dim(),
             });
         }
-        Ok(hamming_words(self.words, hv.as_words()))
+        Ok(kernels.hamming(self.words, hv.as_words()) as usize)
     }
 
     /// Normalized Hamming distance (`hamming / dim`) to a hypervector.
@@ -285,6 +286,20 @@ impl<'a> HvRow<'a> {
     /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
     pub fn normalized_hamming_hv(&self, hv: &BinaryHypervector) -> Result<f64> {
         Ok(self.hamming_hv(hv)? as f64 / self.dim as f64)
+    }
+
+    /// [`normalized_hamming_hv`](Self::normalized_hamming_hv) through an
+    /// explicit [`Kernels`] selection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn normalized_hamming_hv_with(
+        &self,
+        hv: &BinaryHypervector,
+        kernels: &dyn Kernels,
+    ) -> Result<f64> {
+        Ok(self.hamming_hv_with(hv, kernels)? as f64 / self.dim as f64)
     }
 
     /// Copies this row into an owned [`BinaryHypervector`] (allocates).
@@ -348,10 +363,19 @@ impl HvRowMut<'_> {
     ///
     /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
     pub fn xor_assign(&mut self, hv: &BinaryHypervector) -> Result<()> {
+        self.xor_assign_with(hv, kernels::auto())
+    }
+
+    /// [`xor_assign`](Self::xor_assign) through an explicit [`Kernels`]
+    /// selection — the hot-path variant the batch pixel encoder threads its
+    /// backend kernels into.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
+    pub fn xor_assign_with(&mut self, hv: &BinaryHypervector, kernels: &dyn Kernels) -> Result<()> {
         self.check_dim(hv.dim())?;
-        for (dst, src) in self.words.iter_mut().zip(hv.as_words()) {
-            *dst ^= src;
-        }
+        kernels.xor_into(self.words, hv.as_words());
         Ok(())
     }
 
@@ -362,9 +386,7 @@ impl HvRowMut<'_> {
     /// Returns [`HdcError::DimensionMismatch`] if the dimensions differ.
     pub fn xor_assign_row(&mut self, row: HvRow<'_>) -> Result<()> {
         self.check_dim(row.dim())?;
-        for (dst, src) in self.words.iter_mut().zip(row.as_words()) {
-            *dst ^= src;
-        }
+        kernels::auto().xor_into(self.words, row.as_words());
         Ok(())
     }
 
@@ -377,14 +399,6 @@ impl HvRowMut<'_> {
         }
         Ok(())
     }
-}
-
-/// Word-level Hamming distance between two equal-length packed slices.
-fn hamming_words(a: &[u64], b: &[u64]) -> usize {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x ^ y).count_ones() as usize)
-        .sum()
 }
 
 #[cfg(test)]

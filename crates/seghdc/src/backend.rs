@@ -4,11 +4,14 @@
 //! image, batch, or streaming tiles — is "encode one region into a scratch
 //! matrix, then cluster that matrix". [`ExecBackend`] abstracts exactly that
 //! unit so it can be dispatched to different hardware: [`CpuBackend`] is the
-//! reference implementation running the existing word-parallel Rust kernels,
-//! and a GPU/accelerator backend only needs to reproduce these two calls
-//! over a device-resident scratch buffer.
+//! reference implementation pinned to the scalar word kernels,
+//! [`SimdCpuBackend`] runs the same unit through an explicit
+//! [`hdc::kernels`] selection (runtime-detected AVX2/NEON by default), and a
+//! GPU/accelerator backend only needs to reproduce these two calls over a
+//! device-resident scratch buffer.
 
 use crate::{ClusterOutcome, HvKmeans, PixelEncoder, Result};
+use hdc::kernels::{self, Kernels};
 use hdc::HvMatrix;
 use imaging::{ImageView, TileRect};
 
@@ -50,6 +53,28 @@ pub trait ExecBackend: std::fmt::Debug + Send + Sync {
     /// A short human-readable backend name for telemetry and reports.
     fn name(&self) -> &'static str;
 
+    /// The word-kernel instruction set this backend actually executes with
+    /// (`"scalar"`, `"avx2"`, `"neon"`, …), reported on every
+    /// [`crate::SegmentReport`] so users can confirm which path served a
+    /// request. Backends that do not run the CPU kernel layer (e.g. a
+    /// device backend) report their own identifier.
+    fn kernel_isa(&self) -> &'static str {
+        self.host_kernels().name()
+    }
+
+    /// The CPU word kernels used for the host-side glue that surrounds the
+    /// per-tile unit — centroid bundling and stitch similarity in streaming
+    /// tiled mode — which always runs on the host even for a device
+    /// backend.
+    ///
+    /// CPU backends return the same kernels their encode/cluster unit runs
+    /// on, so pinning a backend to scalar pins the *whole* request (and
+    /// [`kernel_isa`](Self::kernel_isa) stays truthful). The default is
+    /// [`hdc::kernels::auto`].
+    fn host_kernels(&self) -> &'static dyn Kernels {
+        kernels::auto()
+    }
+
     /// Encodes the `region` rectangle of `view` into `scratch`, one row per
     /// region pixel in region-local row-major order.
     ///
@@ -89,19 +114,24 @@ pub trait ExecBackend: std::fmt::Debug + Send + Sync {
     ) -> Result<ClusterOutcome>;
 }
 
-/// The reference CPU backend: delegates to the crate's word-parallel
-/// kernels ([`PixelEncoder::encode_region_into`] and
-/// [`HvKmeans::cluster_matrix`]), which parallelise across rows with the
-/// workspace thread pool.
+/// The reference CPU backend: runs the per-tile unit through the **scalar**
+/// word kernels ([`hdc::kernels::scalar`]), parallelised across rows with
+/// the workspace thread pool.
 ///
-/// This is the backend every [`crate::SegEngine`] uses unless
-/// [`crate::SegEngineBuilder::backend`] installs another one.
+/// This backend is deliberately pinned to the scalar kernels so it stays
+/// the bit-exact specification faster backends are checked against; for
+/// production throughput use [`SimdCpuBackend`] (the default backend of
+/// [`crate::SegEngine`]), which produces byte-identical labels.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CpuBackend;
 
 impl ExecBackend for CpuBackend {
     fn name(&self) -> &'static str {
         "cpu"
+    }
+
+    fn host_kernels(&self) -> &'static dyn Kernels {
+        kernels::scalar()
     }
 
     fn encode_region(
@@ -111,7 +141,7 @@ impl ExecBackend for CpuBackend {
         region: &TileRect,
         scratch: &mut HvMatrix,
     ) -> Result<()> {
-        encoder.encode_region_into(view, region, scratch)
+        encoder.encode_region_into_with(view, region, scratch, kernels::scalar())
     }
 
     fn cluster_matrix(
@@ -120,7 +150,92 @@ impl ExecBackend for CpuBackend {
         pixels: &HvMatrix,
         intensities: &[u8],
     ) -> Result<ClusterOutcome> {
-        kmeans.cluster_matrix(pixels, intensities)
+        kmeans.cluster_matrix_with(pixels, intensities, kernels::scalar())
+    }
+}
+
+/// A CPU backend that executes the per-tile unit through an explicit
+/// [`Kernels`] selection — SIMD (AVX2/NEON) when the build and the CPU
+/// support it.
+///
+/// This is the default backend of every [`crate::SegEngine`]:
+/// [`SimdCpuBackend::auto`] probes the CPU once and picks the best kernels
+/// (falling back to scalar on unsupported hardware or `--no-default-features`
+/// builds), so engines get the SIMD path without opting in. Labels are
+/// **byte-identical** to [`CpuBackend`] for every selection — kernels are
+/// exact integer operations and the pipeline's float math consumes only
+/// their results (the invariant pinned by the `kernel_equivalence` suite).
+/// [`ExecBackend::kernel_isa`] reports which instruction set actually ran.
+///
+/// To force the scalar kernels on a SIMD-capable machine, install
+/// [`SimdCpuBackend::scalar`] via [`crate::SegEngineBuilder::backend`] (or
+/// set the `SEGHDC_KERNELS=scalar` environment variable before first use,
+/// which downgrades [`hdc::kernels::auto`] globally).
+#[derive(Debug, Clone, Copy)]
+pub struct SimdCpuBackend {
+    kernels: &'static dyn Kernels,
+}
+
+impl SimdCpuBackend {
+    /// The best kernels for the running CPU (SIMD when supported, scalar
+    /// otherwise) — see [`hdc::kernels::auto`].
+    pub fn auto() -> Self {
+        Self {
+            kernels: kernels::auto(),
+        }
+    }
+
+    /// Forces the scalar kernels regardless of CPU support.
+    pub fn scalar() -> Self {
+        Self {
+            kernels: kernels::scalar(),
+        }
+    }
+
+    /// Runs an explicit kernel implementation (e.g. a specific ISA from
+    /// [`hdc::kernels::simd`]).
+    pub fn with_kernels(kernels: &'static dyn Kernels) -> Self {
+        Self { kernels }
+    }
+
+    /// The kernel implementation this backend executes with.
+    pub fn kernels(&self) -> &'static dyn Kernels {
+        self.kernels
+    }
+}
+
+impl Default for SimdCpuBackend {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+impl ExecBackend for SimdCpuBackend {
+    fn name(&self) -> &'static str {
+        "simd-cpu"
+    }
+
+    fn host_kernels(&self) -> &'static dyn Kernels {
+        self.kernels
+    }
+
+    fn encode_region(
+        &self,
+        encoder: &PixelEncoder,
+        view: &ImageView<'_>,
+        region: &TileRect,
+        scratch: &mut HvMatrix,
+    ) -> Result<()> {
+        encoder.encode_region_into_with(view, region, scratch, self.kernels)
+    }
+
+    fn cluster_matrix(
+        &self,
+        kmeans: &HvKmeans,
+        pixels: &HvMatrix,
+        intensities: &[u8],
+    ) -> Result<ClusterOutcome> {
+        kmeans.cluster_matrix_with(pixels, intensities, self.kernels)
     }
 }
 
@@ -198,6 +313,53 @@ mod tests {
     fn backend_trait_objects_are_shareable_across_threads() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CpuBackend>();
+        assert_send_sync::<SimdCpuBackend>();
         assert_send_sync::<Box<dyn ExecBackend>>();
+    }
+
+    #[test]
+    fn backends_report_their_kernel_isa() {
+        assert_eq!(CpuBackend.kernel_isa(), "scalar");
+        assert_eq!(SimdCpuBackend::scalar().kernel_isa(), "scalar");
+        let auto = SimdCpuBackend::auto();
+        assert_eq!(auto.name(), "simd-cpu");
+        assert_eq!(auto.kernel_isa(), auto.kernels().name());
+        assert!(["scalar", "avx2", "neon"].contains(&auto.kernel_isa()));
+        assert_eq!(SimdCpuBackend::default().kernel_isa(), auto.kernel_isa());
+    }
+
+    #[test]
+    fn simd_backend_encode_and_cluster_match_the_scalar_reference_bitwise() {
+        // dim 1000 exercises a non-lane-multiple word tail (16 words).
+        let enc = encoder(1000, 8, 6);
+        let image = gradient(8, 6);
+        let view = ImageView::full(&image);
+        let region = TileRect {
+            x: 1,
+            y: 0,
+            width: 7,
+            height: 5,
+        };
+        let mut scalar = HvMatrix::zeros(region.area(), 1000).unwrap();
+        CpuBackend
+            .encode_region(&enc, &view, &region, &mut scalar)
+            .unwrap();
+        let mut simd = HvMatrix::zeros(region.area(), 1000).unwrap();
+        SimdCpuBackend::auto()
+            .encode_region(&enc, &view, &region, &mut simd)
+            .unwrap();
+        assert_eq!(scalar, simd);
+
+        let intensities: Vec<u8> = (0..region.area()).map(|i| (i * 7) as u8).collect();
+        let kmeans = HvKmeans::new(2, 3, DistanceMetric::Cosine, true).unwrap();
+        let by_scalar = CpuBackend
+            .cluster_matrix(&kmeans, &scalar, &intensities)
+            .unwrap();
+        let by_simd = SimdCpuBackend::auto()
+            .cluster_matrix(&kmeans, &simd, &intensities)
+            .unwrap();
+        assert_eq!(by_scalar.labels, by_simd.labels);
+        assert_eq!(by_scalar.snapshots, by_simd.snapshots);
+        assert_eq!(by_scalar.cluster_sizes, by_simd.cluster_sizes);
     }
 }

@@ -1,4 +1,5 @@
 use crate::{DistanceMetric, Result, SegHdcError};
+use hdc::kernels::{self, Kernels};
 use hdc::{Accumulator, BinaryHypervector, HvMatrix};
 use rayon::prelude::*;
 
@@ -177,6 +178,31 @@ impl HvKmeans {
     /// the row and intensity counts disagree, or if there are fewer rows
     /// than clusters.
     pub fn cluster_matrix(&self, pixels: &HvMatrix, intensities: &[u8]) -> Result<ClusterOutcome> {
+        self.cluster_matrix_with(pixels, intensities, kernels::auto())
+    }
+
+    /// [`cluster_matrix`](Self::cluster_matrix) through an explicit
+    /// [`Kernels`] selection — the variant an execution backend threads its
+    /// kernels into. Every word-level operation of the iteration (bit-sliced
+    /// centroid dot products in the assignment step, vertical-counter carry
+    /// adds in the update step, Hamming distances in the ablation metric)
+    /// dispatches through `kernels`.
+    ///
+    /// Kernels are bit-exact with each other (see the
+    /// [`hdc::kernels`] contract), so the labels are byte-identical for
+    /// every selection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegHdcError::InvalidConfig`] if the matrix is empty, if
+    /// the row and intensity counts disagree, or if there are fewer rows
+    /// than clusters.
+    pub fn cluster_matrix_with(
+        &self,
+        pixels: &HvMatrix,
+        intensities: &[u8],
+        kernels: &dyn Kernels,
+    ) -> Result<ClusterOutcome> {
         self.validate_inputs(pixels.rows(), intensities.len())?;
         let dim = pixels.dim();
         let pixel_count = pixels.rows();
@@ -185,7 +211,7 @@ impl HvKmeans {
         let mut centroids: Vec<Accumulator> = Vec::with_capacity(self.clusters);
         for index in self.initial_indices(intensities) {
             let mut accumulator = Accumulator::zeros(dim)?;
-            accumulator.add_row(pixels.row(index))?;
+            accumulator.add_row_with(pixels.row(index), kernels)?;
             centroids.push(accumulator);
         }
         // Scratch accumulators reused (cleared, not reallocated) by every
@@ -206,9 +232,10 @@ impl HvKmeans {
             // norm) or the majority-thresholded vector for Hamming. Both
             // yield distances bit-identical to the per-vector path.
             let sliced: Vec<hdc::BitSlicedCounts> = match metric {
-                DistanceMetric::Cosine => {
-                    centroids.iter().map(Accumulator::to_bit_sliced).collect()
-                }
+                DistanceMetric::Cosine => centroids
+                    .iter()
+                    .map(|centroid| centroid.to_bit_sliced_with(kernels))
+                    .collect(),
                 DistanceMetric::Hamming => Vec::new(),
             };
             let majority: Vec<Option<BinaryHypervector>> = match metric {
@@ -228,11 +255,11 @@ impl HvKmeans {
                     for k in 0..cluster_count {
                         let distance = match metric {
                             DistanceMetric::Cosine => sliced_ref[k]
-                                .cosine_distance_row(row)
+                                .cosine_distance_row_with(row, kernels)
                                 .unwrap_or(f64::INFINITY),
                             DistanceMetric::Hamming => majority_ref[k]
                                 .as_ref()
-                                .and_then(|m| row.normalized_hamming_hv(m).ok())
+                                .and_then(|m| row.normalized_hamming_hv_with(m, kernels).ok())
                                 .unwrap_or(f64::INFINITY),
                         };
                         if distance < best_distance {
@@ -254,7 +281,7 @@ impl HvKmeans {
                 accumulator.clear();
             }
             for (index, &label) in labels.iter().enumerate() {
-                scratch[label as usize].add_row(pixels.row(index))?;
+                scratch[label as usize].add_row_with(pixels.row(index), kernels)?;
             }
             // Empty clusters keep their previous centroid so they can win
             // pixels back in a later iteration.
@@ -493,6 +520,29 @@ mod tests {
             assert_eq!(by_vector.snapshots, by_matrix.snapshots, "{metric:?}");
             assert_eq!(by_vector.cluster_sizes, by_matrix.cluster_sizes);
             assert_eq!(by_vector.iterations_run, by_matrix.iterations_run);
+        }
+    }
+
+    #[test]
+    fn kernel_selections_produce_identical_labels() {
+        let mut rng = HdcRng::seed_from(78);
+        let centre_a = BinaryHypervector::random(1000, &mut rng);
+        let centre_b = BinaryHypervector::random(1000, &mut rng);
+        let mut pixels = noisy_copies(&centre_a, 12, 60, &mut rng);
+        pixels.extend(noisy_copies(&centre_b, 12, 60, &mut rng));
+        let intensities: Vec<u8> = (0..24).map(|i| (i * 10) as u8).collect();
+        let matrix = HvMatrix::from_vectors(&pixels).unwrap();
+        for metric in [DistanceMetric::Cosine, DistanceMetric::Hamming] {
+            let kmeans = HvKmeans::new(3, 5, metric, true).unwrap();
+            let scalar = kmeans
+                .cluster_matrix_with(&matrix, &intensities, hdc::kernels::scalar())
+                .unwrap();
+            let auto = kmeans
+                .cluster_matrix_with(&matrix, &intensities, hdc::kernels::auto())
+                .unwrap();
+            assert_eq!(scalar.labels, auto.labels, "{metric:?}");
+            assert_eq!(scalar.snapshots, auto.snapshots, "{metric:?}");
+            assert_eq!(scalar.cluster_sizes, auto.cluster_sizes, "{metric:?}");
         }
     }
 

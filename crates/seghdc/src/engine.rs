@@ -12,8 +12,10 @@
 //! The engine owns three long-lived pieces a per-call API cannot have:
 //!
 //! * an [`ExecBackend`] — the per-tile "encode region + cluster matrix"
-//!   unit every path executes through ([`CpuBackend`] by default, a device
-//!   backend via [`SegEngineBuilder::backend`]);
+//!   unit every path executes through ([`SimdCpuBackend::auto`] by
+//!   default, which picks SIMD word kernels when the CPU supports them; a
+//!   scalar-pinned [`crate::CpuBackend`] or a device backend via
+//!   [`SegEngineBuilder::backend`]);
 //! * a persistent [`CodebookCache`] — codebooks are keyed on
 //!   `(seed, shape, dimension, encodings)` and reused across calls and
 //!   threads, so a warm request skips the dominant fixed cost;
@@ -56,7 +58,9 @@
 
 use crate::cache::{CacheStats, CodebookCache, CodebookKey};
 use crate::tiled::{self, StreamingSegmentation, TileArena, TileConfig};
-use crate::{CpuBackend, ExecBackend, HvKmeans, PixelEncoder, Result, SegHdcConfig, SegHdcError};
+use crate::{
+    ExecBackend, HvKmeans, PixelEncoder, Result, SegHdcConfig, SegHdcError, SimdCpuBackend,
+};
 use imaging::{DynamicImage, ImageView, LabelMap, TileRect};
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -313,6 +317,9 @@ pub struct EngineTelemetry {
     pub peak_matrix_bytes: usize,
     /// Name of the execution backend.
     pub backend: &'static str,
+    /// The word-kernel instruction set the backend actually executed with
+    /// (`"scalar"`, `"avx2"`, `"neon"`, …) — see [`ExecBackend::kernel_isa`].
+    pub kernel_isa: &'static str,
 }
 
 /// Result of one [`SegEngine::run`]: per-image outputs, the plan that was
@@ -380,7 +387,13 @@ impl SegEngineBuilder {
         self
     }
 
-    /// Installs an execution backend (default: [`CpuBackend`]).
+    /// Installs an execution backend.
+    ///
+    /// The default is [`SimdCpuBackend::auto`], which picks the best word
+    /// kernels for the running CPU (SIMD when supported, scalar otherwise).
+    /// Install [`SimdCpuBackend::scalar`] (or the reference
+    /// [`crate::CpuBackend`]) to force the scalar kernels; labels are
+    /// byte-identical either way.
     pub fn backend(mut self, backend: Box<dyn ExecBackend>) -> Self {
         self.backend = Some(backend);
         self
@@ -409,7 +422,9 @@ impl SegEngineBuilder {
         Ok(SegEngine {
             config: self.config,
             options: self.options,
-            backend: self.backend.unwrap_or_else(|| Box::new(CpuBackend)),
+            backend: self
+                .backend
+                .unwrap_or_else(|| Box::new(SimdCpuBackend::auto())),
             cache,
             arenas: Mutex::new(Vec::new()),
             // One retained arena per worker is the most any run can reuse.
@@ -440,7 +455,8 @@ pub struct SegEngine {
 }
 
 impl SegEngine {
-    /// An engine with default [`EngineOptions`] and the [`CpuBackend`].
+    /// An engine with default [`EngineOptions`] and the auto-selected
+    /// [`SimdCpuBackend`].
     ///
     /// # Errors
     ///
@@ -473,6 +489,12 @@ impl SegEngine {
     /// The execution backend's name.
     pub fn backend_name(&self) -> &'static str {
         self.backend.name()
+    }
+
+    /// The word-kernel instruction set the backend executes with (see
+    /// [`ExecBackend::kernel_isa`]).
+    pub fn kernel_isa(&self) -> &'static str {
+        self.backend.kernel_isa()
     }
 
     /// Snapshot of the codebook-cache counters.
@@ -610,6 +632,7 @@ impl SegEngine {
             cache_entries: stats.entries,
             peak_matrix_bytes: self.peak_matrix_bytes.load(Ordering::Relaxed),
             backend: self.backend.name(),
+            kernel_isa: self.backend.kernel_isa(),
         }
     }
 
@@ -852,8 +875,37 @@ mod tests {
         };
         assert!(SegEngine::new(bad).is_err());
         let engine = SegEngine::new(fast_config()).unwrap();
-        assert_eq!(engine.backend_name(), "cpu");
+        assert_eq!(engine.backend_name(), "simd-cpu");
+        assert!(["scalar", "avx2", "neon"].contains(&engine.kernel_isa()));
         assert_eq!(engine.config().dimension, 512);
+        // The reference backend stays installable.
+        let reference = SegEngine::builder(fast_config())
+            .backend(Box::new(crate::CpuBackend))
+            .build()
+            .unwrap();
+        assert_eq!(reference.backend_name(), "cpu");
+        assert_eq!(reference.kernel_isa(), "scalar");
+    }
+
+    #[test]
+    fn scalar_and_simd_backends_produce_byte_identical_labels() {
+        let image = square_image(32);
+        let scalar_engine = SegEngine::builder(fast_config())
+            .backend(Box::new(SimdCpuBackend::scalar()))
+            .build()
+            .unwrap();
+        let simd_engine = SegEngine::new(fast_config()).unwrap();
+        for request in [
+            SegmentRequest::image(&image).whole_image(),
+            SegmentRequest::image(&image).tiled(TileConfig::square(16, 4).unwrap()),
+        ] {
+            let scalar = scalar_engine.run(&request).unwrap();
+            let simd = simd_engine.run(&request).unwrap();
+            assert_eq!(
+                scalar.single().label_map.as_raw(),
+                simd.single().label_map.as_raw()
+            );
+        }
     }
 
     #[test]
@@ -977,7 +1029,8 @@ mod tests {
         assert_eq!(cold.telemetry.cache_entries, 1);
         assert!(cold.telemetry.cache_bytes > 0);
         assert!(cold.telemetry.peak_matrix_bytes >= 24 * 24 * 8);
-        assert_eq!(cold.telemetry.backend, "cpu");
+        assert_eq!(cold.telemetry.backend, "simd-cpu");
+        assert!(["scalar", "avx2", "neon"].contains(&cold.telemetry.kernel_isa));
         let warm = engine.run(&SegmentRequest::image(&image)).unwrap();
         assert_eq!(warm.telemetry.cache_misses, 1);
         assert_eq!(warm.telemetry.cache_hits, 1);

@@ -25,10 +25,13 @@
 //!   primary entry point: one [`SegmentRequest`] → [`SegEngine::plan`] →
 //!   [`SegEngine::run`] flow replaces the five legacy `SegHdc` calls. The
 //!   engine owns an [`ExecBackend`] (the per-tile "encode region + cluster
-//!   matrix" unit, [`CpuBackend`] by default), a persistent byte-bounded
-//!   [`CodebookCache`] shared across calls and threads, and a pool of
-//!   reusable [`TileArena`] scratch buffers; it plans whole-image versus
-//!   streaming tiled execution per image against a memory budget and
+//!   matrix" unit — [`SimdCpuBackend`] by default, which dispatches every
+//!   word-level bit kernel to runtime-detected SIMD via
+//!   [`hdc::kernels`] and reports the ISA on every report; the
+//!   scalar-pinned [`CpuBackend`] is the bit-exact reference), a persistent
+//!   byte-bounded [`CodebookCache`] shared across calls and threads, and a
+//!   pool of reusable [`TileArena`] scratch buffers; it plans whole-image
+//!   versus streaming tiled execution per image against a memory budget and
 //!   reports cache/arena telemetry on every [`SegmentReport`].
 //! * [`SegHdc`] — the legacy per-call pipeline; its segmentation methods
 //!   remain as thin deprecated wrappers over the engine.
@@ -82,7 +85,7 @@ pub mod sweep;
 pub mod tiled;
 pub mod toy;
 
-pub use backend::{CpuBackend, ExecBackend};
+pub use backend::{CpuBackend, ExecBackend, SimdCpuBackend};
 pub use cache::{CacheStats, CodebookCache, CodebookKey};
 pub use cluster::{ClusterOutcome, HvKmeans};
 pub use color::ColorEncoder;

@@ -1,4 +1,5 @@
 use crate::{ColorEncoder, PositionEncoder, Result, SegHdcError};
+use hdc::kernels::{self, Kernels};
 use hdc::{BinaryHypervector, HvMatrix};
 use imaging::{DynamicImage, ImageView, TileRect};
 
@@ -149,6 +150,25 @@ impl PixelEncoder {
         region: &TileRect,
         matrix: &mut HvMatrix,
     ) -> Result<()> {
+        self.encode_region_into_with(view, region, matrix, kernels::auto())
+    }
+
+    /// [`encode_region_into`](Self::encode_region_into) through an explicit
+    /// [`Kernels`] selection — the variant an execution backend threads its
+    /// kernels into. Every XOR bind of the batch encode dispatches through
+    /// `kernels`; since XOR is exact whichever implementation runs it, the
+    /// rows are bit-identical for every selection.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`encode_region_into`](Self::encode_region_into).
+    pub fn encode_region_into_with(
+        &self,
+        view: &ImageView<'_>,
+        region: &TileRect,
+        matrix: &mut HvMatrix,
+        kernels: &dyn Kernels,
+    ) -> Result<()> {
         if view.height() != self.position.rows() || view.width() != self.position.cols() {
             return Err(SegHdcError::InvalidConfig {
                 message: format!(
@@ -207,10 +227,10 @@ impl PixelEncoder {
                 .expect("pixel coordinate is within the validated view");
             row.copy_from(position_row)
                 .expect("encoder dimensions are validated at construction");
-            row.xor_assign(position_col)
+            row.xor_assign_with(position_col, kernels)
                 .expect("encoder dimensions are validated at construction");
             for (channel, &value) in px.iter().take(channels).enumerate() {
-                row.xor_assign(self.color.placed_code(channel, value))
+                row.xor_assign_with(self.color.placed_code(channel, value), kernels)
                     .expect("encoder dimensions are validated at construction");
             }
         });

@@ -286,6 +286,10 @@ pub(crate) fn segment_streaming_with(
     let width = view.width();
     let clusters = config.clusters;
     let kmeans = HvKmeans::new(clusters, config.iterations, config.distance_metric, false)?;
+    // Host-side glue (centroid bundling, stitch similarity) runs on the
+    // backend's kernel selection too, so a scalar-pinned backend keeps the
+    // whole request — and its `kernel_isa` telemetry — scalar.
+    let host_kernels = backend.host_kernels();
 
     let total_ids = grid.tile_count() * clusters;
     // Provisional per-pixel label: `tile_index * clusters + local_cluster`.
@@ -334,13 +338,13 @@ pub(crate) fn segment_streaming_with(
         // reusing the arena's accumulators across tiles.
         arena.prepare_bundles(clusters, config.dimension)?;
         for (row, &label) in labels.iter().enumerate() {
-            arena.bundles[label as usize].add_row(arena.matrix.row(row))?;
+            arena.bundles[label as usize].add_row_with(arena.matrix.row(row), host_kernels)?;
         }
         centroids.push(
             arena
                 .bundles
                 .iter()
-                .map(|b| (b.items() > 0).then(|| b.to_bit_sliced()))
+                .map(|b| (b.items() > 0).then(|| b.to_bit_sliced_with(host_kernels)))
                 .collect(),
         );
         cluster_time += cluster_start.elapsed();
@@ -397,7 +401,7 @@ pub(crate) fn segment_streaming_with(
             for (candidate, reference) in centroids[earlier].iter().enumerate() {
                 let Some(reference) = reference else { continue };
                 let similarity = reference
-                    .cosine_similarity_sliced(centroid)
+                    .cosine_similarity_sliced_with(centroid, host_kernels)
                     .unwrap_or(f64::NEG_INFINITY);
                 match best {
                     Some((_, best_similarity)) if similarity <= best_similarity => {

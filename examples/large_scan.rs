@@ -78,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         telemetry.cache_evictions,
         telemetry.cache_bytes as f64 / 1e6
     );
-    println!("backend:               {}", telemetry.backend);
+    println!(
+        "backend:               {} (kernel ISA: {})",
+        telemetry.backend, telemetry.kernel_isa
+    );
     println!(
         "time: encode {:.1}s, cluster {:.1}s, stitch {:.2}s",
         result.encode_time.as_secs_f64(),

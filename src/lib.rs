@@ -58,7 +58,8 @@ pub mod prelude {
     pub use seghdc::{
         CodebookCache, ColorEncoding, CpuBackend, DistanceMetric, EngineOptions, ExecBackend,
         ExecutedMode, ExecutionMode, PositionEncoding, SegEngine, SegHdc, SegHdcConfig,
-        SegmentReport, SegmentRequest, Segmentation, StreamingSegmentation, TileArena, TileConfig,
+        SegmentReport, SegmentRequest, Segmentation, SimdCpuBackend, StreamingSegmentation,
+        TileArena, TileConfig,
     };
     pub use synthdata::{DatasetProfile, NucleiImageGenerator, Sample, SyntheticDataset};
 }

@@ -1,0 +1,238 @@
+//! Scalar-versus-SIMD kernel equivalence suite.
+//!
+//! The kernel layer's contract (`hdc::kernels`) is that every
+//! implementation is **bit-exact** with the scalar reference: identical
+//! integers out, identical buffers written, for every input — including
+//! word counts that are not a multiple of the SIMD lane width. This suite
+//! pins that contract at three levels:
+//!
+//! 1. raw kernels over random word slices of random widths;
+//! 2. the bundled/bit-sliced `Accumulator` arithmetic built on them;
+//! 3. the full engine: segmentation labels must be **byte-identical**
+//!    between a scalar-pinned backend and the SIMD-auto backend, in both
+//!    whole-image and streaming tiled modes.
+//!
+//! On hardware without SIMD support (or a `--no-default-features` build)
+//! `kernels::auto()` is the scalar implementation and the suite still runs
+//! — the comparisons are then trivially exact, which is precisely the
+//! fallback behaviour being guaranteed.
+
+use hdc::kernels;
+use hdc::{Accumulator, BinaryHypervector, HdcRng, HvMatrix};
+use proptest::prelude::*;
+use seghdc::TileConfig as Tiles;
+use seghdc_suite::prelude::*;
+
+fn random_words(len: usize, seed: u64) -> Vec<u64> {
+    let mut rng = HdcRng::seed_from(seed);
+    (0..len).map(|_| rng.next_word()).collect()
+}
+
+/// Word widths that straddle every lane boundary: empty, sub-lane, exact
+/// lane multiples and ragged tails (AVX2 processes 4 words per lane group,
+/// NEON 2).
+fn arb_width() -> impl Strategy<Value = usize> {
+    0usize..67
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn popcount_kernels_agree(len in arb_width(), seed in any::<u64>()) {
+        let words = random_words(len, seed);
+        prop_assert_eq!(
+            kernels::scalar().popcount(&words),
+            kernels::auto().popcount(&words)
+        );
+    }
+
+    #[test]
+    fn hamming_and_and_popcount_kernels_agree(len in arb_width(), seed in any::<u64>()) {
+        let a = random_words(len, seed);
+        let b = random_words(len, seed.wrapping_add(1));
+        prop_assert_eq!(
+            kernels::scalar().hamming(&a, &b),
+            kernels::auto().hamming(&a, &b)
+        );
+        prop_assert_eq!(
+            kernels::scalar().and_popcount(&a, &b),
+            kernels::auto().and_popcount(&a, &b)
+        );
+    }
+
+    #[test]
+    fn xor_into_kernels_agree(len in arb_width(), seed in any::<u64>()) {
+        let src = random_words(len, seed);
+        let base = random_words(len, seed.wrapping_add(2));
+        let mut scalar = base.clone();
+        let mut auto = base;
+        kernels::scalar().xor_into(&mut scalar, &src);
+        kernels::auto().xor_into(&mut auto, &src);
+        prop_assert_eq!(scalar, auto);
+    }
+
+    #[test]
+    fn plane_dot_kernels_agree(
+        words_per_plane in 1usize..19,
+        plane_count in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let planes = random_words(plane_count * words_per_plane, seed);
+        let row = random_words(words_per_plane, seed.wrapping_add(3));
+        prop_assert_eq!(
+            kernels::scalar().plane_dot(&planes, words_per_plane, &row),
+            kernels::auto().plane_dot(&planes, words_per_plane, &row)
+        );
+    }
+
+    #[test]
+    fn bundle_add_planes_kernels_agree(
+        words_per_plane in 1usize..19,
+        plane_count in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        let base_planes = random_words(plane_count * words_per_plane, seed);
+        let row = random_words(words_per_plane, seed.wrapping_add(4));
+
+        let mut scalar_planes = base_planes.clone();
+        let mut scalar_carry = row.clone();
+        let scalar_overflow = kernels::scalar().bundle_add_planes(
+            &mut scalar_planes,
+            words_per_plane,
+            &mut scalar_carry,
+        );
+
+        let mut auto_planes = base_planes;
+        let mut auto_carry = row;
+        let auto_overflow =
+            kernels::auto().bundle_add_planes(&mut auto_planes, words_per_plane, &mut auto_carry);
+
+        prop_assert_eq!(scalar_overflow, auto_overflow);
+        prop_assert_eq!(scalar_planes, auto_planes);
+        prop_assert_eq!(scalar_carry, auto_carry);
+    }
+
+    /// Accumulator arithmetic (vertical-counter adds, plane dots, exact
+    /// norms) is bit-identical across kernel selections, for dimensions
+    /// with non-lane-multiple word tails.
+    #[test]
+    fn accumulator_arithmetic_agrees_across_kernels(
+        dim in 1usize..1200,
+        members in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = HdcRng::seed_from(seed);
+        let vectors: Vec<BinaryHypervector> = (0..members)
+            .map(|_| BinaryHypervector::random(dim, &mut rng))
+            .collect();
+        let matrix = HvMatrix::from_vectors(&vectors).unwrap();
+
+        let mut scalar_acc = Accumulator::zeros(dim).unwrap();
+        let mut auto_acc = Accumulator::zeros(dim).unwrap();
+        for i in 0..members {
+            scalar_acc.add_row_with(matrix.row(i), kernels::scalar()).unwrap();
+            auto_acc.add_row_with(matrix.row(i), kernels::auto()).unwrap();
+        }
+        prop_assert_eq!(&scalar_acc, &auto_acc);
+        prop_assert_eq!(
+            scalar_acc.norm_with(kernels::scalar()).to_bits(),
+            auto_acc.norm_with(kernels::auto()).to_bits()
+        );
+
+        let probe = matrix.row(0);
+        let scalar_sliced = scalar_acc.to_bit_sliced_with(kernels::scalar());
+        let auto_sliced = auto_acc.to_bit_sliced_with(kernels::auto());
+        prop_assert_eq!(
+            scalar_sliced.dot_row_with(probe, kernels::scalar()).unwrap(),
+            auto_sliced.dot_row_with(probe, kernels::auto()).unwrap()
+        );
+        prop_assert_eq!(
+            scalar_sliced
+                .cosine_distance_row_with(probe, kernels::scalar())
+                .unwrap()
+                .to_bits(),
+            auto_sliced
+                .cosine_distance_row_with(probe, kernels::auto())
+                .unwrap()
+                .to_bits()
+        );
+    }
+}
+
+proptest! {
+    // Full-engine cases are expensive; a handful of randomized shapes is
+    // enough on top of the exhaustive kernel-level cases above.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Segmentation labels are byte-identical between the scalar-pinned
+    /// backend and the SIMD-auto backend, whole-image and tiled.
+    #[test]
+    fn engine_labels_are_byte_identical_across_backends(
+        width in 18usize..40,
+        height in 18usize..40,
+        dim in 200usize..1100,
+        seed in any::<u64>(),
+    ) {
+        let profile = DatasetProfile::dsb2018_like().scaled(width, height);
+        let sample = SyntheticDataset::new(profile, seed, 1)
+            .unwrap()
+            .sample(0)
+            .unwrap();
+
+        let config = SegHdcConfig::builder()
+            .dimension(dim)
+            .iterations(3)
+            .beta(4)
+            .build()
+            .unwrap();
+        let scalar_engine = SegEngine::builder(config.clone())
+            .backend(Box::new(SimdCpuBackend::scalar()))
+            .build()
+            .unwrap();
+        let simd_engine = SegEngine::builder(config)
+            .backend(Box::new(SimdCpuBackend::auto()))
+            .build()
+            .unwrap();
+
+        let whole_scalar = scalar_engine
+            .run(&SegmentRequest::image(&sample.image).whole_image())
+            .unwrap();
+        let whole_simd = simd_engine
+            .run(&SegmentRequest::image(&sample.image).whole_image())
+            .unwrap();
+        prop_assert_eq!(
+            whole_scalar.single().label_map.as_raw(),
+            whole_simd.single().label_map.as_raw()
+        );
+
+        let tiles = Tiles::square(12, 2).unwrap();
+        let tiled_scalar = scalar_engine
+            .run(&SegmentRequest::image(&sample.image).tiled(tiles))
+            .unwrap();
+        let tiled_simd = simd_engine
+            .run(&SegmentRequest::image(&sample.image).tiled(tiles))
+            .unwrap();
+        prop_assert_eq!(
+            tiled_scalar.single().label_map.as_raw(),
+            tiled_simd.single().label_map.as_raw()
+        );
+    }
+}
+
+/// The selection plumbing itself: auto is one of the known ISAs, and the
+/// engine's default backend reports whatever auto picked.
+#[test]
+fn auto_selection_is_reported_through_the_engine() {
+    let auto_name = kernels::auto().name();
+    assert!(["scalar", "avx2", "neon"].contains(&auto_name));
+
+    let config = SegHdcConfig::builder()
+        .dimension(256)
+        .beta(2)
+        .build()
+        .unwrap();
+    let engine = SegEngine::new(config).unwrap();
+    assert_eq!(engine.backend_name(), "simd-cpu");
+    assert_eq!(engine.kernel_isa(), auto_name);
+}
