@@ -27,7 +27,8 @@
 //! Serial and parallel assignment tie on one core; on multi-core hosts the
 //! parallel row sweep scales with the worker count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use hdc::kernels;
 use hdc::BinaryHypervector;
 use imaging::DynamicImage;
 use seghdc::{
@@ -224,4 +225,51 @@ criterion_group!(
     bench_end_to_end_naive_vs_batched,
     bench_backend_scalar_vs_simd
 );
-criterion_main!(benches);
+
+/// Times one warm-cache engine request per available kernel ISA and
+/// merges the medians into `BENCH_kernels.json` (op `engine_run`), the
+/// same machine-readable file the `kernels` bench writes. The criterion
+/// stub exposes no sample data, so this pass times itself.
+fn emit_engine_records() {
+    use seghdc_bench::bench_json::{self, BenchRecord};
+
+    let size = 128usize;
+    let image = sample_image(size, size);
+    let cfg = config();
+    let clusters = cfg.clusters;
+    let mut records = Vec::new();
+    for k in kernels::available() {
+        let engine = SegEngine::builder(config())
+            .backend(Box::new(SimdCpuBackend::with_kernels(k)))
+            .build()
+            .expect("config is valid");
+        // Warm the codebook cache so the measurement isolates the
+        // encode + cluster kernels.
+        engine
+            .run(&SegmentRequest::image(&image).whole_image())
+            .expect("segmentation succeeds");
+        let ns = bench_json::median_ns_per_op(10, 1, || {
+            black_box(
+                engine
+                    .run(&SegmentRequest::image(&image).whole_image())
+                    .unwrap(),
+            )
+        });
+        println!("engine_run[{}] {size}x{size}: {:.1} ns/run", k.name(), ns);
+        records.push(BenchRecord {
+            op: "engine_run".to_string(),
+            isa: k.name().to_string(),
+            dim: DIMENSION,
+            k: clusters,
+            ns_per_op: ns,
+        });
+    }
+    let path = bench_json::default_path();
+    bench_json::merge_into_file(&path, &records).expect("bench JSON is writable");
+    println!("merged {} records into {}", records.len(), path.display());
+}
+
+fn main() {
+    benches();
+    emit_engine_records();
+}

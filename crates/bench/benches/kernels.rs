@@ -1,31 +1,39 @@
-//! Scalar-versus-SIMD benchmarks of the unified word-kernel layer.
+//! Per-ISA benchmarks of the unified word-kernel layer.
 //!
 //! Measures the raw `hdc::kernels` operations the pipeline's hot loops
 //! dispatch through (popcount-fused Hamming, bit-sliced plane dots,
-//! vertical-counter carry adds, XOR binds) and one composed stage — the
-//! K-Means iteration (`cluster_matrix_with`) — with the scalar reference
-//! kernels against the runtime-detected `auto` selection. On hardware
-//! without SIMD support the two selections coincide and the bench acts as
-//! a dispatch-overhead check.
+//! vertical-counter carry adds, XOR binds), the K-Means assignment step
+//! in both shapes — the pre-fusion per-centroid path (one virtual
+//! `and_popcount` per plane per centroid, K row popcounts per pixel;
+//! the PR 4 loop) against the fused `BitSlicedGroup` path
+//! (`plane_dot_multi`, one row load and one popcount per pixel) — and
+//! the composed
+//! `cluster_matrix_with` iteration, for **every** kernel ISA the host
+//! supports (`hdc::kernels::available()`), not just scalar-versus-auto.
 //!
-//! Results are recorded in `crates/bench/README.md` ("Kernel layer"
-//! section).
+//! Timing is a median over `SAMPLES` wall-clock runs after one warm-up
+//! (the vendored criterion stub exposes no sample data, so the bench
+//! times itself). Besides the human-readable report, every measurement
+//! is merged into `crates/bench/BENCH_kernels.json` (override the path
+//! with `SEGHDC_BENCH_JSON`) as `(op, isa, dim, k, ns_per_op)` records —
+//! the machine-readable perf trajectory referenced by
+//! `crates/bench/README.md` ("Kernel layer" section).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hdc::kernels::{self, Kernels};
-use hdc::{Accumulator, BinaryHypervector, HdcRng, HvMatrix};
+use hdc::{Accumulator, BinaryHypervector, BitSlicedGroup, HdcRng, HvMatrix};
 use seghdc::{DistanceMetric, HvKmeans};
+use seghdc_bench::bench_json::{self, BenchRecord};
 use std::hint::black_box;
 
 const DIMENSION: usize = 16_384;
 const ROWS: usize = 2_000;
+const SAMPLES: usize = 10;
 
-fn selections() -> Vec<(&'static str, &'static dyn Kernels)> {
-    let mut all = vec![("scalar", kernels::scalar())];
-    let auto = kernels::auto();
-    all.push((auto.name(), auto));
-    all
-}
+/// The composed-stage workload: a 128x128 image's worth of rows at the
+/// paper's edge dimension, with the issue's K = 4 centroids.
+const IMAGE_ROWS: usize = 128 * 128;
+const IMAGE_DIMENSION: usize = 2_048;
+const CLUSTERS: usize = 4;
 
 fn random_matrix(rows: usize, dim: usize, seed: u64) -> HvMatrix {
     let mut rng = HdcRng::seed_from(seed);
@@ -35,117 +43,269 @@ fn random_matrix(rows: usize, dim: usize, seed: u64) -> HvMatrix {
     HvMatrix::from_vectors(&vectors).expect("vectors share a dimension")
 }
 
-fn bench_hamming(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernels_hamming");
-    group.sample_size(10);
-    let matrix = random_matrix(ROWS, DIMENSION, 1);
-    let probe = matrix.row(0).to_hypervector();
-    for (name, k) in selections() {
-        group.bench_function(BenchmarkId::new(name, format!("{ROWS}x{DIMENSION}")), |b| {
-            b.iter(|| {
-                let mut total = 0u64;
-                for row in 0..ROWS {
-                    total += k.hamming(matrix.row(row).as_words(), probe.as_words());
-                }
-                black_box(total)
-            })
-        });
-    }
-    group.finish();
+/// Bundled centroids in realistic mid-iteration K-Means state: centroid
+/// `c` bundles a disjoint `rows / clusters` share of the matrix rows, so
+/// its counts carry the 11+ bit planes that actual `cluster_matrix`
+/// centroids have once every pixel is assigned (thousands of members per
+/// cluster) — the plane depth both assignment paths scale with.
+fn sample_centroids(matrix: &HvMatrix, clusters: usize, kernels: &dyn Kernels) -> Vec<Accumulator> {
+    let share = matrix.rows() / clusters;
+    (0..clusters)
+        .map(|c| {
+            let mut acc = Accumulator::zeros(matrix.dim()).expect("dimension is non-zero");
+            for row in (c * share)..(c * share + share) {
+                acc.add_row_with(matrix.row(row), kernels)
+                    .expect("dims match");
+            }
+            acc
+        })
+        .collect()
 }
 
-fn bench_plane_dot(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernels_plane_dot");
-    group.sample_size(10);
+struct Reporter {
+    records: Vec<BenchRecord>,
+}
+
+impl Reporter {
+    fn record(&mut self, op: &str, isa: &str, dim: usize, k: usize, ns_per_op: f64) {
+        println!("{op:28} {isa:16} d={dim:<6} k={k}  {ns_per_op:12.1} ns/op");
+        self.records.push(BenchRecord {
+            op: op.to_string(),
+            isa: isa.to_string(),
+            dim,
+            k,
+            ns_per_op,
+        });
+    }
+}
+
+fn bench_hamming(report: &mut Reporter) {
+    let matrix = random_matrix(ROWS, DIMENSION, 1);
+    let probe = matrix.row(0).to_hypervector();
+    for k in kernels::available() {
+        let ns = bench_json::median_ns_per_op(SAMPLES, ROWS as u64, || {
+            let mut total = 0u64;
+            for row in 0..ROWS {
+                total += k.hamming(matrix.row(row).as_words(), probe.as_words());
+            }
+            black_box(total)
+        });
+        report.record("hamming", k.name(), DIMENSION, 1, ns);
+    }
+}
+
+fn bench_plane_dot(report: &mut Reporter) {
     let matrix = random_matrix(ROWS, DIMENSION, 2);
     let mut accumulator = Accumulator::zeros(DIMENSION).expect("dimension is non-zero");
     for row in 0..9 {
         accumulator.add_row(matrix.row(row)).expect("dims match");
     }
-    for (name, k) in selections() {
+    for k in kernels::available() {
         let sliced = accumulator.to_bit_sliced_with(k);
-        group.bench_function(BenchmarkId::new(name, format!("{ROWS}x{DIMENSION}")), |b| {
-            b.iter(|| {
-                let mut total = 0u64;
-                for row in 0..ROWS {
-                    total += sliced.dot_row_with(matrix.row(row), k).expect("dims match");
-                }
-                black_box(total)
-            })
+        let ns = bench_json::median_ns_per_op(SAMPLES, ROWS as u64, || {
+            let mut total = 0u64;
+            for row in 0..ROWS {
+                total += sliced.dot_row_with(matrix.row(row), k).expect("dims match");
+            }
+            black_box(total)
         });
+        report.record("plane_dot", k.name(), DIMENSION, 1, ns);
     }
-    group.finish();
 }
 
-fn bench_bundle_add(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernels_bundle_add");
-    group.sample_size(10);
+fn bench_bundle_add(report: &mut Reporter) {
     let matrix = random_matrix(ROWS, DIMENSION, 3);
-    for (name, k) in selections() {
-        group.bench_function(BenchmarkId::new(name, format!("{ROWS}x{DIMENSION}")), |b| {
-            b.iter(|| {
-                let mut accumulator = Accumulator::zeros(DIMENSION).expect("non-zero");
-                for row in 0..ROWS {
-                    accumulator
-                        .add_row_with(matrix.row(row), k)
-                        .expect("dims match");
-                }
-                black_box(accumulator.items())
-            })
+    for k in kernels::available() {
+        let ns = bench_json::median_ns_per_op(SAMPLES, ROWS as u64, || {
+            let mut accumulator = Accumulator::zeros(DIMENSION).expect("non-zero");
+            for row in 0..ROWS {
+                accumulator
+                    .add_row_with(matrix.row(row), k)
+                    .expect("dims match");
+            }
+            black_box(accumulator.items())
         });
+        report.record("bundle_add", k.name(), DIMENSION, 1, ns);
     }
-    group.finish();
 }
 
-fn bench_xor_into(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernels_xor_into");
-    group.sample_size(10);
+fn bench_xor_into(report: &mut Reporter) {
     let matrix = random_matrix(ROWS, DIMENSION, 4);
     let key = matrix.row(0).to_hypervector();
-    for (name, k) in selections() {
+    for k in kernels::available() {
         let mut scratch = random_matrix(ROWS, DIMENSION, 5);
-        group.bench_function(BenchmarkId::new(name, format!("{ROWS}x{DIMENSION}")), |b| {
-            b.iter(|| {
-                for row in 0..ROWS {
-                    scratch
-                        .row_mut(row)
-                        .xor_assign_with(&key, k)
-                        .expect("dims match");
-                }
-                black_box(scratch.row(0).count_ones())
-            })
+        let ns = bench_json::median_ns_per_op(SAMPLES, ROWS as u64, || {
+            for row in 0..ROWS {
+                scratch
+                    .row_mut(row)
+                    .xor_assign_with(&key, k)
+                    .expect("dims match");
+            }
+            black_box(scratch.row(0).count_ones())
         });
+        report.record("xor_into", k.name(), DIMENSION, 1, ns);
     }
-    group.finish();
 }
 
-fn bench_cluster_iteration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernels_cluster_matrix");
-    group.sample_size(10);
-    // A 128x128 image's worth of rows at the paper's edge dimension.
-    let matrix = random_matrix(128 * 128, 2048, 6);
+/// A centroid snapshot in the exact shape the PR 4 assignment loop
+/// consumed: separately-owned bit planes plus the cached norm.
+struct Pr4Centroid {
+    planes: Vec<Vec<u64>>,
+    norm: f64,
+}
+
+impl Pr4Centroid {
+    fn from_accumulator(acc: &Accumulator, k: &dyn Kernels) -> Self {
+        let counts = acc.counts();
+        let words_per_plane = acc.dim().div_ceil(64);
+        let mut planes = vec![vec![0u64; words_per_plane]; acc.plane_count()];
+        for (i, &count) in counts.iter().enumerate() {
+            for (p, plane) in planes.iter_mut().enumerate() {
+                plane[i / 64] |= u64::from((count >> p) & 1) << (i % 64);
+            }
+        }
+        Self {
+            planes,
+            norm: acc.norm_with(k),
+        }
+    }
+}
+
+/// The pre-fusion assignment loop, reproduced at PR 4 fidelity: the dot
+/// against each centroid is one virtual `and_popcount` call **per plane**
+/// (each with its own horizontal reduction), and every centroid
+/// re-popcounts the pixel row for the cosine denominator.
+fn assign_per_centroid(
+    matrix: &HvMatrix,
+    centroids: &[Pr4Centroid],
+    labels: &mut [u32],
+    k: &dyn Kernels,
+) {
+    for (row_idx, label) in labels.iter_mut().enumerate() {
+        let row = matrix.row(row_idx);
+        let row_words = row.as_words();
+        let mut best = 0usize;
+        let mut best_distance = f64::INFINITY;
+        for (c, centroid) in centroids.iter().enumerate() {
+            let mut dot = 0u64;
+            for (p, plane) in centroid.planes.iter().enumerate() {
+                dot += k.and_popcount(plane, row_words) << p;
+            }
+            let ones = k.popcount(row_words);
+            let similarity = if centroid.norm == 0.0 || ones == 0 {
+                0.0
+            } else {
+                dot as f64 / (centroid.norm * (ones as f64).sqrt())
+            };
+            let distance = 1.0 - similarity;
+            if distance < best_distance {
+                best_distance = distance;
+                best = c;
+            }
+        }
+        *label = best as u32;
+    }
+}
+
+/// The fused assignment loop: all K dots from one `plane_dot_multi`
+/// sweep, one row popcount, distances from the group's cached norms.
+fn assign_fused(matrix: &HvMatrix, group: &BitSlicedGroup, labels: &mut [u32], k: &dyn Kernels) {
+    let clusters = group.len();
+    let mut dots = vec![0u64; clusters];
+    for (row_idx, label) in labels.iter_mut().enumerate() {
+        let row = matrix.row(row_idx);
+        dots.fill(0);
+        group.dot_row_range_with(0..clusters, row, &mut dots, k);
+        let ones = k.popcount(row.as_words()) as usize;
+        let row_norm = (ones as f64).sqrt();
+        let mut best = 0usize;
+        let mut best_distance = f64::INFINITY;
+        for (c, &dot) in dots.iter().enumerate() {
+            let distance = group.cosine_distance_with_row_norm(c, dot, row_norm);
+            if distance < best_distance {
+                best_distance = distance;
+                best = c;
+            }
+        }
+        *label = best as u32;
+    }
+}
+
+/// Fused versus per-centroid cosine assignment over a full image's rows —
+/// the acceptance workload of the fusion issue (128x128, d = 2048, K = 4).
+fn bench_assignment(report: &mut Reporter) {
+    let matrix = random_matrix(IMAGE_ROWS, IMAGE_DIMENSION, 6);
+    for k in kernels::available() {
+        let centroids = sample_centroids(&matrix, CLUSTERS, k);
+        let pr4: Vec<Pr4Centroid> = centroids
+            .iter()
+            .map(|c| Pr4Centroid::from_accumulator(c, k))
+            .collect();
+        let group = BitSlicedGroup::from_accumulators(&centroids, k).expect("dims match");
+        let mut labels = vec![0u32; IMAGE_ROWS];
+
+        let ns = bench_json::median_ns_per_op(SAMPLES, IMAGE_ROWS as u64, || {
+            assign_per_centroid(&matrix, &pr4, &mut labels, k);
+            black_box(labels[0])
+        });
+        report.record(
+            "assign_per_centroid",
+            k.name(),
+            IMAGE_DIMENSION,
+            CLUSTERS,
+            ns,
+        );
+        let per_centroid_ns = ns;
+
+        let ns = bench_json::median_ns_per_op(SAMPLES, IMAGE_ROWS as u64, || {
+            assign_fused(&matrix, &group, &mut labels, k);
+            black_box(labels[0])
+        });
+        report.record("assign_fused", k.name(), IMAGE_DIMENSION, CLUSTERS, ns);
+        println!(
+            "  -> fused speedup on {}: {:.2}x",
+            k.name(),
+            per_centroid_ns / ns
+        );
+    }
+}
+
+/// The composed K-Means iteration (`cluster_matrix_with`, now running the
+/// fused assignment internally) on the same workload.
+fn bench_cluster_iteration(report: &mut Reporter) {
+    let matrix = random_matrix(IMAGE_ROWS, IMAGE_DIMENSION, 6);
     let intensities: Vec<u8> = (0..matrix.rows()).map(|i| (i % 251) as u8).collect();
-    let kmeans = HvKmeans::new(2, 3, DistanceMetric::Cosine, false).expect("valid");
-    for (name, k) in selections() {
-        group.bench_function(BenchmarkId::new(name, "128x128xd2048"), |b| {
-            b.iter(|| {
+    for clusters in [2usize, CLUSTERS] {
+        let kmeans = HvKmeans::new(clusters, 3, DistanceMetric::Cosine, false).expect("valid");
+        for k in kernels::available() {
+            let ns = bench_json::median_ns_per_op(SAMPLES, 1, || {
                 black_box(
                     kmeans
                         .cluster_matrix_with(&matrix, &intensities, k)
                         .expect("clustering succeeds"),
                 )
-            })
-        });
+            });
+            report.record("cluster_matrix", k.name(), IMAGE_DIMENSION, clusters, ns);
+        }
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_hamming,
-    bench_plane_dot,
-    bench_bundle_add,
-    bench_xor_into,
-    bench_cluster_iteration
-);
-criterion_main!(benches);
+fn main() {
+    let mut report = Reporter {
+        records: Vec::new(),
+    };
+    println!("kernel-layer benchmarks ({SAMPLES} samples, median):");
+    bench_hamming(&mut report);
+    bench_plane_dot(&mut report);
+    bench_bundle_add(&mut report);
+    bench_xor_into(&mut report);
+    bench_assignment(&mut report);
+    bench_cluster_iteration(&mut report);
+    let path = bench_json::default_path();
+    bench_json::merge_into_file(&path, &report.records).expect("bench JSON is writable");
+    println!(
+        "merged {} records into {}",
+        report.records.len(),
+        path.display()
+    );
+}

@@ -1,0 +1,17 @@
+//! Prints one kernel ISA name per line (`hdc::kernels::available()`),
+//! best-first with `scalar` last.
+//!
+//! CI uses this to run the kernel-equivalence suite once per ISA the
+//! runner actually supports:
+//!
+//! ```sh
+//! for isa in $(cargo run -q --release -p seghdc_bench --bin kernel_isas); do
+//!     SEGHDC_KERNELS=$isa cargo test -q --release --test kernel_equivalence
+//! done
+//! ```
+
+fn main() {
+    for kernels in hdc::kernels::available() {
+        println!("{}", kernels.name());
+    }
+}

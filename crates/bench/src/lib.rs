@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_json;
+
 use cnn_baseline::{KimConfig, KimSegmenter};
 use imaging::{metrics, LabelMap};
 use seghdc::{ColorEncoding, PositionEncoding, SegEngine, SegHdcConfig, SegmentRequest};

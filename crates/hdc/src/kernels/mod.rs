@@ -14,12 +14,16 @@
 //! * [`scalar()`] always returns the portable reference implementation.
 //! * [`auto()`] returns the best implementation for the running CPU: with
 //!   the `simd` crate feature enabled it probes the CPU once (at first use)
-//!   and picks AVX2/NEON when supported, otherwise it falls back to scalar.
-//!   Setting the environment variable `SEGHDC_KERNELS=scalar` forces the
-//!   scalar kernels even when SIMD is available (checked once, at the same
-//!   first use).
-//! * [`simd()`] returns the SIMD implementation when one is compiled in
-//!   *and* supported by the running CPU, `None` otherwise.
+//!   and picks AVX-512 (VPOPCNTDQ when present) / AVX2 / NEON when
+//!   supported, otherwise it falls back to scalar. The environment variable
+//!   `SEGHDC_KERNELS` (checked once, at the same first use) forces a
+//!   specific ISA by name — any of [`KNOWN_ISAS`] — and falls back to the
+//!   best available implementation (with a one-time warning on stderr) when
+//!   the forced ISA is not supported by the host or the build.
+//! * [`simd()`] returns the best SIMD implementation when one is compiled
+//!   in *and* supported by the running CPU, `None` otherwise.
+//! * [`available()`] lists every implementation usable on this host, best
+//!   first; [`by_name()`] looks one up by its ISA name.
 //!
 //! All implementations are **bit-exact**: for identical inputs every kernel
 //! returns identical integers (and mutates buffers identically) regardless
@@ -29,11 +33,19 @@
 
 use std::sync::OnceLock;
 
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx512;
 mod scalar;
 #[cfg(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64")))]
 mod simd;
 
 pub use scalar::ScalarKernels;
+
+/// Every ISA name a kernel implementation can report, best first within
+/// each architecture — also the set of values `SEGHDC_KERNELS` accepts
+/// (plus `auto`). Which of these are actually usable on the running host is
+/// what [`available()`] reports.
+pub const KNOWN_ISAS: &[&str] = &["avx512-vpopcnt", "avx512", "avx2", "neon", "scalar"];
 
 /// Word-wide bit kernels over packed `u64` slices.
 ///
@@ -84,6 +96,75 @@ pub trait Kernels: std::fmt::Debug + Send + Sync {
             .sum()
     }
 
+    /// Fused multi-centroid form of [`plane_dot`](Kernels::plane_dot): one
+    /// row against several bit-sliced counters stacked back-to-back.
+    ///
+    /// `planes` holds the plane stacks of `out.len()` counters
+    /// concatenated; `group_plane_counts[k]` is how many planes counter `k`
+    /// contributes (so `planes.len()` is the sum of the counts times
+    /// `words_per_plane`). Each `out[k]` is **accumulated** (`+=`) with the
+    /// dot product of counter `k` and `row`, allowing callers to sum
+    /// partial dots across cache-blocked plane chunks. Implementations load
+    /// each row word once and carry the per-counter sums in registers.
+    fn plane_dot_multi(
+        &self,
+        planes: &[u64],
+        words_per_plane: usize,
+        group_plane_counts: &[usize],
+        row: &[u64],
+        out: &mut [u64],
+    ) {
+        debug_assert_ne!(words_per_plane, 0);
+        debug_assert_eq!(row.len(), words_per_plane);
+        debug_assert_eq!(out.len(), group_plane_counts.len());
+        debug_assert_eq!(
+            planes.len(),
+            group_plane_counts.iter().sum::<usize>() * words_per_plane
+        );
+        let mut offset = 0;
+        for (slot, &count) in out.iter_mut().zip(group_plane_counts) {
+            let end = offset + count * words_per_plane;
+            *slot += self.plane_dot(&planes[offset..end], words_per_plane, row);
+            offset = end;
+        }
+    }
+
+    /// Fused multi-centroid form of [`hamming`](Kernels::hamming): one row
+    /// against `out.len()` equal-width vectors stacked back-to-back in
+    /// `stacked`. Writes each distance into `out[k]`, loading the row words
+    /// once per vector at most (fused implementations keep them resident).
+    fn hamming_multi(&self, row: &[u64], stacked: &[u64], out: &mut [u64]) {
+        debug_assert_eq!(stacked.len(), row.len() * out.len());
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.hamming(row, &stacked[k * row.len()..][..row.len()]);
+        }
+    }
+
+    /// Optional fused multi-centroid dot product over *expanded* counts:
+    /// member `k`'s per-dimension counts occupy
+    /// `counts[k * L..(k + 1) * L]` as `u16` lanes, with `L = row.len() * 64`
+    /// (lanes past the logical dimension zero), and `out[k]` is
+    /// **accumulated** (`+=`) with `Σ_i counts_k[i] · bit_i(row)` — the same
+    /// integer [`plane_dot_multi`](Kernels::plane_dot_multi) produces from
+    /// the bit-sliced form of the same counters.
+    ///
+    /// Returns `true` when the implementation handled the computation and
+    /// `false` (leaving `out` untouched) when the caller should fall back
+    /// to the bit-sliced path. The default declines: in the scalar domain
+    /// bit-sliced `AND` + popcount is faster than a per-lane walk, so only
+    /// SIMD implementations with a cheap bit→lane-mask expansion (AVX2's
+    /// `vpmaddwd` over compare masks, AVX-512BW's native `u16` load masks)
+    /// opt in. Implementations that opt in are bit-exact with the
+    /// bit-sliced path but assume the caller's gates: every count at most
+    /// `i16::MAX` and `L · i16::MAX` at most `i32::MAX`, so lane sums never
+    /// overflow the 32-bit accumulators (`BitSlicedGroup` enforces both
+    /// before choosing this path).
+    fn counts_dot_multi(&self, counts: &[u16], row: &[u64], out: &mut [u64]) -> bool {
+        debug_assert_eq!(counts.len(), row.len() * 64 * out.len());
+        let _ = (counts, row, out);
+        false
+    }
+
     /// Bit-serial ripple-carry add of a binary vector into a vertical
     /// counter.
     ///
@@ -127,31 +208,94 @@ pub fn scalar() -> &'static dyn Kernels {
     &ScalarKernels
 }
 
-/// The SIMD kernels, when compiled in (`simd` feature) and supported by the
-/// running CPU; `None` otherwise.
-pub fn simd() -> Option<&'static dyn Kernels> {
+/// Every kernel implementation usable on the running host, best first
+/// (AVX-512 VPOPCNTDQ, then plain AVX-512, then AVX2/NEON, scalar last).
+///
+/// Only implementations both compiled in (`simd` feature, matching target
+/// arch) and supported by the CPU's feature flags appear; the scalar
+/// reference is always present.
+pub fn available() -> Vec<&'static dyn Kernels> {
+    let mut all: Vec<&'static dyn Kernels> = Vec::with_capacity(4);
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    all.extend(avx512::available());
     #[cfg(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64")))]
-    {
-        simd::detect()
+    all.extend(simd::available());
+    all.push(scalar());
+    all
+}
+
+/// Looks up a usable implementation by ISA name (case-insensitive); `None`
+/// when the name is unknown or the implementation is not usable here.
+pub fn by_name(name: &str) -> Option<&'static dyn Kernels> {
+    available()
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+}
+
+/// The best SIMD kernels, when compiled in (`simd` feature) and supported
+/// by the running CPU; `None` otherwise.
+pub fn simd() -> Option<&'static dyn Kernels> {
+    available().into_iter().find(|k| k.name() != "scalar")
+}
+
+/// What a `SEGHDC_KERNELS` value asks for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum KernelRequest {
+    /// Unset, empty, or `auto`: pick the best available implementation.
+    Auto,
+    /// A known ISA name (canonical spelling from [`KNOWN_ISAS`]).
+    Force(&'static str),
+    /// An unrecognised value, preserved for the warning message.
+    Unknown(String),
+}
+
+fn parse_kernel_request(value: Option<&str>) -> KernelRequest {
+    let Some(raw) = value else {
+        return KernelRequest::Auto;
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() || trimmed.eq_ignore_ascii_case("auto") {
+        return KernelRequest::Auto;
     }
-    #[cfg(not(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    match KNOWN_ISAS
+        .iter()
+        .find(|isa| isa.eq_ignore_ascii_case(trimmed))
     {
-        None
+        Some(isa) => KernelRequest::Force(isa),
+        None => KernelRequest::Unknown(trimmed.to_string()),
     }
 }
 
 /// The best kernels for the running CPU, probed once at first use.
 ///
-/// Returns the SIMD implementation when available (see [`simd()`]), unless
-/// the `SEGHDC_KERNELS=scalar` environment variable forces the scalar path;
-/// falls back to [`scalar()`] otherwise.
+/// Honours the `SEGHDC_KERNELS` environment variable (checked at the same
+/// first use): any name in [`KNOWN_ISAS`] forces that implementation, and
+/// `auto` (or unset/empty) picks the best available. A forced ISA that is
+/// not usable on this host — or an unrecognised value — warns once on
+/// stderr and falls back to the best available implementation.
 pub fn auto() -> &'static dyn Kernels {
     static AUTO: OnceLock<&'static dyn Kernels> = OnceLock::new();
     *AUTO.get_or_init(|| {
-        if std::env::var("SEGHDC_KERNELS").is_ok_and(|v| v.eq_ignore_ascii_case("scalar")) {
-            return scalar();
+        let best = available()[0];
+        match parse_kernel_request(std::env::var("SEGHDC_KERNELS").ok().as_deref()) {
+            KernelRequest::Auto => best,
+            KernelRequest::Force(isa) => by_name(isa).unwrap_or_else(|| {
+                eprintln!(
+                    "seghdc: SEGHDC_KERNELS={isa} is not supported on this host/build; \
+                     using {} instead",
+                    best.name()
+                );
+                best
+            }),
+            KernelRequest::Unknown(value) => {
+                eprintln!(
+                    "seghdc: SEGHDC_KERNELS={value} is not a known ISA (expected auto or one \
+                     of {KNOWN_ISAS:?}); using {} instead",
+                    best.name()
+                );
+                best
+            }
         }
-        simd().unwrap_or_else(scalar)
     })
 }
 
@@ -189,10 +333,7 @@ mod tests {
 
     /// Every kernel implementation reachable in this build.
     fn implementations() -> Vec<&'static dyn Kernels> {
-        let mut all = vec![scalar()];
-        if let Some(simd) = simd() {
-            all.push(simd);
-        }
+        let mut all = available();
         all.push(auto());
         all
     }
@@ -213,12 +354,71 @@ mod tests {
         assert_eq!(scalar().name(), "scalar");
         let auto_name = auto().name();
         assert!(
-            ["scalar", "avx2", "neon"].contains(&auto_name),
+            KNOWN_ISAS.contains(&auto_name),
             "unexpected kernel name {auto_name}"
         );
         if let Some(simd) = simd() {
             assert_ne!(simd.name(), "scalar");
         }
+    }
+
+    #[test]
+    fn available_lists_known_isas_best_first_with_scalar_last() {
+        let names: Vec<&str> = available().iter().map(|k| k.name()).collect();
+        assert_eq!(names.last(), Some(&"scalar"));
+        for name in &names {
+            assert!(KNOWN_ISAS.contains(name), "unexpected ISA {name}");
+        }
+        // `available()` preserves KNOWN_ISAS' best-first order.
+        let ranks: Vec<usize> = names
+            .iter()
+            .map(|n| KNOWN_ISAS.iter().position(|isa| isa == n).unwrap())
+            .collect();
+        assert!(ranks.windows(2).all(|w| w[0] < w[1]), "order: {names:?}");
+    }
+
+    #[test]
+    fn by_name_round_trips_every_available_isa() {
+        for kernels in available() {
+            let found = by_name(kernels.name()).expect("available ISA must resolve");
+            assert_eq!(found.name(), kernels.name());
+            let upper = kernels.name().to_ascii_uppercase();
+            assert_eq!(by_name(&upper).unwrap().name(), kernels.name());
+        }
+        assert!(by_name("riscv-vector").is_none());
+    }
+
+    #[test]
+    fn kernel_request_parsing() {
+        assert_eq!(parse_kernel_request(None), KernelRequest::Auto);
+        assert_eq!(parse_kernel_request(Some("")), KernelRequest::Auto);
+        assert_eq!(parse_kernel_request(Some("  ")), KernelRequest::Auto);
+        assert_eq!(parse_kernel_request(Some("auto")), KernelRequest::Auto);
+        assert_eq!(parse_kernel_request(Some("AUTO")), KernelRequest::Auto);
+        assert_eq!(
+            parse_kernel_request(Some("scalar")),
+            KernelRequest::Force("scalar")
+        );
+        assert_eq!(
+            parse_kernel_request(Some("AVX2")),
+            KernelRequest::Force("avx2")
+        );
+        assert_eq!(
+            parse_kernel_request(Some(" neon ")),
+            KernelRequest::Force("neon")
+        );
+        assert_eq!(
+            parse_kernel_request(Some("avx512")),
+            KernelRequest::Force("avx512")
+        );
+        assert_eq!(
+            parse_kernel_request(Some("Avx512-Vpopcnt")),
+            KernelRequest::Force("avx512-vpopcnt")
+        );
+        assert_eq!(
+            parse_kernel_request(Some("sse9")),
+            KernelRequest::Unknown("sse9".to_string())
+        );
     }
 
     #[test]
@@ -273,6 +473,91 @@ mod tests {
         }
         for kernels in implementations() {
             assert_eq!(kernels.plane_dot(&planes, wpp, &row), naive);
+        }
+    }
+
+    #[test]
+    fn plane_dot_multi_accumulates_per_group_dots() {
+        let wpp = 5usize;
+        let counts = [3usize, 0, 1, 4];
+        let total: usize = counts.iter().sum();
+        let planes = words(total * wpp, 31);
+        let row = words(wpp, 32);
+
+        // Per-group reference through the scalar `plane_dot` spec.
+        let mut expected = vec![10u64; counts.len()];
+        let mut offset = 0;
+        for (slot, &count) in expected.iter_mut().zip(&counts) {
+            let end = offset + count * wpp;
+            *slot += scalar().plane_dot(&planes[offset..end], wpp, &row);
+            offset = end;
+        }
+
+        for kernels in implementations() {
+            // Pre-seeded output: the contract is `+=`, not overwrite.
+            let mut out = vec![10u64; counts.len()];
+            kernels.plane_dot_multi(&planes, wpp, &counts, &row, &mut out);
+            assert_eq!(out, expected, "{}", kernels.name());
+        }
+    }
+
+    #[test]
+    fn counts_dot_multi_accumulates_or_leaves_out_untouched() {
+        let words_per_row = 3usize;
+        let members = 5usize; // odd count -> exercises a partial block
+        let lanes = words_per_row * 64;
+        let row = words(words_per_row, 61);
+        // Counts spanning the whole admissible range, `i16::MAX` included.
+        let counts: Vec<u16> = (0..members * lanes)
+            .map(|i| {
+                let mixed = (i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(17);
+                (mixed % (i16::MAX as u64 + 1)) as u16
+            })
+            .collect();
+        let expected: Vec<u64> = (0..members)
+            .map(|k| {
+                let member = &counts[k * lanes..(k + 1) * lanes];
+                // Pre-seeded by 10: the contract is `+=`, not overwrite.
+                10 + member
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| (row[i / 64] >> (i % 64)) & 1 == 1)
+                    .map(|(_, &count)| u64::from(count))
+                    .sum::<u64>()
+            })
+            .collect();
+        let seeded = vec![10u64; members];
+        for kernels in implementations() {
+            let mut out = seeded.clone();
+            if kernels.counts_dot_multi(&counts, &row, &mut out) {
+                assert_eq!(out, expected, "{}", kernels.name());
+            } else {
+                assert_eq!(out, seeded, "{} declined but wrote", kernels.name());
+            }
+        }
+        // The scalar reference always declines: bit-sliced AND + popcount
+        // beats a scalar per-lane walk, so there is no scalar fast path.
+        let mut out = seeded.clone();
+        assert!(!scalar().counts_dot_multi(&counts, &row, &mut out));
+        assert_eq!(out, seeded);
+    }
+
+    #[test]
+    fn hamming_multi_matches_per_vector_hamming() {
+        for width in [0usize, 1, 3, 8, 17, 33] {
+            let k = 5usize;
+            let row = words(width, 41);
+            let stacked = words(k * width, 42);
+            let expected: Vec<u64> = (0..k)
+                .map(|c| scalar().hamming(&row, &stacked[c * width..][..width]))
+                .collect();
+            for kernels in implementations() {
+                let mut out = vec![0u64; k];
+                kernels.hamming_multi(&row, &stacked, &mut out);
+                assert_eq!(out, expected, "{} width {width}", kernels.name());
+            }
         }
     }
 

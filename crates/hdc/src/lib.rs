@@ -64,7 +64,7 @@ pub mod permutation;
 mod rng;
 pub mod similarity;
 
-pub use accumulator::{Accumulator, BitSlicedCounts};
+pub use accumulator::{Accumulator, BitSlicedCounts, BitSlicedGroup};
 pub use binary::BinaryHypervector;
 pub use error::HdcError;
 pub use item_memory::{ItemMemory, LevelMemory};

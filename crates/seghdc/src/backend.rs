@@ -54,7 +54,8 @@ pub trait ExecBackend: std::fmt::Debug + Send + Sync {
     fn name(&self) -> &'static str;
 
     /// The word-kernel instruction set this backend actually executes with
-    /// (`"scalar"`, `"avx2"`, `"neon"`, …), reported on every
+    /// (`"scalar"`, `"avx2"`, `"neon"`, `"avx512"`, `"avx512-vpopcnt"`),
+    /// reported on every
     /// [`crate::SegmentReport`] so users can confirm which path served a
     /// request. Backends that do not run the CPU kernel layer (e.g. a
     /// device backend) report their own identifier.
@@ -324,7 +325,7 @@ mod tests {
         let auto = SimdCpuBackend::auto();
         assert_eq!(auto.name(), "simd-cpu");
         assert_eq!(auto.kernel_isa(), auto.kernels().name());
-        assert!(["scalar", "avx2", "neon"].contains(&auto.kernel_isa()));
+        assert!(hdc::kernels::KNOWN_ISAS.contains(&auto.kernel_isa()));
         assert_eq!(SimdCpuBackend::default().kernel_isa(), auto.kernel_isa());
     }
 

@@ -1,7 +1,96 @@
 use crate::{DistanceMetric, Result, SegHdcError};
 use hdc::kernels::{self, Kernels};
-use hdc::{Accumulator, BinaryHypervector, HvMatrix};
+use hdc::{Accumulator, BinaryHypervector, BitSlicedGroup, HvMatrix};
 use rayon::prelude::*;
+use std::ops::Range;
+
+/// Rows per parallel assignment work unit: large enough to amortise the
+/// per-block scratch, small enough to keep every worker busy on small
+/// tiles.
+const ASSIGN_BLOCK_ROWS: usize = 256;
+
+/// Cache budget for one run of stacked centroid planes during assignment.
+/// When `K × planes × words` exceeds this, the centroid sweep is tiled into
+/// runs that stay resident in L2 across a whole row block (partial dot
+/// products are exact integer adds, so tiling cannot change any label).
+const PLANE_CHUNK_BYTES: usize = 192 * 1024;
+
+/// Cosine assignment for one block of rows: accumulate every centroid dot
+/// product through the fused multi-centroid kernel (one cache-blocked run
+/// of centroid planes at a time), then pick each row's argmin with one
+/// popcount per row — where the per-centroid path popcounted each row once
+/// per centroid.
+fn assign_block_cosine(
+    pixels: &HvMatrix,
+    base: usize,
+    out: &mut [u32],
+    group: &BitSlicedGroup,
+    chunk_ranges: &[Range<usize>],
+    kernels: &dyn Kernels,
+) {
+    let clusters = group.len();
+    let mut dots = vec![0u64; out.len() * clusters];
+    for range in chunk_ranges {
+        for (i, row_dots) in dots.chunks_mut(clusters).enumerate() {
+            group.dot_row_range_with(
+                range.clone(),
+                pixels.row(base + i),
+                &mut row_dots[range.clone()],
+                kernels,
+            );
+        }
+    }
+    for (i, (label, row_dots)) in out.iter_mut().zip(dots.chunks(clusters)).enumerate() {
+        let ones = kernels.popcount(pixels.row(base + i).as_words()) as usize;
+        let row_norm = (ones as f64).sqrt();
+        let mut best = 0usize;
+        let mut best_distance = f64::INFINITY;
+        for (k, &dot) in row_dots.iter().enumerate() {
+            let distance = group.cosine_distance_with_row_norm(k, dot, row_norm);
+            if distance < best_distance {
+                best_distance = distance;
+                best = k;
+            }
+        }
+        *label = best as u32;
+    }
+}
+
+/// Hamming assignment for one block of rows: all centroid distances for a
+/// row come from one fused `hamming_multi` sweep over the stacked majority
+/// vectors. Slots whose centroid had no majority vector (empty bundle —
+/// unreachable in practice, since empty clusters inherit the previous
+/// centroid) are zero-padded in the stack and skipped via `valid`,
+/// preserving the reference path's infinite distance for them.
+fn assign_block_hamming(
+    pixels: &HvMatrix,
+    base: usize,
+    out: &mut [u32],
+    majority_stack: &[u64],
+    majority_valid: &[bool],
+    dim: usize,
+    kernels: &dyn Kernels,
+) {
+    let clusters = majority_valid.len();
+    let mut hams = vec![0u64; clusters];
+    for (i, label) in out.iter_mut().enumerate() {
+        kernels.hamming_multi(pixels.row(base + i).as_words(), majority_stack, &mut hams);
+        let mut best = 0usize;
+        let mut best_distance = f64::INFINITY;
+        for (k, &ham) in hams.iter().enumerate() {
+            let distance = if majority_valid[k] {
+                ham as f64 / dim as f64
+            } else {
+                f64::INFINITY
+            };
+            if distance < best_distance {
+                best_distance = distance;
+                best = k;
+            }
+        }
+        *label = best as u32;
+    }
+}
 
 /// Outcome of clustering one image's pixel hypervectors.
 #[derive(Debug, Clone)]
@@ -224,53 +313,78 @@ impl HvKmeans {
         let mut snapshots = Vec::new();
         let mut iterations_run = 0;
 
+        // Per-iteration centroid views, reused (cleared, not reallocated)
+        // across iterations: the stacked bit-sliced group for cosine, the
+        // stacked majority vectors (with a validity mask) for Hamming.
+        let mut group = BitSlicedGroup::new();
+        let mut majority_stack: Vec<u64> = Vec::new();
+        let mut majority_valid: Vec<bool> = Vec::new();
+        let words_per_row = dim.div_ceil(64);
+
         for _ in 0..self.iterations {
             iterations_run += 1;
             let metric = self.metric;
-            // Per-centroid, per-iteration precomputation: a bit-sliced
-            // snapshot for cosine (word-wide dot products plus a cached
-            // norm) or the majority-thresholded vector for Hamming. Both
-            // yield distances bit-identical to the per-vector path.
-            let sliced: Vec<hdc::BitSlicedCounts> = match metric {
-                DistanceMetric::Cosine => centroids
-                    .iter()
-                    .map(|centroid| centroid.to_bit_sliced_with(kernels))
-                    .collect(),
-                DistanceMetric::Hamming => Vec::new(),
-            };
-            let majority: Vec<Option<BinaryHypervector>> = match metric {
-                DistanceMetric::Hamming => centroids.iter().map(|c| c.to_majority().ok()).collect(),
-                DistanceMetric::Cosine => vec![None; centroids.len()],
-            };
-            // Assignment step: parallel over matrix rows, allocation-free.
-            let sliced_ref = &sliced;
-            let majority_ref = &majority;
-            let cluster_count = self.clusters;
-            let assignment: Vec<u32> = (0..pixel_count)
-                .into_par_iter()
-                .map(|index| {
-                    let row = pixels.row(index);
-                    let mut best = 0usize;
-                    let mut best_distance = f64::INFINITY;
-                    for k in 0..cluster_count {
-                        let distance = match metric {
-                            DistanceMetric::Cosine => sliced_ref[k]
-                                .cosine_distance_row_with(row, kernels)
-                                .unwrap_or(f64::INFINITY),
-                            DistanceMetric::Hamming => majority_ref[k]
-                                .as_ref()
-                                .and_then(|m| row.normalized_hamming_hv_with(m, kernels).ok())
-                                .unwrap_or(f64::INFINITY),
-                        };
-                        if distance < best_distance {
-                            best_distance = distance;
-                            best = k;
+            // Per-centroid, per-iteration precomputation: the contiguous
+            // bit-sliced plane stack plus cached norms for cosine (what the
+            // fused multi-centroid dot kernel consumes), or the stacked
+            // majority-thresholded vectors for Hamming. Both yield
+            // distances bit-identical to the per-vector path.
+            let chunk_ranges: Vec<Range<usize>> = match metric {
+                DistanceMetric::Cosine => {
+                    group.rebuild(&centroids, kernels)?;
+                    group.cache_ranges(PLANE_CHUNK_BYTES)
+                }
+                DistanceMetric::Hamming => {
+                    majority_stack.clear();
+                    majority_valid.clear();
+                    for centroid in &centroids {
+                        match centroid.to_majority() {
+                            Ok(m) => {
+                                majority_stack.extend_from_slice(m.as_words());
+                                majority_valid.push(true);
+                            }
+                            Err(_) => {
+                                majority_stack.resize(majority_stack.len() + words_per_row, 0);
+                                majority_valid.push(false);
+                            }
                         }
                     }
-                    best as u32
-                })
-                .collect();
-            labels = assignment;
+                    Vec::new()
+                }
+            };
+            // Assignment step: parallel over row blocks, written straight
+            // into the reused labels buffer; each block sweeps the fused
+            // multi-centroid kernels one cache-sized centroid run at a
+            // time.
+            let group_ref = &group;
+            let chunk_ranges_ref = &chunk_ranges;
+            let majority_stack_ref = &majority_stack;
+            let majority_valid_ref = &majority_valid;
+            labels
+                .par_chunks_mut(ASSIGN_BLOCK_ROWS)
+                .enumerate()
+                .for_each(|(block, out)| {
+                    let base = block * ASSIGN_BLOCK_ROWS;
+                    match metric {
+                        DistanceMetric::Cosine => assign_block_cosine(
+                            pixels,
+                            base,
+                            out,
+                            group_ref,
+                            chunk_ranges_ref,
+                            kernels,
+                        ),
+                        DistanceMetric::Hamming => assign_block_hamming(
+                            pixels,
+                            base,
+                            out,
+                            majority_stack_ref,
+                            majority_valid_ref,
+                            dim,
+                            kernels,
+                        ),
+                    }
+                });
             if self.record_snapshots {
                 snapshots.push(labels.clone());
             }
@@ -346,7 +460,9 @@ impl HvKmeans {
             let metric = self.metric;
             let majority: Vec<Option<BinaryHypervector>> = match metric {
                 DistanceMetric::Hamming => centroids.iter().map(|c| c.to_majority().ok()).collect(),
-                DistanceMetric::Cosine => vec![None; centroids.len()],
+                // Never indexed on the cosine arm below, so don't build
+                // a vector of `None`s just to ignore it.
+                DistanceMetric::Cosine => Vec::new(),
             };
             let assignment: Vec<u32> = pixels
                 .par_iter()

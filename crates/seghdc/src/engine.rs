@@ -318,7 +318,8 @@ pub struct EngineTelemetry {
     /// Name of the execution backend.
     pub backend: &'static str,
     /// The word-kernel instruction set the backend actually executed with
-    /// (`"scalar"`, `"avx2"`, `"neon"`, …) — see [`ExecBackend::kernel_isa`].
+    /// (`"scalar"`, `"avx2"`, `"neon"`, `"avx512"`, `"avx512-vpopcnt"`) — see
+    /// [`ExecBackend::kernel_isa`].
     pub kernel_isa: &'static str,
 }
 
@@ -876,7 +877,7 @@ mod tests {
         assert!(SegEngine::new(bad).is_err());
         let engine = SegEngine::new(fast_config()).unwrap();
         assert_eq!(engine.backend_name(), "simd-cpu");
-        assert!(["scalar", "avx2", "neon"].contains(&engine.kernel_isa()));
+        assert!(hdc::kernels::KNOWN_ISAS.contains(&engine.kernel_isa()));
         assert_eq!(engine.config().dimension, 512);
         // The reference backend stays installable.
         let reference = SegEngine::builder(fast_config())
@@ -1030,7 +1031,7 @@ mod tests {
         assert!(cold.telemetry.cache_bytes > 0);
         assert!(cold.telemetry.peak_matrix_bytes >= 24 * 24 * 8);
         assert_eq!(cold.telemetry.backend, "simd-cpu");
-        assert!(["scalar", "avx2", "neon"].contains(&cold.telemetry.kernel_isa));
+        assert!(hdc::kernels::KNOWN_ISAS.contains(&cold.telemetry.kernel_isa));
         let warm = engine.run(&SegmentRequest::image(&image)).unwrap();
         assert_eq!(warm.telemetry.cache_misses, 1);
         assert_eq!(warm.telemetry.cache_hits, 1);

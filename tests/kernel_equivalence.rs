@@ -21,6 +21,7 @@ use hdc::kernels;
 use hdc::{Accumulator, BinaryHypervector, HdcRng, HvMatrix};
 use proptest::prelude::*;
 use seghdc::TileConfig as Tiles;
+use seghdc::{DistanceMetric, HvKmeans};
 use seghdc_suite::prelude::*;
 
 fn random_words(len: usize, seed: u64) -> Vec<u64> {
@@ -113,6 +114,97 @@ proptest! {
         prop_assert_eq!(scalar_carry, auto_carry);
     }
 
+    /// The fused multi-centroid dot kernel is bit-exact with a per-group
+    /// scalar `plane_dot` walk, for every implementation the host supports
+    /// (scalar, AVX2/NEON, AVX-512 variants), K ∈ 2..8 groups of varying
+    /// plane counts, and non-lane-multiple word widths.
+    #[test]
+    fn plane_dot_multi_agrees_with_the_per_group_reference(
+        words_per_plane in 1usize..19,
+        k in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        // Variable-length per-group plane counts derived from the seed
+        // (the proptest stub has no collection strategies).
+        let mut rng = HdcRng::seed_from(seed);
+        let counts: Vec<usize> = (0..k).map(|_| (rng.next_word() % 6) as usize).collect();
+        let total: usize = counts.iter().sum();
+        let planes = random_words(total * words_per_plane, seed.wrapping_add(5));
+        let row = random_words(words_per_plane, seed.wrapping_add(6));
+
+        let mut expected = vec![3u64; k];
+        let mut offset = 0;
+        for (slot, &count) in expected.iter_mut().zip(&counts) {
+            let end = offset + count * words_per_plane;
+            *slot += kernels::scalar().plane_dot(&planes[offset..end], words_per_plane, &row);
+            offset = end;
+        }
+        for kernels in kernels::available() {
+            // Pre-seeded output: the fused kernel accumulates (`+=`).
+            let mut out = vec![3u64; k];
+            kernels.plane_dot_multi(&planes, words_per_plane, &counts, &row, &mut out);
+            prop_assert_eq!(&out, &expected);
+        }
+    }
+
+    /// The expanded-counts fast path (`counts_dot_multi`) is bit-exact with
+    /// a scalar per-lane walk on every implementation that opts in, and
+    /// implementations that decline must leave the output untouched.
+    #[test]
+    fn counts_dot_multi_agrees_with_the_per_lane_reference(
+        words_per_row in 1usize..9,
+        k in 1usize..7,
+        seed in any::<u64>(),
+    ) {
+        let lanes = words_per_row * 64;
+        let row = random_words(words_per_row, seed);
+        let mut rng = HdcRng::seed_from(seed.wrapping_add(8));
+        let counts: Vec<u16> = (0..k * lanes)
+            .map(|_| (rng.next_word() % (i16::MAX as u64 + 1)) as u16)
+            .collect();
+        let expected: Vec<u64> = (0..k)
+            .map(|member| {
+                let member_counts = &counts[member * lanes..(member + 1) * lanes];
+                // Pre-seeded output: the kernel accumulates (`+=`).
+                3 + member_counts
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| (row[i / 64] >> (i % 64)) & 1 == 1)
+                    .map(|(_, &count)| u64::from(count))
+                    .sum::<u64>()
+            })
+            .collect();
+        let seeded = vec![3u64; k];
+        for kernels in kernels::available() {
+            let mut out = seeded.clone();
+            if kernels.counts_dot_multi(&counts, &row, &mut out) {
+                prop_assert_eq!(&out, &expected);
+            } else {
+                prop_assert_eq!(&out, &seeded);
+            }
+        }
+    }
+
+    /// The fused multi-centroid Hamming kernel is bit-exact with per-vector
+    /// scalar `hamming` calls, for every implementation the host supports.
+    #[test]
+    fn hamming_multi_agrees_with_the_per_vector_reference(
+        width in arb_width(),
+        k in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let row = random_words(width, seed);
+        let stacked = random_words(k * width, seed.wrapping_add(7));
+        let expected: Vec<u64> = (0..k)
+            .map(|c| kernels::scalar().hamming(&row, &stacked[c * width..][..width]))
+            .collect();
+        for kernels in kernels::available() {
+            let mut out = vec![0u64; k];
+            kernels.hamming_multi(&row, &stacked, &mut out);
+            prop_assert_eq!(&out, &expected);
+        }
+    }
+
     /// Accumulator arithmetic (vertical-counter adds, plane dots, exact
     /// norms) is bit-identical across kernel selections, for dimensions
     /// with non-lane-multiple word tails.
@@ -157,6 +249,44 @@ proptest! {
                 .unwrap()
                 .to_bits()
         );
+    }
+}
+
+proptest! {
+    // Clustering cases cost more than raw kernel sweeps; a moderate count
+    // still exercises many dims/K combinations per ISA.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `cluster_matrix_with` — the fused assignment loop — produces
+    /// byte-identical labels under every kernel implementation the host
+    /// supports, for both metrics and non-lane-multiple dimensions.
+    #[test]
+    fn cluster_labels_are_identical_across_every_available_isa(
+        dim in 150usize..1100,
+        clusters in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = HdcRng::seed_from(seed);
+        let pixel_count = 24 + (seed % 13) as usize;
+        let pixels: Vec<BinaryHypervector> = (0..pixel_count)
+            .map(|_| BinaryHypervector::random(dim, &mut rng))
+            .collect();
+        let matrix = HvMatrix::from_vectors(&pixels).unwrap();
+        let intensities: Vec<u8> = (0..pixel_count).map(|i| (i * 11 % 256) as u8).collect();
+        for metric in [DistanceMetric::Cosine, DistanceMetric::Hamming] {
+            let kmeans = HvKmeans::new(clusters, 4, metric, true).unwrap();
+            let reference = kmeans
+                .cluster_matrix_with(&matrix, &intensities, kernels::scalar())
+                .unwrap();
+            for kernels in kernels::available() {
+                let outcome = kmeans
+                    .cluster_matrix_with(&matrix, &intensities, kernels)
+                    .unwrap();
+                prop_assert_eq!(&outcome.labels, &reference.labels);
+                prop_assert_eq!(&outcome.snapshots, &reference.snapshots);
+                prop_assert_eq!(&outcome.cluster_sizes, &reference.cluster_sizes);
+            }
+        }
     }
 }
 
@@ -220,12 +350,54 @@ proptest! {
     }
 }
 
+/// Segmentation labels are byte-identical for *every* kernel
+/// implementation the host supports, pinned ISA by ISA through
+/// `SimdCpuBackend::with_kernels` (whole-image and tiled) — so on an
+/// AVX-512 machine this compares scalar, AVX2, and both AVX-512 variants.
+#[test]
+fn engine_labels_are_byte_identical_for_every_available_isa() {
+    let profile = DatasetProfile::dsb2018_like().scaled(30, 26);
+    let sample = SyntheticDataset::new(profile, 0xA5E5, 1)
+        .unwrap()
+        .sample(0)
+        .unwrap();
+    let config = SegHdcConfig::builder()
+        .dimension(900)
+        .iterations(3)
+        .beta(4)
+        .build()
+        .unwrap();
+    let tiles = Tiles::square(12, 2).unwrap();
+
+    let run = |kernels: &'static dyn kernels::Kernels| {
+        let engine = SegEngine::builder(config.clone())
+            .backend(Box::new(SimdCpuBackend::with_kernels(kernels)))
+            .build()
+            .unwrap();
+        let whole = engine
+            .run(&SegmentRequest::image(&sample.image).whole_image())
+            .unwrap();
+        let tiled = engine
+            .run(&SegmentRequest::image(&sample.image).tiled(tiles))
+            .unwrap();
+        (
+            whole.single().label_map.as_raw().to_vec(),
+            tiled.single().label_map.as_raw().to_vec(),
+        )
+    };
+
+    let reference = run(kernels::scalar());
+    for kernels in kernels::available() {
+        assert_eq!(run(kernels), reference, "isa {}", kernels.name());
+    }
+}
+
 /// The selection plumbing itself: auto is one of the known ISAs, and the
 /// engine's default backend reports whatever auto picked.
 #[test]
 fn auto_selection_is_reported_through_the_engine() {
     let auto_name = kernels::auto().name();
-    assert!(["scalar", "avx2", "neon"].contains(&auto_name));
+    assert!(kernels::KNOWN_ISAS.contains(&auto_name));
 
     let config = SegHdcConfig::builder()
         .dimension(256)
