@@ -1,0 +1,250 @@
+//! Open-loop load generator for the `seghdc-server` service front-end.
+//!
+//! Starts an in-process server on a loopback socket, then drives it from
+//! several client connections, each issuing requests on a *fixed schedule*
+//! (open loop): a request's latency is measured from its **scheduled**
+//! send time, so queueing delay from a server falling behind the offered
+//! rate shows up in the percentiles instead of silently throttling the
+//! generator — the coordinated-omission-free way to measure a service.
+//!
+//! The offered rate is calibrated from a short serial warm-up (60% of the
+//! measured serial capacity), so the run reports a *sustained* throughput
+//! rather than a collapse. Shapes are mixed (32², 48², 64² gray) to
+//! exercise the shared codebook cache with several keys at once.
+//!
+//! Results are merged into `crates/bench/BENCH_server.json` (or
+//! `SEGHDC_BENCH_JSON` when set) as:
+//!
+//! * `server_req`         — mean ns per sustained request (1e9 / req/s)
+//! * `server_p50_latency` — median end-to-end latency, ns
+//! * `server_p99_latency` — 99th-percentile end-to-end latency, ns
+//!
+//! with `dim` the hypervector dimension and `k` the client connection
+//! count. `--quick` runs a seconds-scale smoke (serve a handful of
+//! requests, assert they succeed) without touching the JSON — that is the
+//! CI mode.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use imaging::{DynamicImage, GrayImage};
+use seghdc::SegHdcConfig;
+use seghdc_bench::bench_json::{merge_into_file, BenchRecord};
+use seghdc_server::{
+    serve, RequestMode, ResponseBody, SegClient, ServerConfig, WireSegmentRequest, WireStatus,
+};
+
+const DIMENSION: usize = 512;
+const SHAPE_EDGES: [usize; 3] = [32, 48, 64];
+
+fn load_config() -> SegHdcConfig {
+    SegHdcConfig::builder()
+        .dimension(DIMENSION)
+        .beta(4)
+        .iterations(3)
+        .seed(99)
+        .build()
+        .expect("load config is valid")
+}
+
+fn gradient_image(edge: usize) -> DynamicImage {
+    let mut img = GrayImage::new(edge, edge).expect("non-empty");
+    for y in 0..edge {
+        for x in 0..edge {
+            img.set(x, y, (((x + y) * 255) / (2 * edge - 2)) as u8)
+                .expect("in bounds");
+        }
+    }
+    DynamicImage::Gray(img)
+}
+
+/// The request mix, one per shape, reused round-robin.
+fn request_mix() -> Vec<WireSegmentRequest> {
+    let config = load_config();
+    SHAPE_EDGES
+        .iter()
+        .map(|&edge| {
+            WireSegmentRequest::from_image(
+                &config,
+                &gradient_image(edge),
+                RequestMode::WholeImage,
+                0,
+            )
+        })
+        .collect()
+}
+
+struct ConnectionStats {
+    /// End-to-end latencies (scheduled send → response), nanoseconds.
+    latencies_ns: Vec<u64>,
+    ok: usize,
+    rejected: usize,
+    kernel_isa: String,
+}
+
+/// Drives one connection on a fixed schedule of `count` sends spaced
+/// `interval` apart.
+fn drive_connection(
+    addr: std::net::SocketAddr,
+    start_at: Instant,
+    interval: Duration,
+    count: usize,
+) -> ConnectionStats {
+    let mut client = SegClient::connect(addr).expect("connect to loopback server");
+    let mix = request_mix();
+    let mut stats = ConnectionStats {
+        latencies_ns: Vec::with_capacity(count),
+        ok: 0,
+        rejected: 0,
+        kernel_isa: String::new(),
+    };
+    for n in 0..count {
+        let scheduled = start_at + interval * n as u32;
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        }
+        let response = client
+            .segment(&mix[n % mix.len()])
+            .expect("loopback exchange");
+        stats
+            .latencies_ns
+            .push(scheduled.elapsed().as_nanos() as u64);
+        match &response.body {
+            ResponseBody::Labels { telemetry, .. } => {
+                stats.ok += 1;
+                if stats.kernel_isa.is_empty() {
+                    stats.kernel_isa = telemetry.kernel_isa.clone();
+                }
+            }
+            ResponseBody::Error { .. } => stats.rejected += 1,
+        }
+    }
+    stats
+}
+
+fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
+    let index = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[index]
+}
+
+fn main() {
+    let quick = std::env::args().any(|arg| arg == "--quick");
+    let connections: usize = if quick { 2 } else { 4 };
+
+    let handle = serve("127.0.0.1:0", ServerConfig::default()).expect("bind loopback server");
+    let addr = handle.local_addr();
+
+    // Serial warm-up: builds the codebooks and measures serial capacity.
+    let mut warm_client = SegClient::connect(addr).expect("warm-up connection");
+    let mix = request_mix();
+    let warm_start = Instant::now();
+    let warm_rounds = 2;
+    for _ in 0..warm_rounds {
+        for request in &mix {
+            let response = warm_client.segment(request).expect("warm-up exchange");
+            assert_eq!(
+                response.status(),
+                WireStatus::Ok,
+                "warm-up request failed: {:?}",
+                response.body
+            );
+        }
+    }
+    let serial_ns = warm_start.elapsed().as_nanos() as f64 / (warm_rounds * mix.len()) as f64;
+
+    if quick {
+        // CI smoke: the warm-up already proved the loopback path; run one
+        // short concurrent burst and exit without touching the JSON.
+        let start_at = Instant::now() + Duration::from_millis(20);
+        let interval = Duration::from_nanos((serial_ns * connections as f64) as u64);
+        let threads: Vec<_> = (0..connections)
+            .map(|_| std::thread::spawn(move || drive_connection(addr, start_at, interval, 8)))
+            .collect();
+        let mut ok = 0;
+        for thread in threads {
+            let stats = thread.join().expect("driver thread");
+            assert_eq!(stats.rejected, 0, "smoke run saw rejected requests");
+            ok += stats.ok;
+        }
+        handle.shutdown();
+        println!("server_load --quick: {ok} requests served over {connections} connections");
+        return;
+    }
+
+    // Offer 60% of serial capacity per the whole fleet: sustainable by
+    // construction, so percentiles measure the service, not a collapse.
+    let offered_interval_ns = (serial_ns / 0.6) * connections as f64;
+    let interval = Duration::from_nanos(offered_interval_ns as u64);
+    let target = Duration::from_secs(6);
+    let per_connection = (target.as_nanos() as f64 / offered_interval_ns).ceil() as usize;
+
+    let start_at = Instant::now() + Duration::from_millis(50);
+    let threads: Vec<_> = (0..connections)
+        .map(|_| {
+            std::thread::spawn(move || drive_connection(addr, start_at, interval, per_connection))
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut ok = 0;
+    let mut rejected = 0;
+    let mut kernel_isa = String::from("unknown");
+    for thread in threads {
+        let stats = thread.join().expect("driver thread");
+        latencies.extend(stats.latencies_ns);
+        ok += stats.ok;
+        rejected += stats.rejected;
+        if !stats.kernel_isa.is_empty() {
+            kernel_isa = stats.kernel_isa;
+        }
+    }
+    let elapsed = start_at.elapsed();
+    handle.shutdown();
+
+    latencies.sort_unstable();
+    let total = ok + rejected;
+    let rps = ok as f64 / elapsed.as_secs_f64();
+    let p50 = percentile_ns(&latencies, 0.50);
+    let p99 = percentile_ns(&latencies, 0.99);
+
+    println!(
+        "sustained: {rps:.1} req/s over {connections} connections ({ok}/{total} ok, \
+         {rejected} rejected) in {:.1}s",
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "latency: p50 {:.2} ms, p99 {:.2} ms (from scheduled send time)",
+        p50 as f64 / 1e6,
+        p99 as f64 / 1e6
+    );
+
+    let records = vec![
+        BenchRecord {
+            op: "server_req".to_string(),
+            isa: kernel_isa.clone(),
+            dim: DIMENSION,
+            k: connections,
+            ns_per_op: 1e9 / rps,
+        },
+        BenchRecord {
+            op: "server_p50_latency".to_string(),
+            isa: kernel_isa.clone(),
+            dim: DIMENSION,
+            k: connections,
+            ns_per_op: p50 as f64,
+        },
+        BenchRecord {
+            op: "server_p99_latency".to_string(),
+            isa: kernel_isa,
+            dim: DIMENSION,
+            k: connections,
+            ns_per_op: p99 as f64,
+        },
+    ];
+    let path = std::env::var_os("SEGHDC_BENCH_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_server.json"));
+    merge_into_file(&path, &records).expect("write bench records");
+    println!("recorded {} records to {}", records.len(), path.display());
+}

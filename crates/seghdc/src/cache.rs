@@ -13,6 +13,7 @@
 //! [`crate::SegEngineBuilder::cache`] lets several engines share a single
 //! cache).
 
+use crate::sync::lock_unpoisoned;
 use crate::{ColorEncoding, PixelEncoder, PositionEncoding, Result, SegHdcConfig};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -182,6 +183,17 @@ impl CodebookCache {
     ///
     /// Propagates the error from `build`; nothing is cached on failure
     /// (the next caller for the key retries the build).
+    ///
+    /// # Panic safety
+    ///
+    /// A `build` closure that **panics** leaves the cache fully
+    /// serviceable: the panic propagates to the caller, but the key's
+    /// build registration is removed on the way out (a drop guard) and
+    /// both the per-key build lock and the cache-wide lock recover from
+    /// poisoning, so the next caller for the same key simply retries the
+    /// build. Waiters already queued on the panicking builder's key lock
+    /// retry too (at worst a post-panic burst builds the encoder more than
+    /// once; the byte accounting stays exact either way).
     pub fn get_or_build(
         &self,
         key: CodebookKey,
@@ -189,28 +201,40 @@ impl CodebookCache {
     ) -> Result<Arc<PixelEncoder>> {
         // Fast path, and registration of the intent to build on a miss.
         let key_lock = {
-            let mut inner = self.inner.lock().expect("codebook cache lock poisoned");
+            let mut inner = lock_unpoisoned(&self.inner);
             if let Some(encoder) = inner.lookup(&key) {
                 return Ok(encoder);
             }
             Arc::clone(inner.building.entry(key).or_default())
         };
 
-        let _build_guard = key_lock.lock().expect("codebook build lock poisoned");
+        // The `Mutex<()>` guards no data, so recovering from a previous
+        // builder's panic is trivially sound.
+        let _build_guard = key_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         // Re-check: the builder we waited on may have inserted the entry.
         {
-            let mut inner = self.inner.lock().expect("codebook cache lock poisoned");
+            let mut inner = lock_unpoisoned(&self.inner);
             if let Some(encoder) = inner.lookup(&key) {
                 return Ok(encoder);
             }
             inner.misses += 1;
         }
 
+        // Deregister the build intent however this call exits — success,
+        // error, or a panic unwinding out of `build` — so a failed builder
+        // can never wedge its key for every future request.
+        let _unregister = UnregisterBuild {
+            cache: self,
+            key,
+            lock: &key_lock,
+        };
+
         // The expensive part, with no cache-wide lock held.
         let built = build();
 
-        let mut inner = self.inner.lock().expect("codebook cache lock poisoned");
-        inner.building.remove(&key);
+        let mut inner = lock_unpoisoned(&self.inner);
         let encoder = Arc::new(built?);
         let bytes = encoder.codebook_bytes();
         let tick = inner.tick;
@@ -253,16 +277,12 @@ impl CodebookCache {
 
     /// Whether `key` is currently resident (does not touch recency).
     pub fn contains(&self, key: &CodebookKey) -> bool {
-        self.inner
-            .lock()
-            .expect("codebook cache lock poisoned")
-            .entries
-            .contains_key(key)
+        lock_unpoisoned(&self.inner).entries.contains_key(key)
     }
 
     /// Snapshot of the hit/miss/eviction counters and resident footprint.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("codebook cache lock poisoned");
+        let inner = lock_unpoisoned(&self.inner);
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,
@@ -274,9 +294,36 @@ impl CodebookCache {
 
     /// Drops every resident encoder (the counters are kept).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("codebook cache lock poisoned");
+        let mut inner = lock_unpoisoned(&self.inner);
         inner.entries.clear();
         inner.bytes = 0;
+    }
+}
+
+/// Removes a builder's `building` registration when it goes out of scope —
+/// including by panic, which is the whole point: a panicking `build`
+/// closure must not leave a stale entry (and its poisoned lock) wedging
+/// the key.
+///
+/// The removal is identity-checked: only the exact lock this builder
+/// registered is removed, so a later builder that re-registered the key
+/// after a panic is left undisturbed.
+struct UnregisterBuild<'a> {
+    cache: &'a CodebookCache,
+    key: CodebookKey,
+    lock: &'a Arc<Mutex<()>>,
+}
+
+impl Drop for UnregisterBuild<'_> {
+    fn drop(&mut self) {
+        let mut inner = lock_unpoisoned(&self.cache.inner);
+        if inner
+            .building
+            .get(&self.key)
+            .is_some_and(|registered| Arc::ptr_eq(registered, self.lock))
+        {
+            inner.building.remove(&self.key);
+        }
     }
 }
 
@@ -442,6 +489,78 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn panicked_build_does_not_wedge_the_key() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let cfg = config(15);
+        let cache = CodebookCache::with_capacity(usize::MAX);
+        let key = CodebookKey::for_shape(&cfg, 8, 8, 1);
+        // Two panicking builds back to back: the second proves the first
+        // left no stale `building` registration (it would deadlock or
+        // panic on a poisoned per-key lock otherwise).
+        for _ in 0..2 {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let _ = cache.get_or_build(key, || panic!("builder died"));
+            }));
+            assert!(result.is_err());
+            assert!(!cache.contains(&key));
+        }
+        // The next caller retries cleanly and the cache serves hits again.
+        let encoder = cache
+            .get_or_build(key, || Ok(build_for(&cfg, 8, 8)))
+            .unwrap();
+        let again = cache
+            .get_or_build(key, || panic!("must be resident"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&encoder, &again));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.bytes, encoder.codebook_bytes());
+    }
+
+    #[test]
+    fn waiters_on_a_panicked_builder_retry_cleanly() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Barrier;
+        let cfg = config(17);
+        let cache = CodebookCache::with_capacity(usize::MAX);
+        let key = CodebookKey::for_shape(&cfg, 10, 10, 1);
+        let rendezvous = Barrier::new(2);
+        let successful_builds = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            // Thread A registers the build, lets B queue up behind the
+            // per-key lock, then panics mid-build.
+            let panicker = scope.spawn(|| {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let _ = cache.get_or_build(key, || {
+                        rendezvous.wait();
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        panic!("builder died mid-build");
+                    });
+                }));
+                assert!(result.is_err());
+            });
+            // Thread B arrives while A is building and must end up with a
+            // successfully built encoder, not a poisoned-lock panic.
+            let waiter = scope.spawn(|| {
+                rendezvous.wait();
+                cache
+                    .get_or_build(key, || {
+                        successful_builds.fetch_add(1, Ordering::SeqCst);
+                        Ok(build_for(&cfg, 10, 10))
+                    })
+                    .unwrap()
+            });
+            panicker.join().unwrap();
+            let encoder = waiter.join().unwrap();
+            assert_eq!(encoder.codebook_bytes(), cache.stats().bytes);
+        });
+        assert!(successful_builds.load(Ordering::SeqCst) >= 1);
+        assert!(cache.contains(&key));
     }
 
     #[test]

@@ -57,6 +57,7 @@
 //! ```
 
 use crate::cache::{CacheStats, CodebookCache, CodebookKey};
+use crate::sync::lock_unpoisoned;
 use crate::tiled::{self, StreamingSegmentation, TileArena, TileConfig};
 use crate::{
     ExecBackend, HvKmeans, PixelEncoder, Result, SegHdcConfig, SegHdcError, SimdCpuBackend,
@@ -793,18 +794,19 @@ impl SegEngine {
     /// [`EngineOptions::matrix_budget_bytes`] (a forced over-budget
     /// whole-image run) is dropped instead of pooled — the steady state
     /// retains only budget-sized scratch.
+    ///
+    /// The pool lock recovers from poisoning (see [`crate::sync`]): a
+    /// worker thread that panics mid-request must not take
+    /// arena checkout down for every subsequent request. A panic inside
+    /// `f` simply drops the checked-out arena — the pool's invariants are
+    /// never in flight while the lock is held.
     fn with_arena<T>(&self, f: impl FnOnce(&mut TileArena) -> Result<T>) -> Result<T> {
-        let mut arena = self
-            .arenas
-            .lock()
-            .expect("arena pool lock poisoned")
-            .pop()
-            .unwrap_or_default();
+        let mut arena = lock_unpoisoned(&self.arenas).pop().unwrap_or_default();
         let result = f(&mut arena);
         self.peak_matrix_bytes
             .fetch_max(arena.peak_matrix_bytes(), Ordering::Relaxed);
         if arena.matrix.capacity_bytes() <= self.options.matrix_budget_bytes {
-            let mut pool = self.arenas.lock().expect("arena pool lock poisoned");
+            let mut pool = lock_unpoisoned(&self.arenas);
             if pool.len() < self.max_pooled_arenas {
                 pool.push(arena);
             }
@@ -1014,10 +1016,121 @@ mod tests {
     #[test]
     fn empty_batches_produce_empty_reports() {
         let engine = SegEngine::new(fast_config()).unwrap();
-        let report = engine.run(&SegmentRequest::batch(&[])).unwrap();
-        assert!(report.outputs.is_empty());
-        assert!(report.plan.decisions.is_empty());
+        // Every execution mode: a degenerate empty batch must plan and run
+        // to an empty report, never panic — a server cannot crash on it.
+        for request in [
+            SegmentRequest::batch(&[]),
+            SegmentRequest::batch(&[]).whole_image(),
+            SegmentRequest::batch(&[]).tiled(TileConfig::square(16, 2).unwrap()),
+        ] {
+            let plan = engine.plan(&request).unwrap();
+            assert!(plan.decisions.is_empty());
+            assert_eq!((plan.whole_image_count(), plan.tiled_count()), (0, 0));
+            let report = engine.run(&request).unwrap();
+            assert!(report.outputs.is_empty());
+            assert!(report.plan.decisions.is_empty());
+        }
         assert!(SegmentRequest::batch(&[]).is_empty());
+        // No encoder was ever resolved for the phantom shape.
+        assert_eq!(engine.cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn degenerate_tiny_images_error_instead_of_panicking() {
+        // Fewer pixels than clusters: a 1×1 frame against 2 clusters must
+        // come back as a typed error, not a panic or a hang.
+        let image = DynamicImage::Gray(GrayImage::filled(1, 1, 128).unwrap());
+        let engine = SegEngine::new(fast_config()).unwrap();
+        let result = engine.run(&SegmentRequest::image(&image));
+        assert!(result.is_err(), "1x1 image with 2 clusters must error");
+        // The engine stays fully serviceable afterwards.
+        let ok = engine
+            .run(&SegmentRequest::image(&square_image(16)))
+            .unwrap();
+        assert_eq!(ok.outputs[0].label_map.pixel_count(), 16 * 16);
+    }
+
+    #[test]
+    fn poisoned_arena_pool_recovers() {
+        let image = square_image(16);
+        let engine = SegEngine::new(fast_config()).unwrap();
+        engine.run(&SegmentRequest::image(&image)).unwrap();
+        // Poison the pool mutex the way a crashed worker would: panic
+        // while holding the guard.
+        let _ = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = engine.arenas.lock().unwrap();
+                    panic!("worker died holding the arena pool lock");
+                })
+                .join()
+        });
+        assert!(
+            engine.arenas.lock().is_err(),
+            "pool mutex must actually be poisoned"
+        );
+        // Checkout still works and the pool keeps recycling arenas.
+        let first = engine.run(&SegmentRequest::image(&image)).unwrap();
+        let second = engine.run(&SegmentRequest::image(&image)).unwrap();
+        assert_eq!(
+            first.outputs[0].label_map.as_raw(),
+            second.outputs[0].label_map.as_raw()
+        );
+        assert!(!lock_unpoisoned(&engine.arenas).is_empty());
+    }
+
+    /// A backend that dies mid-request, standing in for any panic inside a
+    /// worker thread.
+    #[derive(Debug)]
+    struct PanickingBackend;
+
+    impl crate::ExecBackend for PanickingBackend {
+        fn name(&self) -> &'static str {
+            "panicking"
+        }
+
+        fn encode_region(
+            &self,
+            _encoder: &PixelEncoder,
+            _view: &ImageView<'_>,
+            _region: &imaging::TileRect,
+            _scratch: &mut hdc::HvMatrix,
+        ) -> Result<()> {
+            panic!("backend blew up mid-request");
+        }
+
+        fn cluster_matrix(
+            &self,
+            _kmeans: &HvKmeans,
+            _pixels: &hdc::HvMatrix,
+            _intensities: &[u8],
+        ) -> Result<crate::ClusterOutcome> {
+            panic!("backend blew up mid-request");
+        }
+    }
+
+    #[test]
+    fn panicking_worker_does_not_wedge_shared_state() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let image = square_image(16);
+        let broken = SegEngine::builder(fast_config())
+            .backend(Box::new(PanickingBackend))
+            .build()
+            .unwrap();
+        let healthy = SegEngine::builder(fast_config())
+            .cache(broken.cache())
+            .build()
+            .unwrap();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _ = broken.run(&SegmentRequest::image(&image));
+        }));
+        assert!(result.is_err(), "the panicking backend must panic");
+        // The shared cache (the codebook build succeeded before the
+        // backend died) and the healthy engine both keep serving.
+        let report = healthy.run(&SegmentRequest::image(&image)).unwrap();
+        assert_eq!(report.telemetry.cache_misses, 1);
+        assert_eq!(report.telemetry.cache_hits, 1);
+        assert_eq!(report.outputs[0].label_map.pixel_count(), 16 * 16);
     }
 
     #[test]

@@ -82,6 +82,7 @@ mod pipeline;
 mod pixel;
 mod position;
 pub mod sweep;
+mod sync;
 pub mod tiled;
 pub mod toy;
 

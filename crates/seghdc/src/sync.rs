@@ -1,0 +1,48 @@
+//! Poison-recovering lock acquisition for the engine's shared state.
+//!
+//! The codebook cache, the arena pool and the per-key build locks are all
+//! shared by every request a long-running service handles. `Mutex::lock`
+//! returning `Err(PoisonError)` after *one* panicking request would turn a
+//! single bad frame into a permanently wedged server — every later
+//! `.expect("poisoned")` caller panics too. None of these mutexes guard
+//! data that can be left in a broken state by an unwind: every critical
+//! section either performs a single aggregate mutation (push/pop on the
+//! arena pool, map insert/remove plus its byte-accounting in one scope) or
+//! guards no data at all (the per-key build locks are `Mutex<()>`). So the
+//! right response to poisoning is to take the lock anyway and keep
+//! serving.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+///
+/// See the module docs for why recovery (rather than propagation) is sound
+/// for every mutex in this crate.
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn recovers_a_guard_from_a_poisoned_mutex() {
+        let mutex = Mutex::new(7usize);
+        let _ = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = mutex.lock().unwrap();
+                    panic!("poison the mutex");
+                })
+                .join()
+        });
+        assert!(mutex.lock().is_err(), "mutex must actually be poisoned");
+        assert_eq!(*lock_unpoisoned(&mutex), 7);
+        *lock_unpoisoned(&mutex) = 8;
+        assert_eq!(*lock_unpoisoned(&mutex), 8);
+    }
+}

@@ -1,0 +1,80 @@
+//! A minimal blocking client for the framed protocol.
+//!
+//! [`SegClient`] speaks one request/response exchange at a time over a
+//! persistent TCP connection — exactly the discipline the server's
+//! per-connection thread expects. It exists for the loopback tests, the
+//! load generator, and as reference wire usage for other-language clients.
+
+use std::io::Write as _;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{WireSegmentRequest, WireSegmentResponse};
+use crate::wire::{
+    read_frame, write_frame, WireError, WireResult, DEFAULT_MAX_FRAME_BYTES, FRAME_REQUEST,
+    FRAME_RESPONSE,
+};
+
+/// A blocking connection to a segmentation server.
+pub struct SegClient {
+    stream: TcpStream,
+    max_frame_bytes: usize,
+}
+
+impl SegClient {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] if the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> WireResult<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            stream,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Caps the frame size this client will send or accept.
+    pub fn max_frame_bytes(mut self, bytes: usize) -> Self {
+        self.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Bounds how long [`segment`](Self::segment) waits for a response
+    /// frame (`None` waits forever).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] if the socket rejects the timeout.
+    pub fn read_timeout(self, timeout: Option<Duration>) -> WireResult<Self> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(self)
+    }
+
+    /// Sends one request and blocks for its response frame.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`WireError`]s for transport or framing failures, including
+    /// [`WireError::Truncated`] if the server hangs up without responding.
+    /// Typed *service* failures (busy, deadline, invalid) arrive as
+    /// `Ok(response)` with the matching [`WireStatus`](crate::WireStatus).
+    pub fn segment(&mut self, request: &WireSegmentRequest) -> WireResult<WireSegmentResponse> {
+        write_frame(
+            &mut self.stream,
+            FRAME_REQUEST,
+            &request.encode(),
+            self.max_frame_bytes,
+        )?;
+        self.stream.flush()?;
+        match read_frame(&mut self.stream, self.max_frame_bytes)? {
+            Some((FRAME_RESPONSE, payload)) => WireSegmentResponse::decode(&payload),
+            Some((kind, _)) => Err(WireError::UnknownFrameKind(kind)),
+            None => Err(WireError::Truncated {
+                field: "response frame",
+            }),
+        }
+    }
+}

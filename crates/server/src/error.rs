@@ -1,0 +1,46 @@
+//! Server-side error type.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use crate::wire::WireError;
+
+/// Why a server could not start or serve.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Binding or accepting on the listener failed.
+    Io(io::Error),
+    /// A wire-level failure surfaced outside a connection thread.
+    Wire(WireError),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(err) => write!(f, "i/o error: {err}"),
+            ServerError::Wire(err) => write!(f, "wire error: {err}"),
+        }
+    }
+}
+
+impl Error for ServerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServerError::Io(err) => Some(err),
+            ServerError::Wire(err) => Some(err),
+        }
+    }
+}
+
+impl From<io::Error> for ServerError {
+    fn from(err: io::Error) -> Self {
+        ServerError::Io(err)
+    }
+}
+
+impl From<WireError> for ServerError {
+    fn from(err: WireError) -> Self {
+        ServerError::Wire(err)
+    }
+}

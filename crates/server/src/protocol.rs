@@ -1,0 +1,732 @@
+//! Versioned request/response messages carried inside wire frames.
+//!
+//! A request frame carries everything the server needs to serve a
+//! segmentation with no out-of-band state: the full algorithmic
+//! configuration (seed, dimension, α/β/γ, encodings, metric), the
+//! requested execution mode, a per-request deadline, and the raw pixel
+//! buffer. A response frame carries either the label map plus the
+//! [`SegmentReport`](seghdc::SegmentReport)-style telemetry envelope, or
+//! one of the typed error statuses ([`WireStatus::Busy`],
+//! [`WireStatus::DeadlineExceeded`], …) the admission queue and deadline
+//! machinery promise instead of unbounded queuing.
+//!
+//! Both payloads start with [`PROTOCOL_VERSION`]; a decoder refuses
+//! versions it does not speak with [`WireError::UnsupportedVersion`]
+//! rather than misreading fields.
+
+use crate::wire::{PayloadReader, PayloadWriter, WireError, WireResult};
+use imaging::{DynamicImage, GrayImage, RgbImage};
+use seghdc::{ColorEncoding, DistanceMetric, PositionEncoding, SegHdcConfig};
+
+/// Version both payload layouts are written at.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Execution mode requested on the wire (mirrors
+/// [`seghdc::ExecutionMode`], with tile geometry spelled out).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestMode {
+    /// Let the engine planner pick whole-image or tiled per image.
+    Auto,
+    /// Force whole-image execution.
+    WholeImage,
+    /// Force streaming tiled execution with this geometry.
+    Tiled {
+        /// Tile width in pixels.
+        tile_width: u32,
+        /// Tile height in pixels.
+        tile_height: u32,
+        /// Halo width in pixels.
+        halo: u32,
+    },
+}
+
+/// One segmentation request as it travels on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSegmentRequest {
+    /// Deadline in milliseconds from admission; `0` asks for the server's
+    /// default deadline.
+    pub deadline_ms: u32,
+    /// Full algorithmic configuration (snapshots are never recorded
+    /// server-side, so [`SegHdcConfig::record_snapshots`] is not on the
+    /// wire).
+    pub config: SegHdcConfig,
+    /// Requested execution mode.
+    pub mode: RequestMode,
+    /// Colour channel count: `1` (gray) or `3` (interleaved RGB).
+    pub channels: u8,
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Row-major pixel bytes (`width × height × channels` of them).
+    pub pixels: Vec<u8>,
+}
+
+impl WireSegmentRequest {
+    /// Serializes the request payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        w.put_u16(PROTOCOL_VERSION);
+        w.put_u32(self.deadline_ms);
+        w.put_u64(self.config.seed);
+        w.put_u32(self.config.dimension as u32);
+        w.put_u16(self.config.clusters as u16);
+        w.put_u16(self.config.iterations as u16);
+        w.put_u64(self.config.alpha.to_bits());
+        w.put_u32(self.config.beta as u32);
+        w.put_u32(self.config.gamma as u32);
+        w.put_u8(encode_position(self.config.position_encoding));
+        w.put_u8(encode_color(self.config.color_encoding));
+        w.put_u8(encode_metric(self.config.distance_metric));
+        match self.mode {
+            RequestMode::Auto => w.put_u8(0),
+            RequestMode::WholeImage => w.put_u8(1),
+            RequestMode::Tiled {
+                tile_width,
+                tile_height,
+                halo,
+            } => {
+                w.put_u8(2);
+                w.put_u32(tile_width);
+                w.put_u32(tile_height);
+                w.put_u32(halo);
+            }
+        }
+        w.put_u8(self.channels);
+        w.put_u32(self.width);
+        w.put_u32(self.height);
+        w.put_bytes(&self.pixels);
+        w.finish()
+    }
+
+    /// Deserializes a request payload.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`WireError`]s for version/enum/shape violations; the pixel
+    /// buffer length is validated against `width × height × channels`
+    /// exactly (a short buffer is [`WireError::Truncated`], a long one
+    /// [`WireError::TrailingBytes`]).
+    pub fn decode(payload: &[u8]) -> WireResult<Self> {
+        let mut r = PayloadReader::new(payload);
+        let version = r.take_u16("version")?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let deadline_ms = r.take_u32("deadline_ms")?;
+        let seed = r.take_u64("seed")?;
+        let dimension = r.take_u32("dimension")? as usize;
+        let clusters = r.take_u16("clusters")? as usize;
+        let iterations = r.take_u16("iterations")? as usize;
+        let alpha = f64::from_bits(r.take_u64("alpha_bits")?);
+        let beta = r.take_u32("beta")? as usize;
+        let gamma = r.take_u32("gamma")? as usize;
+        let position_encoding = decode_position(r.take_u8("position_encoding")?)?;
+        let color_encoding = decode_color(r.take_u8("color_encoding")?)?;
+        let distance_metric = decode_metric(r.take_u8("distance_metric")?)?;
+        let mode = match r.take_u8("mode")? {
+            0 => RequestMode::Auto,
+            1 => RequestMode::WholeImage,
+            2 => RequestMode::Tiled {
+                tile_width: r.take_u32("tile_width")?,
+                tile_height: r.take_u32("tile_height")?,
+                halo: r.take_u32("halo")?,
+            },
+            other => {
+                return Err(WireError::InvalidField {
+                    field: "mode",
+                    message: format!("unknown execution mode {other}"),
+                })
+            }
+        };
+        let channels = r.take_u8("channels")?;
+        if channels != 1 && channels != 3 {
+            return Err(WireError::InvalidField {
+                field: "channels",
+                message: format!("channel count must be 1 or 3, got {channels}"),
+            });
+        }
+        let width = r.take_u32("width")?;
+        let height = r.take_u32("height")?;
+        let pixel_bytes = (width as usize)
+            .checked_mul(height as usize)
+            .and_then(|p| p.checked_mul(channels as usize))
+            .ok_or(WireError::InvalidField {
+                field: "width",
+                message: "image shape overflows".to_string(),
+            })?;
+        let pixels = r.take_bytes(pixel_bytes, "pixels")?.to_vec();
+        r.expect_end()?;
+        let config = SegHdcConfig {
+            dimension,
+            alpha,
+            beta,
+            gamma,
+            clusters,
+            iterations,
+            position_encoding,
+            color_encoding,
+            distance_metric,
+            seed,
+            record_snapshots: false,
+        };
+        Ok(Self {
+            deadline_ms,
+            config,
+            mode,
+            channels,
+            width,
+            height,
+            pixels,
+        })
+    }
+
+    /// Reassembles the pixel buffer into an image.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::InvalidField`] for degenerate shapes (zero-sized
+    /// frames included — a server must reject them, not crash).
+    pub fn to_image(&self) -> WireResult<DynamicImage> {
+        let invalid = |message: String| WireError::InvalidField {
+            field: "image",
+            message,
+        };
+        let width = self.width as usize;
+        let height = self.height as usize;
+        match self.channels {
+            1 => GrayImage::from_raw(width, height, self.pixels.clone())
+                .map(DynamicImage::Gray)
+                .map_err(|err| invalid(err.to_string())),
+            3 => RgbImage::from_raw(width, height, self.pixels.clone())
+                .map(DynamicImage::Rgb)
+                .map_err(|err| invalid(err.to_string())),
+            other => Err(invalid(format!(
+                "channel count must be 1 or 3, got {other}"
+            ))),
+        }
+    }
+
+    /// Builds a wire request from an in-memory image.
+    pub fn from_image(
+        config: &SegHdcConfig,
+        image: &DynamicImage,
+        mode: RequestMode,
+        deadline_ms: u32,
+    ) -> Self {
+        let (channels, pixels) = match image {
+            DynamicImage::Gray(img) => (1u8, img.as_raw().to_vec()),
+            DynamicImage::Rgb(img) => (3u8, img.as_raw().to_vec()),
+        };
+        Self {
+            deadline_ms,
+            config: SegHdcConfig {
+                record_snapshots: false,
+                ..config.clone()
+            },
+            mode,
+            channels,
+            width: image.width() as u32,
+            height: image.height() as u32,
+            pixels,
+        }
+    }
+}
+
+/// Response status byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireStatus {
+    /// Labels follow.
+    Ok,
+    /// The admission queue was full; retry with backoff.
+    Busy,
+    /// The deadline elapsed before (or while) the request was served.
+    DeadlineExceeded,
+    /// The request was malformed or out of domain; retrying is futile.
+    Invalid,
+    /// The server failed internally (including a panicking worker).
+    Internal,
+}
+
+impl WireStatus {
+    fn to_byte(self) -> u8 {
+        match self {
+            WireStatus::Ok => 0,
+            WireStatus::Busy => 1,
+            WireStatus::DeadlineExceeded => 2,
+            WireStatus::Invalid => 3,
+            WireStatus::Internal => 4,
+        }
+    }
+
+    fn from_byte(byte: u8) -> WireResult<Self> {
+        Ok(match byte {
+            0 => WireStatus::Ok,
+            1 => WireStatus::Busy,
+            2 => WireStatus::DeadlineExceeded,
+            3 => WireStatus::Invalid,
+            4 => WireStatus::Internal,
+            other => {
+                return Err(WireError::InvalidField {
+                    field: "status",
+                    message: format!("unknown status byte {other}"),
+                })
+            }
+        })
+    }
+}
+
+/// Engine telemetry echoed in every successful response (the
+/// [`seghdc::EngineTelemetry`] envelope, serialized).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireTelemetry {
+    /// Codebook-cache hits over the serving engine's lifetime.
+    pub cache_hits: u64,
+    /// Codebook-cache misses over the serving engine's lifetime.
+    pub cache_misses: u64,
+    /// Encoders currently resident in the shared cache.
+    pub cache_entries: u32,
+    /// Codebook bytes currently resident in the shared cache.
+    pub cache_bytes: u64,
+    /// Arena matrix high-water mark in bytes.
+    pub peak_matrix_bytes: u64,
+    /// Execution backend name.
+    pub backend: String,
+    /// Word-kernel instruction set that served the request.
+    pub kernel_isa: String,
+}
+
+/// The body of a response: labels or a typed error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// A served segmentation.
+    Labels {
+        /// Whether the engine executed the image as streamed tiles.
+        executed_tiled: bool,
+        /// Label-map width in pixels.
+        width: u32,
+        /// Label-map height in pixels.
+        height: u32,
+        /// Row-major per-pixel labels.
+        labels: Vec<u32>,
+        /// The telemetry envelope.
+        telemetry: WireTelemetry,
+    },
+    /// A typed failure; `status` is never [`WireStatus::Ok`].
+    Error {
+        /// Which failure.
+        status: WireStatus,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// One response as it travels on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSegmentResponse {
+    /// Microseconds the request waited in the admission queue.
+    pub queue_wait_us: u64,
+    /// Microseconds the engine spent serving it (zero for rejections).
+    pub service_us: u64,
+    /// Labels or a typed error.
+    pub body: ResponseBody,
+}
+
+impl WireSegmentResponse {
+    /// Shorthand for an error response.
+    pub fn error(status: WireStatus, message: impl Into<String>, queue_wait_us: u64) -> Self {
+        Self {
+            queue_wait_us,
+            service_us: 0,
+            body: ResponseBody::Error {
+                status,
+                message: message.into(),
+            },
+        }
+    }
+
+    /// The response status byte.
+    pub fn status(&self) -> WireStatus {
+        match &self.body {
+            ResponseBody::Labels { .. } => WireStatus::Ok,
+            ResponseBody::Error { status, .. } => *status,
+        }
+    }
+
+    /// The label map of a successful response.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::InvalidField`] when the response is an error frame or
+    /// the labels do not form a valid map.
+    pub fn label_map(&self) -> WireResult<imaging::LabelMap> {
+        match &self.body {
+            ResponseBody::Labels {
+                width,
+                height,
+                labels,
+                ..
+            } => imaging::LabelMap::from_raw(*width as usize, *height as usize, labels.clone())
+                .map_err(|err| WireError::InvalidField {
+                    field: "labels",
+                    message: err.to_string(),
+                }),
+            ResponseBody::Error { status, message } => Err(WireError::InvalidField {
+                field: "status",
+                message: format!("response is {status:?}: {message}"),
+            }),
+        }
+    }
+
+    /// Serializes the response payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        w.put_u16(PROTOCOL_VERSION);
+        w.put_u8(self.status().to_byte());
+        w.put_u64(self.queue_wait_us);
+        w.put_u64(self.service_us);
+        match &self.body {
+            ResponseBody::Labels {
+                executed_tiled,
+                width,
+                height,
+                labels,
+                telemetry,
+            } => {
+                w.put_u8(u8::from(*executed_tiled));
+                w.put_u32(*width);
+                w.put_u32(*height);
+                for &label in labels {
+                    w.put_u32(label);
+                }
+                w.put_u64(telemetry.cache_hits);
+                w.put_u64(telemetry.cache_misses);
+                w.put_u32(telemetry.cache_entries);
+                w.put_u64(telemetry.cache_bytes);
+                w.put_u64(telemetry.peak_matrix_bytes);
+                w.put_str(&telemetry.backend);
+                w.put_str(&telemetry.kernel_isa);
+            }
+            ResponseBody::Error { message, .. } => {
+                w.put_str(message);
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserializes a response payload.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`WireError`]s for version/status/shape violations.
+    pub fn decode(payload: &[u8]) -> WireResult<Self> {
+        let mut r = PayloadReader::new(payload);
+        let version = r.take_u16("version")?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let status = WireStatus::from_byte(r.take_u8("status")?)?;
+        let queue_wait_us = r.take_u64("queue_wait_us")?;
+        let service_us = r.take_u64("service_us")?;
+        let body = if status == WireStatus::Ok {
+            let executed_tiled = r.take_u8("executed_tiled")? != 0;
+            let width = r.take_u32("width")?;
+            let height = r.take_u32("height")?;
+            let count =
+                (width as usize)
+                    .checked_mul(height as usize)
+                    .ok_or(WireError::InvalidField {
+                        field: "width",
+                        message: "label shape overflows".to_string(),
+                    })?;
+            let mut labels = Vec::with_capacity(count);
+            let raw = r.take_bytes(count * 4, "labels")?;
+            for chunk in raw.chunks_exact(4) {
+                labels.push(u32::from_le_bytes(chunk.try_into().unwrap()));
+            }
+            let telemetry = WireTelemetry {
+                cache_hits: r.take_u64("cache_hits")?,
+                cache_misses: r.take_u64("cache_misses")?,
+                cache_entries: r.take_u32("cache_entries")?,
+                cache_bytes: r.take_u64("cache_bytes")?,
+                peak_matrix_bytes: r.take_u64("peak_matrix_bytes")?,
+                backend: r.take_str("backend")?,
+                kernel_isa: r.take_str("kernel_isa")?,
+            };
+            ResponseBody::Labels {
+                executed_tiled,
+                width,
+                height,
+                labels,
+                telemetry,
+            }
+        } else {
+            ResponseBody::Error {
+                status,
+                message: r.take_str("message")?,
+            }
+        };
+        r.expect_end()?;
+        Ok(Self {
+            queue_wait_us,
+            service_us,
+            body,
+        })
+    }
+}
+
+fn encode_position(encoding: PositionEncoding) -> u8 {
+    match encoding {
+        PositionEncoding::Uniform => 0,
+        PositionEncoding::Manhattan => 1,
+        PositionEncoding::DecayManhattan => 2,
+        PositionEncoding::BlockDecayManhattan => 3,
+        PositionEncoding::Random => 4,
+    }
+}
+
+fn decode_position(byte: u8) -> WireResult<PositionEncoding> {
+    Ok(match byte {
+        0 => PositionEncoding::Uniform,
+        1 => PositionEncoding::Manhattan,
+        2 => PositionEncoding::DecayManhattan,
+        3 => PositionEncoding::BlockDecayManhattan,
+        4 => PositionEncoding::Random,
+        other => {
+            return Err(WireError::InvalidField {
+                field: "position_encoding",
+                message: format!("unknown variant {other}"),
+            })
+        }
+    })
+}
+
+fn encode_color(encoding: ColorEncoding) -> u8 {
+    match encoding {
+        ColorEncoding::Manhattan => 0,
+        ColorEncoding::Random => 1,
+    }
+}
+
+fn decode_color(byte: u8) -> WireResult<ColorEncoding> {
+    Ok(match byte {
+        0 => ColorEncoding::Manhattan,
+        1 => ColorEncoding::Random,
+        other => {
+            return Err(WireError::InvalidField {
+                field: "color_encoding",
+                message: format!("unknown variant {other}"),
+            })
+        }
+    })
+}
+
+fn encode_metric(metric: DistanceMetric) -> u8 {
+    match metric {
+        DistanceMetric::Cosine => 0,
+        DistanceMetric::Hamming => 1,
+    }
+}
+
+fn decode_metric(byte: u8) -> WireResult<DistanceMetric> {
+    Ok(match byte {
+        0 => DistanceMetric::Cosine,
+        1 => DistanceMetric::Hamming,
+        other => {
+            return Err(WireError::InvalidField {
+                field: "distance_metric",
+                message: format!("unknown variant {other}"),
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_config() -> SegHdcConfig {
+        SegHdcConfig::builder()
+            .dimension(512)
+            .beta(4)
+            .iterations(3)
+            .seed(42)
+            .build()
+            .unwrap()
+    }
+
+    fn sample_image() -> DynamicImage {
+        let mut img = GrayImage::filled(6, 4, 10).unwrap();
+        img.set(2, 2, 240).unwrap();
+        DynamicImage::Gray(img)
+    }
+
+    #[test]
+    fn requests_round_trip_for_every_mode() {
+        let config = sample_config();
+        let image = sample_image();
+        for mode in [
+            RequestMode::Auto,
+            RequestMode::WholeImage,
+            RequestMode::Tiled {
+                tile_width: 16,
+                tile_height: 16,
+                halo: 2,
+            },
+        ] {
+            let request = WireSegmentRequest::from_image(&config, &image, mode, 250);
+            let decoded = WireSegmentRequest::decode(&request.encode()).unwrap();
+            assert_eq!(decoded, request);
+            assert_eq!(decoded.config, config);
+            assert_eq!(decoded.to_image().unwrap(), image);
+        }
+    }
+
+    #[test]
+    fn rgb_requests_round_trip() {
+        let mut rgb = RgbImage::new(3, 2).unwrap();
+        rgb.set(1, 1, [200, 100, 50]).unwrap();
+        let image = DynamicImage::Rgb(rgb);
+        let request =
+            WireSegmentRequest::from_image(&sample_config(), &image, RequestMode::Auto, 0);
+        let decoded = WireSegmentRequest::decode(&request.encode()).unwrap();
+        assert_eq!(decoded.channels, 3);
+        assert_eq!(decoded.to_image().unwrap(), image);
+    }
+
+    #[test]
+    fn snapshot_recording_never_crosses_the_wire() {
+        let mut config = sample_config();
+        config.record_snapshots = true;
+        let request =
+            WireSegmentRequest::from_image(&config, &sample_image(), RequestMode::Auto, 0);
+        assert!(!request.config.record_snapshots);
+    }
+
+    #[test]
+    fn wrong_version_is_refused() {
+        let request =
+            WireSegmentRequest::from_image(&sample_config(), &sample_image(), RequestMode::Auto, 0);
+        let mut payload = request.encode();
+        payload[0] = 9; // version low byte
+        assert!(matches!(
+            WireSegmentRequest::decode(&payload),
+            Err(WireError::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
+    fn zero_sized_images_decode_but_fail_image_reassembly() {
+        let mut request =
+            WireSegmentRequest::from_image(&sample_config(), &sample_image(), RequestMode::Auto, 0);
+        request.width = 0;
+        request.height = 0;
+        request.pixels.clear();
+        let decoded = WireSegmentRequest::decode(&request.encode()).unwrap();
+        assert!(matches!(
+            decoded.to_image(),
+            Err(WireError::InvalidField { field: "image", .. })
+        ));
+    }
+
+    #[test]
+    fn short_pixel_buffers_are_truncation_errors() {
+        let request =
+            WireSegmentRequest::from_image(&sample_config(), &sample_image(), RequestMode::Auto, 0);
+        let payload = request.encode();
+        assert!(matches!(
+            WireSegmentRequest::decode(&payload[..payload.len() - 1]),
+            Err(WireError::Truncated { .. })
+        ));
+        let mut long = payload.clone();
+        long.push(0);
+        assert!(matches!(
+            WireSegmentRequest::decode(&long),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn ok_responses_round_trip() {
+        let response = WireSegmentResponse {
+            queue_wait_us: 1_250,
+            service_us: 88_000,
+            body: ResponseBody::Labels {
+                executed_tiled: true,
+                width: 3,
+                height: 2,
+                labels: vec![0, 1, 1, 0, 2, 2],
+                telemetry: WireTelemetry {
+                    cache_hits: 9,
+                    cache_misses: 1,
+                    cache_entries: 1,
+                    cache_bytes: 123_456,
+                    peak_matrix_bytes: 777,
+                    backend: "simd-cpu".to_string(),
+                    kernel_isa: "avx2".to_string(),
+                },
+            },
+        };
+        let decoded = WireSegmentResponse::decode(&response.encode()).unwrap();
+        assert_eq!(decoded, response);
+        assert_eq!(decoded.status(), WireStatus::Ok);
+        let map = decoded.label_map().unwrap();
+        assert_eq!(map.as_raw(), &[0, 1, 1, 0, 2, 2]);
+    }
+
+    #[test]
+    fn error_responses_round_trip_every_status() {
+        for status in [
+            WireStatus::Busy,
+            WireStatus::DeadlineExceeded,
+            WireStatus::Invalid,
+            WireStatus::Internal,
+        ] {
+            let response = WireSegmentResponse::error(status, "queue full", 42);
+            let decoded = WireSegmentResponse::decode(&response.encode()).unwrap();
+            assert_eq!(decoded.status(), status);
+            assert!(decoded.label_map().is_err());
+            match decoded.body {
+                ResponseBody::Error { message, .. } => assert_eq!(message, "queue full"),
+                ResponseBody::Labels { .. } => panic!("expected an error body"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_enum_bytes_are_typed_errors() {
+        let request =
+            WireSegmentRequest::from_image(&sample_config(), &sample_image(), RequestMode::Auto, 0);
+        let base = request.encode();
+        // position_encoding is at a fixed offset:
+        // version(2) deadline(4) seed(8) dim(4) clusters(2) iters(2)
+        // alpha(8) beta(4) gamma(4) = 38.
+        let mut bad = base.clone();
+        bad[38] = 99;
+        assert!(matches!(
+            WireSegmentRequest::decode(&bad),
+            Err(WireError::InvalidField {
+                field: "position_encoding",
+                ..
+            })
+        ));
+        let mut bad = base.clone();
+        bad[39] = 99;
+        assert!(matches!(
+            WireSegmentRequest::decode(&bad),
+            Err(WireError::InvalidField {
+                field: "color_encoding",
+                ..
+            })
+        ));
+        let mut bad = base;
+        bad[40] = 99;
+        assert!(matches!(
+            WireSegmentRequest::decode(&bad),
+            Err(WireError::InvalidField {
+                field: "distance_metric",
+                ..
+            })
+        ));
+    }
+}

@@ -1,0 +1,212 @@
+//! Bounded admission queue with cache-aware group dequeue.
+//!
+//! The queue is the server's backpressure mechanism: [`AdmissionQueue::try_push`]
+//! never blocks and hands the job back when the queue is full, so the
+//! connection thread can answer with an explicit `Busy` frame instead of
+//! letting latency grow without bound.
+//!
+//! Dequeue is group-aware: [`AdmissionQueue::pop_group`] takes the oldest
+//! job and then scans the remaining queue for jobs with the same group key
+//! (for the server, the [`CodebookKey`](seghdc::CodebookKey) the request
+//! resolves to). A worker that serves such a group back-to-back turns what
+//! would be interleaved codebook-cache churn into one miss followed by
+//! hits — the scheduling half of the engine's cache story.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the job is handed back.
+    Full(T),
+    /// The queue is shut down; the job is handed back.
+    ShutDown(T),
+}
+
+struct QueueState<T> {
+    jobs: VecDeque<T>,
+    shutdown: bool,
+}
+
+/// A bounded FIFO with non-blocking admission and blocking, group-aware
+/// removal.
+pub struct AdmissionQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `capacity` jobs at a time.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(capacity.min(1024)),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        // A worker panic between push and pop cannot corrupt a VecDeque of
+        // owned jobs, so a poisoned queue mutex is safe to recover.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Admits a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::ShutDown`] after
+    /// [`shutdown`](Self::shutdown); both return the job to the caller so
+    /// it can answer with an error frame.
+    pub fn try_push(&self, job: T) -> Result<(), PushError<T>> {
+        let mut state = self.lock();
+        if state.shutdown {
+            return Err(PushError::ShutDown(job));
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err(PushError::Full(job));
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the oldest job, then drains up to `max_group - 1` more
+    /// jobs for which `same_group(&oldest, &candidate)` holds, preserving
+    /// FIFO order within the group and leaving everything else queued.
+    ///
+    /// Returns `None` once the queue is shut down **and** empty (jobs
+    /// admitted before shutdown are still drained, so accepted requests
+    /// get real responses).
+    pub fn pop_group<F>(&self, max_group: usize, same_group: F) -> Option<Vec<T>>
+    where
+        F: Fn(&T, &T) -> bool,
+    {
+        let mut state = self.lock();
+        loop {
+            if let Some(first) = state.jobs.pop_front() {
+                let mut group = vec![first];
+                let mut index = 0;
+                while group.len() < max_group.max(1) && index < state.jobs.len() {
+                    if same_group(&group[0], &state.jobs[index]) {
+                        let job = state.jobs.remove(index).expect("index is in bounds");
+                        group.push(job);
+                    } else {
+                        index += 1;
+                    }
+                }
+                return Some(group);
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Marks the queue as shut down and wakes every blocked worker.
+    /// Already-admitted jobs remain drainable.
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.available.notify_all();
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let queue = AdmissionQueue::new(8);
+        for n in 0..5 {
+            queue.try_push(n).unwrap();
+        }
+        let group = queue.pop_group(1, |_, _| false).unwrap();
+        assert_eq!(group, vec![0]);
+        let group = queue.pop_group(4, |_, _| true).unwrap();
+        assert_eq!(group, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn full_queue_hands_the_job_back() {
+        let queue = AdmissionQueue::new(2);
+        queue.try_push("a").unwrap();
+        queue.try_push("b").unwrap();
+        assert_eq!(queue.try_push("c"), Err(PushError::Full("c")));
+        assert_eq!(queue.len(), 2);
+    }
+
+    #[test]
+    fn grouping_pulls_matching_jobs_past_interlopers() {
+        let queue = AdmissionQueue::new(8);
+        for job in ["x1", "y1", "x2", "y2", "x3"] {
+            queue.try_push(job).unwrap();
+        }
+        let group = queue
+            .pop_group(8, |a, b| a.as_bytes()[0] == b.as_bytes()[0])
+            .unwrap();
+        assert_eq!(group, vec!["x1", "x2", "x3"]);
+        // The interlopers keep their relative order.
+        assert_eq!(queue.pop_group(1, |_, _| false).unwrap(), vec!["y1"]);
+        assert_eq!(queue.pop_group(1, |_, _| false).unwrap(), vec!["y2"]);
+    }
+
+    #[test]
+    fn group_size_is_capped() {
+        let queue = AdmissionQueue::new(8);
+        for n in 0..6 {
+            queue.try_push(n).unwrap();
+        }
+        let group = queue.pop_group(3, |_, _| true).unwrap();
+        assert_eq!(group, vec![0, 1, 2]);
+        assert_eq!(queue.len(), 3);
+    }
+
+    #[test]
+    fn shutdown_wakes_blocked_workers_and_rejects_new_jobs() {
+        let queue = Arc::new(AdmissionQueue::<u32>::new(4));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop_group(1, |_, _| false))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        queue.shutdown();
+        assert_eq!(waiter.join().unwrap(), None);
+        assert_eq!(queue.try_push(7), Err(PushError::ShutDown(7)));
+    }
+
+    #[test]
+    fn jobs_admitted_before_shutdown_still_drain() {
+        let queue = AdmissionQueue::new(4);
+        queue.try_push(1).unwrap();
+        queue.try_push(2).unwrap();
+        queue.shutdown();
+        assert_eq!(queue.pop_group(1, |_, _| false).unwrap(), vec![1]);
+        assert_eq!(queue.pop_group(1, |_, _| false).unwrap(), vec![2]);
+        assert_eq!(queue.pop_group(1, |_, _| false), None);
+    }
+}

@@ -1,0 +1,484 @@
+//! The threaded segmentation server.
+//!
+//! One accept loop, one connection thread per client, a bounded
+//! [`AdmissionQueue`], and a fixed worker pool dispatching into shared
+//! [`SegEngine`]s. The contract a client sees:
+//!
+//! * **Backpressure, not queuing collapse.** A request that does not fit
+//!   the admission queue is answered immediately with a
+//!   [`WireStatus::Busy`] frame.
+//! * **Deadlines are honoured.** Each request carries a deadline; a worker
+//!   that dequeues an already-expired job answers
+//!   [`WireStatus::DeadlineExceeded`] without touching the engine, and the
+//!   connection thread enforces the same bound as a safety net even if a
+//!   worker stalls.
+//! * **Panics stay inside the worker.** A panicking execution is caught
+//!   and answered with [`WireStatus::Internal`]; the shared codebook cache
+//!   and arena pools recover from the poisoned locks (see the
+//!   `seghdc::cache` and `seghdc::engine` panic-safety tests), so the next
+//!   request on the same engine is served normally.
+//! * **Cache-aware scheduling.** Workers dequeue *groups* of requests that
+//!   resolve to the same [`CodebookKey`], so a burst of same-shape
+//!   requests pays one codebook build and then hits the shared cache.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use seghdc::{
+    CodebookCache, CodebookKey, ExecutedMode, ExecutionMode, SegEngine, SegHdcConfig, SegHdcError,
+    SegmentRequest, TileConfig,
+};
+
+use crate::protocol::{
+    RequestMode, ResponseBody, WireSegmentRequest, WireSegmentResponse, WireStatus, WireTelemetry,
+};
+use crate::queue::{AdmissionQueue, PushError};
+use crate::wire::{
+    read_frame, write_frame, WireError, DEFAULT_MAX_FRAME_BYTES, FRAME_REQUEST, FRAME_RESPONSE,
+};
+use crate::ServerError;
+
+/// Tuning knobs of a running server (see [`serve`]).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing segmentations.
+    pub workers: usize,
+    /// Admission-queue capacity; one more request than this is in flight
+    /// per worker at worst. Requests beyond it get `Busy`.
+    pub queue_depth: usize,
+    /// Largest frame accepted or produced, in bytes.
+    pub max_frame_bytes: usize,
+    /// Deadline applied when a request asks for `deadline_ms == 0`.
+    pub default_deadline: Duration,
+    /// Most same-codebook requests a worker dequeues back-to-back.
+    pub max_group: usize,
+    /// Most distinct engine configurations kept resident; an arbitrary
+    /// engine is dropped beyond this (its codebooks stay in the shared
+    /// cache, so resurrecting it later is cheap).
+    pub max_engines: usize,
+    /// Byte capacity of the codebook cache shared by every engine.
+    pub codebook_cache_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8),
+            queue_depth: 64,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            default_deadline: Duration::from_secs(10),
+            max_group: 8,
+            max_engines: 16,
+            codebook_cache_bytes: 64 << 20,
+        }
+    }
+}
+
+/// One admitted request travelling from a connection thread to a worker.
+struct Job {
+    request: WireSegmentRequest,
+    key: CodebookKey,
+    deadline: Instant,
+    enqueued: Instant,
+    reply: mpsc::Sender<WireSegmentResponse>,
+}
+
+/// Hashable identity of an engine configuration (bit-compares `alpha`,
+/// like [`CodebookKey`] does).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct EngineKey {
+    seed: u64,
+    dimension: usize,
+    alpha_bits: u64,
+    beta: usize,
+    gamma: usize,
+    clusters: usize,
+    iterations: usize,
+    position_encoding: seghdc::PositionEncoding,
+    color_encoding: seghdc::ColorEncoding,
+    distance_metric: seghdc::DistanceMetric,
+}
+
+impl EngineKey {
+    fn of(config: &SegHdcConfig) -> Self {
+        Self {
+            seed: config.seed,
+            dimension: config.dimension,
+            alpha_bits: config.alpha.to_bits(),
+            beta: config.beta,
+            gamma: config.gamma,
+            clusters: config.clusters,
+            iterations: config.iterations,
+            position_encoding: config.position_encoding,
+            color_encoding: config.color_encoding,
+            distance_metric: config.distance_metric,
+        }
+    }
+}
+
+/// Engines keyed by configuration, all sharing one codebook cache.
+struct EngineFleet {
+    engines: Mutex<HashMap<EngineKey, Arc<SegEngine>>>,
+    cache: Arc<CodebookCache>,
+    max_engines: usize,
+}
+
+impl EngineFleet {
+    fn new(codebook_cache_bytes: usize, max_engines: usize) -> Self {
+        Self {
+            engines: Mutex::new(HashMap::new()),
+            cache: Arc::new(CodebookCache::with_capacity(codebook_cache_bytes)),
+            max_engines: max_engines.max(1),
+        }
+    }
+
+    /// The engine for `config`, building (and validating) it on first use.
+    fn engine_for(&self, config: &SegHdcConfig) -> Result<Arc<SegEngine>, SegHdcError> {
+        let key = EngineKey::of(config);
+        let mut engines = self
+            .engines
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(engine) = engines.get(&key) {
+            return Ok(Arc::clone(engine));
+        }
+        let engine = Arc::new(
+            SegEngine::builder(config.clone())
+                .cache(Arc::clone(&self.cache))
+                .build()?,
+        );
+        if engines.len() >= self.max_engines {
+            let victim = engines.keys().next().cloned();
+            if let Some(victim) = victim {
+                engines.remove(&victim);
+            }
+        }
+        engines.insert(key, Arc::clone(&engine));
+        Ok(engine)
+    }
+}
+
+/// Handle to a running server; dropping it shuts the server down.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    queue: Arc<AdmissionQueue<Job>>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, drains admitted jobs, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.shutdown();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Starts a server on `addr` (use port `0` for an ephemeral port).
+///
+/// # Errors
+///
+/// [`ServerError::Io`] if the listener cannot bind.
+pub fn serve(addr: &str, config: ServerConfig) -> Result<ServerHandle, ServerError> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(AdmissionQueue::<Job>::new(config.queue_depth));
+    let fleet = Arc::new(EngineFleet::new(
+        config.codebook_cache_bytes,
+        config.max_engines,
+    ));
+
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let queue = Arc::clone(&queue);
+            let fleet = Arc::clone(&fleet);
+            let max_group = config.max_group;
+            std::thread::spawn(move || worker_loop(&queue, &fleet, max_group))
+        })
+        .collect();
+
+    let accept_thread = {
+        let shutdown = Arc::clone(&shutdown);
+        let queue = Arc::clone(&queue);
+        let config = config.clone();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let queue = Arc::clone(&queue);
+                let config = config.clone();
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &queue, &config);
+                });
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        local_addr,
+        shutdown,
+        queue,
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+/// Reads request frames off one connection until EOF, answering each.
+fn serve_connection(
+    mut stream: TcpStream,
+    queue: &AdmissionQueue<Job>,
+    config: &ServerConfig,
+) -> Result<(), WireError> {
+    stream.set_nodelay(true).ok();
+    loop {
+        let (kind, payload) = match read_frame(&mut stream, config.max_frame_bytes) {
+            Ok(Some(frame)) => frame,
+            // Clean EOF: the client is done.
+            Ok(None) => return Ok(()),
+            Err(err) => {
+                // Malformed framing: answer with one Invalid frame, then
+                // hang up (resynchronising a corrupt byte stream is not
+                // worth guessing at).
+                let response = WireSegmentResponse::error(WireStatus::Invalid, err.to_string(), 0);
+                let _ = write_frame(
+                    &mut stream,
+                    FRAME_RESPONSE,
+                    &response.encode(),
+                    config.max_frame_bytes,
+                );
+                let _ = stream.flush();
+                return Err(err);
+            }
+        };
+        if kind != FRAME_REQUEST {
+            let response = WireSegmentResponse::error(
+                WireStatus::Invalid,
+                format!("expected a request frame, got kind {kind}"),
+                0,
+            );
+            write_frame(
+                &mut stream,
+                FRAME_RESPONSE,
+                &response.encode(),
+                config.max_frame_bytes,
+            )?;
+            continue;
+        }
+        let response = handle_request(&payload, queue, config);
+        write_frame(
+            &mut stream,
+            FRAME_RESPONSE,
+            &response.encode(),
+            config.max_frame_bytes,
+        )?;
+    }
+}
+
+/// Admits one decoded request and waits (deadline-bounded) for its
+/// response.
+fn handle_request(
+    payload: &[u8],
+    queue: &AdmissionQueue<Job>,
+    config: &ServerConfig,
+) -> WireSegmentResponse {
+    let request = match WireSegmentRequest::decode(payload) {
+        Ok(request) => request,
+        Err(err) => return WireSegmentResponse::error(WireStatus::Invalid, err.to_string(), 0),
+    };
+    let deadline_budget = if request.deadline_ms == 0 {
+        config.default_deadline
+    } else {
+        Duration::from_millis(u64::from(request.deadline_ms))
+    };
+    let enqueued = Instant::now();
+    let deadline = enqueued + deadline_budget;
+    let key = CodebookKey::for_shape(
+        &request.config,
+        request.width as usize,
+        request.height as usize,
+        usize::from(request.channels),
+    );
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        request,
+        key,
+        deadline,
+        enqueued,
+        reply: reply_tx,
+    };
+    if let Err(err) = queue.try_push(job) {
+        let (status, message) = match err {
+            PushError::Full(_) => (
+                WireStatus::Busy,
+                format!("admission queue is full ({} jobs)", config.queue_depth),
+            ),
+            PushError::ShutDown(_) => (WireStatus::Busy, "server is shutting down".to_string()),
+        };
+        return WireSegmentResponse::error(status, message, 0);
+    }
+    // Safety net on top of the worker-side deadline check: even if every
+    // worker is stuck in a long execution, the client hears back shortly
+    // after its deadline.
+    let grace = Duration::from_millis(50);
+    match reply_rx.recv_timeout(deadline_budget + grace) {
+        Ok(response) => response,
+        Err(_) => WireSegmentResponse::error(
+            WireStatus::DeadlineExceeded,
+            format!("deadline of {deadline_budget:?} elapsed before a worker finished"),
+            enqueued.elapsed().as_micros() as u64,
+        ),
+    }
+}
+
+/// Worker: dequeue a same-codebook group, serve it in order.
+fn worker_loop(queue: &AdmissionQueue<Job>, fleet: &EngineFleet, max_group: usize) {
+    while let Some(group) = queue.pop_group(max_group, |a, b| a.key == b.key) {
+        for job in group {
+            let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
+            let response = if Instant::now() >= job.deadline {
+                WireSegmentResponse::error(
+                    WireStatus::DeadlineExceeded,
+                    "deadline elapsed while queued",
+                    queue_wait_us,
+                )
+            } else {
+                execute(&job.request, fleet, queue_wait_us)
+            };
+            // A closed receiver means the connection thread already
+            // answered (deadline safety net) or hung up; nothing to do.
+            let _ = job.reply.send(response);
+        }
+    }
+}
+
+/// Runs one request on its engine, catching panics.
+fn execute(
+    request: &WireSegmentRequest,
+    fleet: &EngineFleet,
+    queue_wait_us: u64,
+) -> WireSegmentResponse {
+    let engine = match fleet.engine_for(&request.config) {
+        Ok(engine) => engine,
+        Err(err) => {
+            return WireSegmentResponse::error(WireStatus::Invalid, err.to_string(), queue_wait_us)
+        }
+    };
+    let image = match request.to_image() {
+        Ok(image) => image,
+        Err(err) => {
+            return WireSegmentResponse::error(WireStatus::Invalid, err.to_string(), queue_wait_us)
+        }
+    };
+    let mode = match request.mode {
+        RequestMode::Auto => ExecutionMode::Auto,
+        RequestMode::WholeImage => ExecutionMode::WholeImage,
+        RequestMode::Tiled {
+            tile_width,
+            tile_height,
+            halo,
+        } => match TileConfig::new(tile_width as usize, tile_height as usize, halo as usize) {
+            Ok(tiles) => ExecutionMode::Tiled(tiles),
+            Err(err) => {
+                return WireSegmentResponse::error(
+                    WireStatus::Invalid,
+                    err.to_string(),
+                    queue_wait_us,
+                )
+            }
+        },
+    };
+    let started = Instant::now();
+    // The engine's shared state (codebook cache, arena pool) recovers from
+    // poisoned locks by design, so resuming after a caught panic is sound.
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        engine.run(&SegmentRequest::image(&image).mode(mode))
+    }));
+    let service_us = started.elapsed().as_micros() as u64;
+    let report = match outcome {
+        Ok(Ok(report)) => report,
+        Ok(Err(err)) => {
+            let status = match err {
+                SegHdcError::InvalidConfig { .. } => WireStatus::Invalid,
+                SegHdcError::Hdc(_) | SegHdcError::Imaging(_) => WireStatus::Invalid,
+                // Future engine error variants default to Internal: the
+                // request may be fine and the server is not.
+                _ => WireStatus::Internal,
+            };
+            let mut response = WireSegmentResponse::error(status, err.to_string(), queue_wait_us);
+            response.service_us = service_us;
+            return response;
+        }
+        Err(panic) => {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".to_string());
+            let mut response = WireSegmentResponse::error(
+                WireStatus::Internal,
+                format!("execution panicked: {message}"),
+                queue_wait_us,
+            );
+            response.service_us = service_us;
+            return response;
+        }
+    };
+    let output = report.single();
+    let executed_tiled = matches!(output.mode, ExecutedMode::Tiled { .. });
+    let telemetry = engine.telemetry();
+    WireSegmentResponse {
+        queue_wait_us,
+        service_us,
+        body: ResponseBody::Labels {
+            executed_tiled,
+            width: output.label_map.width() as u32,
+            height: output.label_map.height() as u32,
+            labels: output.label_map.as_raw().to_vec(),
+            telemetry: WireTelemetry {
+                cache_hits: telemetry.cache_hits,
+                cache_misses: telemetry.cache_misses,
+                cache_entries: telemetry.cache_entries as u32,
+                cache_bytes: telemetry.cache_bytes as u64,
+                peak_matrix_bytes: telemetry.peak_matrix_bytes as u64,
+                backend: telemetry.backend.to_string(),
+                kernel_isa: telemetry.kernel_isa.to_string(),
+            },
+        },
+    }
+}

@@ -1,0 +1,338 @@
+//! End-to-end loopback tests: a real listener, real sockets, real workers.
+
+use std::time::Duration;
+
+use imaging::{DynamicImage, GrayImage};
+use seghdc::{SegEngine, SegHdcConfig, SegmentRequest};
+use seghdc_server::{
+    serve, RequestMode, ResponseBody, SegClient, ServerConfig, WireSegmentRequest, WireStatus,
+};
+
+fn test_config(seed: u64) -> SegHdcConfig {
+    SegHdcConfig::builder()
+        .dimension(512)
+        .beta(4)
+        .iterations(3)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+fn gradient_image(width: usize, height: usize) -> DynamicImage {
+    let mut img = GrayImage::new(width, height).unwrap();
+    for y in 0..height {
+        for x in 0..width {
+            img.set(x, y, (((x + y) * 255) / (width + height - 1)) as u8)
+                .unwrap();
+        }
+    }
+    DynamicImage::Gray(img)
+}
+
+/// A config whose whole-image run takes long enough to occupy a worker
+/// while other requests pile up behind it.
+fn slow_config(seed: u64) -> SegHdcConfig {
+    SegHdcConfig::builder()
+        .dimension(4096)
+        .beta(4)
+        .iterations(10)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn served_labels_are_byte_identical_to_a_direct_engine_run() {
+    let handle = serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = SegClient::connect(handle.local_addr()).unwrap();
+
+    let config = test_config(7);
+    let image = gradient_image(48, 32);
+    let request = WireSegmentRequest::from_image(&config, &image, RequestMode::Auto, 0);
+    let response = client.segment(&request).unwrap();
+    assert_eq!(response.status(), WireStatus::Ok);
+    let served = response.label_map().unwrap();
+
+    let engine = SegEngine::new(config).unwrap();
+    let direct = engine.run(&SegmentRequest::image(&image)).unwrap();
+    assert_eq!(served.as_raw(), direct.single().label_map.as_raw());
+
+    // The telemetry envelope travels with the labels.
+    match &response.body {
+        ResponseBody::Labels { telemetry, .. } => {
+            assert_eq!(telemetry.cache_misses, 1);
+            assert!(!telemetry.kernel_isa.is_empty());
+            assert!(!telemetry.backend.is_empty());
+        }
+        ResponseBody::Error { .. } => panic!("expected labels"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn forced_modes_round_trip_through_the_server() {
+    let handle = serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = SegClient::connect(handle.local_addr()).unwrap();
+    let config = test_config(11);
+    let image = gradient_image(64, 48);
+
+    let whole = client
+        .segment(&WireSegmentRequest::from_image(
+            &config,
+            &image,
+            RequestMode::WholeImage,
+            0,
+        ))
+        .unwrap();
+    let tiled = client
+        .segment(&WireSegmentRequest::from_image(
+            &config,
+            &image,
+            RequestMode::Tiled {
+                tile_width: 32,
+                tile_height: 32,
+                halo: 4,
+            },
+            0,
+        ))
+        .unwrap();
+    match (&whole.body, &tiled.body) {
+        (
+            ResponseBody::Labels {
+                executed_tiled: whole_tiled,
+                ..
+            },
+            ResponseBody::Labels {
+                executed_tiled: tiled_tiled,
+                ..
+            },
+        ) => {
+            assert!(!whole_tiled);
+            assert!(tiled_tiled);
+        }
+        _ => panic!("expected labels from both modes"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_frames_get_an_invalid_frame_then_eof() {
+    let handle = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_frame_bytes: 4096,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    // The client's own cap must be larger, or it would refuse to send.
+    let mut client = SegClient::connect(handle.local_addr())
+        .unwrap()
+        .max_frame_bytes(64 << 20);
+
+    let request = WireSegmentRequest::from_image(
+        &test_config(3),
+        &gradient_image(128, 128),
+        RequestMode::Auto,
+        0,
+    );
+    assert!(request.encode().len() > 4096);
+    let response = client.segment(&request).unwrap();
+    assert_eq!(response.status(), WireStatus::Invalid);
+
+    // The server hangs up after a framing violation: the next exchange
+    // fails instead of hanging.
+    let small = WireSegmentRequest::from_image(
+        &test_config(3),
+        &gradient_image(8, 8),
+        RequestMode::Auto,
+        0,
+    );
+    assert!(client.segment(&small).is_err());
+    handle.shutdown();
+}
+
+#[test]
+fn zero_sized_images_are_refused_with_an_invalid_frame() {
+    let handle = serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = SegClient::connect(handle.local_addr()).unwrap();
+
+    let mut request = WireSegmentRequest::from_image(
+        &test_config(5),
+        &gradient_image(8, 8),
+        RequestMode::Auto,
+        0,
+    );
+    request.width = 0;
+    request.height = 0;
+    request.pixels.clear();
+    let response = client.segment(&request).unwrap();
+    assert_eq!(response.status(), WireStatus::Invalid);
+
+    // The connection survives a well-framed but invalid request.
+    let good = WireSegmentRequest::from_image(
+        &test_config(5),
+        &gradient_image(8, 8),
+        RequestMode::Auto,
+        0,
+    );
+    assert_eq!(client.segment(&good).unwrap().status(), WireStatus::Ok);
+    handle.shutdown();
+}
+
+#[test]
+fn expired_deadlines_are_answered_with_deadline_exceeded() {
+    let handle = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // Occupy the single worker with a slow request.
+    let slow = std::thread::spawn(move || {
+        let mut client = SegClient::connect(addr).unwrap();
+        let request = WireSegmentRequest::from_image(
+            &slow_config(1),
+            &gradient_image(96, 96),
+            RequestMode::WholeImage,
+            30_000,
+        );
+        client.segment(&request).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    // This request's 1 ms deadline expires while it waits in the queue.
+    let mut client = SegClient::connect(addr).unwrap();
+    let doomed = WireSegmentRequest::from_image(
+        &test_config(2),
+        &gradient_image(16, 16),
+        RequestMode::Auto,
+        1,
+    );
+    let response = client.segment(&doomed).unwrap();
+    assert_eq!(response.status(), WireStatus::DeadlineExceeded);
+
+    assert_eq!(slow.join().unwrap().status(), WireStatus::Ok);
+    handle.shutdown();
+}
+
+#[test]
+fn a_full_admission_queue_answers_busy() {
+    let handle = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // First slow request occupies the worker; second fills the queue.
+    let occupants: Vec<_> = (0..2)
+        .map(|n| {
+            std::thread::spawn(move || {
+                let mut client = SegClient::connect(addr).unwrap();
+                let request = WireSegmentRequest::from_image(
+                    &slow_config(n),
+                    &gradient_image(96, 96),
+                    RequestMode::WholeImage,
+                    60_000,
+                );
+                client.segment(&request).unwrap()
+            })
+        })
+        .inspect(|_| {
+            // Stagger admissions so the worker has claimed the first
+            // before the second arrives.
+            std::thread::sleep(Duration::from_millis(200));
+        })
+        .collect();
+
+    let mut client = SegClient::connect(addr).unwrap();
+    let rejected = WireSegmentRequest::from_image(
+        &test_config(9),
+        &gradient_image(16, 16),
+        RequestMode::Auto,
+        60_000,
+    );
+    let response = client.segment(&rejected).unwrap();
+    assert_eq!(response.status(), WireStatus::Busy);
+    assert_eq!(response.service_us, 0);
+
+    for occupant in occupants {
+        let status = occupant.join().unwrap().status();
+        assert!(
+            status == WireStatus::Ok || status == WireStatus::DeadlineExceeded,
+            "occupant ended as {status:?}"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_same_codebook_clients_share_one_cache_miss() {
+    let handle = serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = SegClient::connect(addr).unwrap();
+                let request = WireSegmentRequest::from_image(
+                    &test_config(21),
+                    &gradient_image(40, 40),
+                    RequestMode::Auto,
+                    0,
+                );
+                client.segment(&request).unwrap()
+            })
+        })
+        .collect();
+
+    let mut max_hits = 0u64;
+    for client in clients {
+        let response = client.join().unwrap();
+        match response.body {
+            ResponseBody::Labels { telemetry, .. } => {
+                // The per-key build lock guarantees one build no matter
+                // how the four runs interleave.
+                assert_eq!(telemetry.cache_misses, 1);
+                max_hits = max_hits.max(telemetry.cache_hits);
+            }
+            ResponseBody::Error { status, message } => {
+                panic!("expected labels, got {status:?}: {message}")
+            }
+        }
+    }
+    // The last run to finish observed the other three as hits.
+    assert_eq!(max_hits, 3);
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_answers_new_requests_with_busy_or_refuses_the_connection() {
+    let handle = serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.local_addr();
+    let mut client = SegClient::connect(addr).unwrap();
+    let request = WireSegmentRequest::from_image(
+        &test_config(4),
+        &gradient_image(8, 8),
+        RequestMode::Auto,
+        0,
+    );
+    assert_eq!(client.segment(&request).unwrap().status(), WireStatus::Ok);
+    handle.shutdown();
+    // After shutdown the port no longer serves: either the connection is
+    // refused or an admitted frame is answered Busy by the draining queue.
+    if let Ok(mut client) = SegClient::connect(addr) {
+        if let Ok(response) = client.segment(&request) {
+            assert_eq!(response.status(), WireStatus::Busy);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Segmentation as a service: start the framed TCP front-end in-process,
+//! drive it from a few concurrent clients, and read the telemetry envelope
+//! that rides back with every response — cache behaviour, arena high-water
+//! mark and the kernel ISA that served the request.
+//!
+//! Run with: `cargo run --release --example segmentation_service`
+
+use seghdc_server::ResponseBody;
+use seghdc_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let handle = serve("127.0.0.1:0", ServerConfig::default())?;
+    let addr = handle.local_addr();
+    println!("serving on {addr}\n");
+
+    // Three synthetic nuclei images of the same shape: the first request
+    // pays the codebook build, the rest hit the shared cache.
+    let dataset = SyntheticDataset::new(DatasetProfile::dsb2018_like().scaled(64, 64), 3, 7)?;
+    let config = SegHdcConfig::builder()
+        .dimension(2048)
+        .beta(4)
+        .iterations(5)
+        .build()?;
+
+    let workers: Vec<_> = (0..dataset.len())
+        .map(|n| {
+            let image = dataset.sample(n).expect("sample exists").image;
+            let config = config.clone();
+            std::thread::spawn(move || {
+                let mut client = SegClient::connect(addr).expect("connect");
+                let request =
+                    WireSegmentRequest::from_image(&config, &image, RequestMode::Auto, 2_000);
+                client.segment(&request).expect("exchange")
+            })
+        })
+        .collect();
+
+    for (n, worker) in workers.into_iter().enumerate() {
+        let response = worker.join().expect("client thread");
+        match response.body {
+            ResponseBody::Labels {
+                width,
+                height,
+                telemetry,
+                ..
+            } => {
+                println!(
+                    "image {n}: {width}x{height} labels in {:.2} ms \
+                     (queued {:.2} ms) — cache {} hit(s) / {} miss(es), \
+                     {} KiB resident, kernel {}",
+                    response.service_us as f64 / 1e3,
+                    response.queue_wait_us as f64 / 1e3,
+                    telemetry.cache_hits,
+                    telemetry.cache_misses,
+                    telemetry.cache_bytes / 1024,
+                    telemetry.kernel_isa,
+                );
+            }
+            ResponseBody::Error { status, message } => {
+                println!("image {n}: {status:?}: {message}");
+            }
+        }
+    }
+
+    handle.shutdown();
+    println!("\nserver drained and shut down");
+    Ok(())
+}

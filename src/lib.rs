@@ -11,6 +11,7 @@
 //! * [`cnn_baseline`] — the Kim et al. unsupervised CNN segmentation
 //!   baseline.
 //! * [`seghdc`] — the SegHDC pipeline itself (the paper's contribution).
+//! * [`seghdc_server`] — framed TCP service front-end over the engine.
 //! * [`edge_device`] — the Raspberry Pi 4 cost model.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
@@ -46,6 +47,7 @@ pub use hdc;
 pub use imaging;
 pub use neuralnet;
 pub use seghdc;
+pub use seghdc_server;
 pub use synthdata;
 
 /// Commonly used types, re-exported for convenient glob imports in examples
@@ -60,6 +62,10 @@ pub mod prelude {
         ExecutedMode, ExecutionMode, PositionEncoding, SegEngine, SegHdc, SegHdcConfig,
         SegmentReport, SegmentRequest, Segmentation, SimdCpuBackend, StreamingSegmentation,
         TileArena, TileConfig,
+    };
+    pub use seghdc_server::{
+        serve, RequestMode, SegClient, ServerConfig, WireSegmentRequest, WireSegmentResponse,
+        WireStatus,
     };
     pub use synthdata::{DatasetProfile, NucleiImageGenerator, Sample, SyntheticDataset};
 }
