@@ -23,6 +23,18 @@
 //! count. `--quick` runs a seconds-scale smoke (serve a handful of
 //! requests, assert they succeed) without touching the JSON — that is the
 //! CI mode.
+//!
+//! `--snapshot-warm` measures the codebook-snapshot warm-start path
+//! instead: first-request latency on a cold server (cache build on the
+//! request path) versus a server started from a persisted snapshot, plus
+//! a short sustained warm run. It records:
+//!
+//! * `server_cold_first` — first-request latency on a cold cache, ns
+//! * `server_warm_first` — first-request latency after warm start, ns
+//! * `server_warm_req`   — mean ns per request, warm serial stream
+//!
+//! `--quick --snapshot-warm` combines the two: a JSON-free smoke that
+//! still asserts the warm-started server serves with zero cache misses.
 
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -128,8 +140,119 @@ fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
     sorted[index]
 }
 
+/// Measures cold-cache versus snapshot-warm-started first-request
+/// latency, then a short sustained warm stream.
+fn snapshot_warm(quick: bool) {
+    let dir = std::env::temp_dir().join(format!("seghdc-server-load-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create snapshot scratch dir");
+    let path = dir.join("codebooks.sgsn");
+    let mix = request_mix();
+
+    // Cold server: the first request pays the codebook build.
+    let cold = serve("127.0.0.1:0", ServerConfig::default()).expect("bind cold server");
+    let mut client = SegClient::connect(cold.local_addr()).expect("cold connection");
+    let cold_start = Instant::now();
+    let response = client.segment(&mix[0]).expect("cold exchange");
+    let cold_first_ns = cold_start.elapsed().as_nanos() as u64;
+    assert_eq!(response.status(), WireStatus::Ok, "{:?}", response.body);
+    let kernel_isa = match &response.body {
+        ResponseBody::Labels { telemetry, .. } => telemetry.kernel_isa.clone(),
+        ResponseBody::Error { .. } => unreachable!("status was Ok"),
+    };
+    // Touch every key in the mix so the snapshot carries all of them.
+    for request in &mix[1..] {
+        let response = client.segment(request).expect("cold exchange");
+        assert_eq!(response.status(), WireStatus::Ok, "{:?}", response.body);
+    }
+    let saved = cold
+        .save_snapshot(&path)
+        .expect("persist codebook snapshot");
+    cold.shutdown();
+
+    // Warm server: the build cost moved off the request path to startup.
+    let warm = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            codebook_snapshot: Some(path),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind warm server");
+    let mut client = SegClient::connect(warm.local_addr()).expect("warm connection");
+    let warm_start = Instant::now();
+    let response = client.segment(&mix[0]).expect("warm exchange");
+    let warm_first_ns = warm_start.elapsed().as_nanos() as u64;
+    assert_eq!(response.status(), WireStatus::Ok, "{:?}", response.body);
+    match &response.body {
+        ResponseBody::Labels { telemetry, .. } => assert_eq!(
+            telemetry.cache_misses, 0,
+            "warm-started server rebuilt a codebook"
+        ),
+        ResponseBody::Error { .. } => unreachable!("status was Ok"),
+    }
+
+    // Short sustained warm stream for a mean ns/request figure.
+    let rounds = if quick { 2 } else { 16 };
+    let stream_start = Instant::now();
+    for _ in 0..rounds {
+        for request in &mix {
+            let response = client.segment(request).expect("warm exchange");
+            assert_eq!(response.status(), WireStatus::Ok, "{:?}", response.body);
+        }
+    }
+    let warm_req_ns = stream_start.elapsed().as_nanos() as f64 / (rounds * mix.len()) as f64;
+    warm.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "snapshot warm start ({saved} codebooks): cold first {:.2} ms, warm first {:.2} ms, \
+         warm sustained {:.3} ms/req",
+        cold_first_ns as f64 / 1e6,
+        warm_first_ns as f64 / 1e6,
+        warm_req_ns / 1e6
+    );
+
+    if quick {
+        println!("server_load --quick --snapshot-warm: warm start served with zero misses");
+        return;
+    }
+
+    let records = vec![
+        BenchRecord {
+            op: "server_cold_first".to_string(),
+            isa: kernel_isa.clone(),
+            dim: DIMENSION,
+            k: 1,
+            ns_per_op: cold_first_ns as f64,
+        },
+        BenchRecord {
+            op: "server_warm_first".to_string(),
+            isa: kernel_isa.clone(),
+            dim: DIMENSION,
+            k: 1,
+            ns_per_op: warm_first_ns as f64,
+        },
+        BenchRecord {
+            op: "server_warm_req".to_string(),
+            isa: kernel_isa,
+            dim: DIMENSION,
+            k: 1,
+            ns_per_op: warm_req_ns,
+        },
+    ];
+    let path = std::env::var_os("SEGHDC_BENCH_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_server.json"));
+    merge_into_file(&path, &records).expect("write bench records");
+    println!("recorded {} records to {}", records.len(), path.display());
+}
+
 fn main() {
     let quick = std::env::args().any(|arg| arg == "--quick");
+    if std::env::args().any(|arg| arg == "--snapshot-warm") {
+        snapshot_warm(quick);
+        return;
+    }
     let connections: usize = if quick { 2 } else { 4 };
 
     let handle = serve("127.0.0.1:0", ServerConfig::default()).expect("bind loopback server");

@@ -464,9 +464,67 @@ pub struct BitSlicedCounts {
 }
 
 impl BitSlicedCounts {
+    /// Reassembles a snapshot from its raw parts, the inverse of
+    /// [`dim`](Self::dim) / [`plane_words`](Self::plane_words) /
+    /// [`norm`](Self::norm) / [`items`](Self::items) — the persistence
+    /// constructor: a serialized centroid set round-trips through these
+    /// accessors bit-identically (including the cached norm, which is
+    /// stored rather than recomputed so cosine distances stay exact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::ZeroDimension`] if `dim == 0`, and
+    /// [`HdcError::InvalidParameter`] if `planes` is not a whole number of
+    /// `dim.div_ceil(64)`-word planes, a tail bit beyond `dim` is set, or
+    /// `norm` is not a finite non-negative value.
+    pub fn from_parts(dim: usize, planes: Vec<u64>, norm: f64, items: usize) -> Result<Self> {
+        if dim == 0 {
+            return Err(HdcError::ZeroDimension);
+        }
+        let words_per_plane = dim.div_ceil(64);
+        if !planes.len().is_multiple_of(words_per_plane) {
+            return Err(HdcError::InvalidParameter {
+                message: format!(
+                    "plane words ({}) are not a multiple of the {words_per_plane}-word plane size",
+                    planes.len()
+                ),
+            });
+        }
+        let tail_bits = dim % 64;
+        if tail_bits != 0 {
+            let mask = !0u64 << tail_bits;
+            for plane in planes.chunks_exact(words_per_plane) {
+                if plane[words_per_plane - 1] & mask != 0 {
+                    return Err(HdcError::InvalidParameter {
+                        message: format!("plane tail bits beyond dimension {dim} are set"),
+                    });
+                }
+            }
+        }
+        if !(norm.is_finite() && norm >= 0.0) {
+            return Err(HdcError::InvalidParameter {
+                message: format!("norm must be finite and non-negative, got {norm}"),
+            });
+        }
+        Ok(Self {
+            dim,
+            words_per_plane,
+            planes,
+            norm,
+            items,
+        })
+    }
+
     /// The hypervector dimension.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// The raw plane-major packed counter bits
+    /// (`planes[p * dim.div_ceil(64) + w]`), for persistence; feed them
+    /// back through [`from_parts`](Self::from_parts).
+    pub fn plane_words(&self) -> &[u64] {
+        &self.planes
     }
 
     /// Number of binary planes (`⌈log2(max_count + 1)⌉`).

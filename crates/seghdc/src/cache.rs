@@ -13,6 +13,7 @@
 //! [`crate::SegEngineBuilder::cache`] lets several engines share a single
 //! cache).
 
+use crate::snapshot::{Snapshot, SnapshotError};
 use crate::sync::lock_unpoisoned;
 use crate::{ColorEncoding, PixelEncoder, PositionEncoding, Result, SegHdcConfig};
 use std::collections::HashMap;
@@ -298,6 +299,113 @@ impl CodebookCache {
         inner.entries.clear();
         inner.bytes = 0;
     }
+
+    /// Exports every resident codebook into a [`Snapshot`], ordered by a
+    /// canonical key sort so the serialized bytes are stable across runs
+    /// (the backing map iterates in arbitrary order).
+    pub fn export_snapshot(&self) -> Snapshot {
+        let mut resident: Vec<(CodebookKey, Arc<PixelEncoder>)> = {
+            let inner = lock_unpoisoned(&self.inner);
+            inner
+                .entries
+                .iter()
+                .map(|(key, entry)| (*key, Arc::clone(&entry.encoder)))
+                .collect()
+        };
+        resident.sort_by_key(|(key, _)| key_sort_order(key));
+        let mut snapshot = Snapshot::new();
+        for (key, encoder) in resident {
+            snapshot
+                .push_codebook(key, encoder)
+                .expect("resident entries were built for their own key");
+        }
+        snapshot
+    }
+
+    /// Installs a snapshot's codebooks as resident entries, returning how
+    /// many were installed.
+    ///
+    /// Loaded entries count as neither hits nor misses — the stats keep
+    /// describing request traffic, and a warm-started server's first
+    /// same-shape request reports zero cache misses. Entries already
+    /// resident for a key are replaced (byte accounting stays exact), and
+    /// the usual LRU eviction applies if the snapshot overflows the
+    /// capacity: codebooks early in the snapshot are evicted first.
+    pub fn install_snapshot(&self, snapshot: &Snapshot) -> usize {
+        let mut inner = lock_unpoisoned(&self.inner);
+        let mut installed = 0;
+        for (key, encoder) in snapshot.codebooks() {
+            inner.tick += 1;
+            let tick = inner.tick;
+            let bytes = encoder.codebook_bytes();
+            inner.bytes += bytes;
+            if let Some(previous) = inner.entries.insert(
+                *key,
+                CacheEntry {
+                    encoder: Arc::clone(encoder),
+                    bytes,
+                    last_used: tick,
+                },
+            ) {
+                inner.bytes -= previous.bytes;
+            }
+            Self::evict_to_capacity(&mut inner, self.capacity_bytes, key);
+            installed += 1;
+        }
+        installed
+    }
+
+    /// Serializes every resident codebook to `path` in the
+    /// [`snapshot`](crate::snapshot) format, returning how many codebooks
+    /// were written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] if writing the file fails.
+    pub fn save_snapshot(
+        &self,
+        path: &std::path::Path,
+    ) -> std::result::Result<usize, SnapshotError> {
+        let snapshot = self.export_snapshot();
+        let count = snapshot.codebooks().len();
+        snapshot.save(path)?;
+        Ok(count)
+    }
+
+    /// Restores codebooks from a snapshot file written by
+    /// [`save_snapshot`](Self::save_snapshot), returning how many were
+    /// installed (see [`install_snapshot`](Self::install_snapshot) for the
+    /// stats and eviction semantics).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]: I/O failure (including a missing file),
+    /// corruption, or an oversized file.
+    pub fn load_snapshot(
+        &self,
+        path: &std::path::Path,
+    ) -> std::result::Result<usize, SnapshotError> {
+        let snapshot = Snapshot::load(path)?;
+        Ok(self.install_snapshot(&snapshot))
+    }
+}
+
+/// A canonical total order over [`CodebookKey`]s for byte-stable exports.
+fn key_sort_order(
+    key: &CodebookKey,
+) -> (u64, usize, usize, usize, usize, u64, usize, usize, u8, u8) {
+    (
+        key.seed,
+        key.dimension,
+        key.width,
+        key.height,
+        key.channels,
+        key.alpha_bits,
+        key.beta,
+        key.gamma,
+        key.position_encoding as u8,
+        key.color_encoding as u8,
+    )
 }
 
 /// Removes a builder's `building` registration when it goes out of scope —
@@ -561,6 +669,74 @@ mod tests {
         });
         assert!(successful_builds.load(Ordering::SeqCst) >= 1);
         assert!(cache.contains(&key));
+    }
+
+    #[test]
+    fn snapshot_save_load_warm_starts_a_fresh_cache() {
+        let dir = std::env::temp_dir().join(format!("seghdc-cache-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.sgsn");
+
+        let cfg = config(23);
+        let warm = CodebookCache::with_capacity(usize::MAX);
+        let key_a = CodebookKey::for_shape(&cfg, 8, 8, 1);
+        let key_b = CodebookKey::for_shape(&cfg, 9, 7, 1);
+        let built_a = warm
+            .get_or_build(key_a, || Ok(build_for(&cfg, 8, 8)))
+            .unwrap();
+        warm.get_or_build(key_b, || Ok(build_for(&cfg, 9, 7)))
+            .unwrap();
+        assert_eq!(warm.save_snapshot(&path).unwrap(), 2);
+
+        let cold = CodebookCache::with_capacity(usize::MAX);
+        assert_eq!(cold.load_snapshot(&path).unwrap(), 2);
+        let stats = cold.stats();
+        // Loading counts as neither hit nor miss.
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.bytes, warm.stats().bytes);
+        // The restored entry serves hits without rebuilding, bit-identical
+        // to the original build.
+        let restored = cold
+            .get_or_build(key_a, || panic!("must be served from the snapshot"))
+            .unwrap();
+        assert_eq!(restored.codebook_bytes(), built_a.codebook_bytes());
+        for i in 0..8 {
+            assert_eq!(
+                restored.position().row_hv(i).unwrap(),
+                built_a.position().row_hv(i).unwrap()
+            );
+        }
+        assert_eq!(cold.stats().hits, 1);
+
+        // Deterministic export: both caches serialize to identical bytes.
+        assert_eq!(
+            warm.export_snapshot().to_bytes(),
+            cold.export_snapshot().to_bytes()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_install_respects_the_byte_capacity() {
+        let cfg = config(29);
+        let donor = CodebookCache::with_capacity(usize::MAX);
+        let keys: Vec<CodebookKey> = (0..3)
+            .map(|n| CodebookKey::for_shape(&cfg, 8, 8 + n, 1))
+            .collect();
+        for (n, key) in keys.iter().enumerate() {
+            donor
+                .get_or_build(*key, || Ok(build_for(&cfg, 8, 8 + n)))
+                .unwrap();
+        }
+        let one_entry = build_for(&cfg, 8, 8).codebook_bytes();
+        let bounded = CodebookCache::with_capacity(one_entry + one_entry / 2);
+        let installed = bounded.install_snapshot(&donor.export_snapshot());
+        assert_eq!(installed, 3);
+        let stats = bounded.stats();
+        assert_eq!(stats.entries, 1, "capacity holds one entry");
+        assert!(stats.bytes <= bounded.capacity_bytes());
+        assert_eq!(stats.evictions, 2);
     }
 
     #[test]

@@ -172,6 +172,67 @@ impl ColorEncoder {
         })
     }
 
+    /// Reassembles an encoder from previously built per-channel codebooks —
+    /// the snapshot-restore path. The full-dimension placed codes are
+    /// rebuilt from the chunk codes (a deterministic bit-shift, no RNG), so
+    /// a snapshot only has to carry the chunk codebooks.
+    pub(crate) fn from_parts(
+        encoding: ColorEncoding,
+        dimension: usize,
+        flip_unit: usize,
+        channel_codes: Vec<Vec<BinaryHypervector>>,
+    ) -> Result<Self> {
+        let channels = channel_codes.len();
+        if channels != 1 && channels != 3 {
+            return Err(SegHdcError::InvalidConfig {
+                message: format!("colour encoder supports 1 or 3 channels, got {channels}"),
+            });
+        }
+        if channel_codes.iter().any(|codes| codes.len() != 256) {
+            return Err(SegHdcError::InvalidConfig {
+                message: "each colour channel codebook must hold 256 codes".to_string(),
+            });
+        }
+        let chunk_sum: usize = channel_codes.iter().map(|codes| codes[0].dim()).sum();
+        if chunk_sum != dimension {
+            return Err(SegHdcError::InvalidConfig {
+                message: format!(
+                    "colour chunk dimensions sum to {chunk_sum}, expected {dimension}"
+                ),
+            });
+        }
+        let mut placed_codes = Vec::with_capacity(channels);
+        let mut offset = 0;
+        for codes in &channel_codes {
+            let chunk = codes[0].dim();
+            if codes.iter().any(|code| code.dim() != chunk) {
+                return Err(SegHdcError::InvalidConfig {
+                    message: "colour codes within a channel must share one chunk dimension"
+                        .to_string(),
+                });
+            }
+            let placed = codes
+                .iter()
+                .map(|code| place_chunk(code, offset, dimension))
+                .collect::<Result<Vec<_>>>()?;
+            offset += chunk;
+            placed_codes.push(placed);
+        }
+        Ok(Self {
+            dimension,
+            channels,
+            encoding,
+            flip_unit,
+            channel_codes,
+            placed_codes,
+        })
+    }
+
+    /// The per-channel chunk codebooks (256 codes each), for persistence.
+    pub(crate) fn channel_codes(&self) -> &[Vec<BinaryHypervector>] {
+        &self.channel_codes
+    }
+
     /// The total hypervector dimensionality (sum of the channel chunks).
     pub fn dimension(&self) -> usize {
         self.dimension

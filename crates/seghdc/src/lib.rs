@@ -81,6 +81,7 @@ mod error;
 mod pipeline;
 mod pixel;
 mod position;
+pub mod snapshot;
 pub mod sweep;
 mod sync;
 pub mod tiled;
@@ -101,6 +102,7 @@ pub use error::SegHdcError;
 pub use pipeline::{SegHdc, Segmentation};
 pub use pixel::PixelEncoder;
 pub use position::PositionEncoder;
+pub use snapshot::{CentroidSetSnapshot, Snapshot, SnapshotError};
 pub use tiled::{StreamingSegmentation, TileArena, TileConfig};
 
 /// Result alias used throughout the crate.

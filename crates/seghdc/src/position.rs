@@ -155,6 +155,56 @@ impl PositionEncoder {
         })
     }
 
+    /// Reassembles an encoder from previously built codebooks — the
+    /// snapshot-restore path. Callers (the [`crate::snapshot`] reader) are
+    /// trusted to pass codebooks that [`Self::new`] produced for the same
+    /// parameters; only the structural invariants the encode paths rely on
+    /// are re-checked.
+    pub(crate) fn from_parts(
+        encoding: PositionEncoding,
+        dimension: usize,
+        rows: Vec<BinaryHypervector>,
+        cols: Vec<BinaryHypervector>,
+        row_flip_unit: usize,
+        col_flip_unit: usize,
+    ) -> Result<Self> {
+        if rows.is_empty() || cols.is_empty() {
+            return Err(SegHdcError::InvalidConfig {
+                message: "position grid must have at least one row and one column".to_string(),
+            });
+        }
+        if let Some(bad) = rows
+            .iter()
+            .chain(cols.iter())
+            .find(|hv| hv.dim() != dimension)
+        {
+            return Err(SegHdcError::InvalidConfig {
+                message: format!(
+                    "position codebook hypervector has dimension {}, expected {dimension}",
+                    bad.dim()
+                ),
+            });
+        }
+        Ok(Self {
+            dimension,
+            encoding,
+            rows,
+            cols,
+            row_flip_unit,
+            col_flip_unit,
+        })
+    }
+
+    /// The row codebook, in row order (for persistence).
+    pub(crate) fn row_hvs(&self) -> &[BinaryHypervector] {
+        &self.rows
+    }
+
+    /// The column codebook, in column order (for persistence).
+    pub(crate) fn col_hvs(&self) -> &[BinaryHypervector] {
+        &self.cols
+    }
+
     /// The hypervector dimensionality.
     pub fn dimension(&self) -> usize {
         self.dimension

@@ -9,10 +9,12 @@ use std::io::Write as _;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol::{WireSegmentRequest, WireSegmentResponse};
+use crate::protocol::{
+    WireSegmentRequest, WireSegmentResponse, WireStatsRequest, WireStatsResponse,
+};
 use crate::wire::{
     read_frame, write_frame, WireError, WireResult, DEFAULT_MAX_FRAME_BYTES, FRAME_REQUEST,
-    FRAME_RESPONSE,
+    FRAME_RESPONSE, FRAME_STATS_REQUEST, FRAME_STATS_RESPONSE,
 };
 
 /// A blocking connection to a segmentation server.
@@ -74,6 +76,30 @@ impl SegClient {
             Some((kind, _)) => Err(WireError::UnknownFrameKind(kind)),
             None => Err(WireError::Truncated {
                 field: "response frame",
+            }),
+        }
+    }
+
+    /// Asks the server for its statistics counters: uptime, this
+    /// connection's request counts, server-wide response/latency totals,
+    /// shared-cache counters and per-shard routing counters.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`WireError`]s for transport or framing failures.
+    pub fn stats(&mut self) -> WireResult<WireStatsResponse> {
+        write_frame(
+            &mut self.stream,
+            FRAME_STATS_REQUEST,
+            &WireStatsRequest.encode(),
+            self.max_frame_bytes,
+        )?;
+        self.stream.flush()?;
+        match read_frame(&mut self.stream, self.max_frame_bytes)? {
+            Some((FRAME_STATS_RESPONSE, payload)) => WireStatsResponse::decode(&payload),
+            Some((kind, _)) => Err(WireError::UnknownFrameKind(kind)),
+            None => Err(WireError::Truncated {
+                field: "stats response frame",
             }),
         }
     }

@@ -5,6 +5,7 @@ use std::fmt;
 use std::io;
 
 use crate::wire::WireError;
+use seghdc::SnapshotError;
 
 /// Why a server could not start or serve.
 #[derive(Debug)]
@@ -13,6 +14,11 @@ pub enum ServerError {
     Io(io::Error),
     /// A wire-level failure surfaced outside a connection thread.
     Wire(WireError),
+    /// Loading or saving a codebook snapshot failed. At startup this means
+    /// the configured warm-start file exists but is corrupt — refusing to
+    /// start beats silently serving cold from a file the operator believes
+    /// is warm.
+    Snapshot(SnapshotError),
 }
 
 impl fmt::Display for ServerError {
@@ -20,6 +26,7 @@ impl fmt::Display for ServerError {
         match self {
             ServerError::Io(err) => write!(f, "i/o error: {err}"),
             ServerError::Wire(err) => write!(f, "wire error: {err}"),
+            ServerError::Snapshot(err) => write!(f, "codebook snapshot error: {err}"),
         }
     }
 }
@@ -29,6 +36,7 @@ impl Error for ServerError {
         match self {
             ServerError::Io(err) => Some(err),
             ServerError::Wire(err) => Some(err),
+            ServerError::Snapshot(err) => Some(err),
         }
     }
 }
@@ -42,5 +50,11 @@ impl From<io::Error> for ServerError {
 impl From<WireError> for ServerError {
     fn from(err: WireError) -> Self {
         ServerError::Wire(err)
+    }
+}
+
+impl From<SnapshotError> for ServerError {
+    fn from(err: SnapshotError) -> Self {
+        ServerError::Snapshot(err)
     }
 }

@@ -7,14 +7,25 @@
 //!   [`protocol`]): magic bytes, a frame-size cap enforced *before*
 //!   allocation, an FNV-1a checksum, and little-endian typed payloads —
 //!   hand-rolled because the workspace vendors its dependencies.
-//! * **Bounded admission with explicit backpressure** ([`queue`]): a full
-//!   queue answers [`WireStatus::Busy`] instead of queuing without bound.
+//! * **Bounded admission with explicit backpressure** ([`queue`],
+//!   [`shard`]): admission is sharded per worker with consistent hashing
+//!   on the [`CodebookKey`](seghdc::CodebookKey), spilling and stealing
+//!   between shards; only when every shard is full does a request get
+//!   [`WireStatus::Busy`] instead of queuing without bound.
 //! * **Per-request deadlines** ([`server`]): expired jobs are answered
 //!   [`WireStatus::DeadlineExceeded`] without touching the engine, with a
 //!   connection-side safety net for stalled workers.
-//! * **Cache-aware scheduling**: workers dequeue groups of requests with
-//!   the same [`CodebookKey`](seghdc::CodebookKey), so same-shape bursts
-//!   pay one codebook build.
+//! * **Cache-aware scheduling**: same-shape traffic is pinned to the
+//!   worker whose cache path is warm, and workers dequeue groups of
+//!   requests with the same codebook key, so same-shape bursts pay one
+//!   codebook build.
+//! * **Warm starts** ([`ServerConfig::codebook_snapshot`],
+//!   [`ServerHandle::save_snapshot`]): the shared codebook cache persists
+//!   to the versioned, checksummed [`seghdc::snapshot`] format and
+//!   preloads before the listener accepts.
+//! * **Observability** ([`SegClient::stats`]): a `STATS` frame reports
+//!   uptime plus per-connection, server-wide, cache and per-shard
+//!   counters.
 //! * **Panic containment**: a panicking execution answers
 //!   [`WireStatus::Internal`] and the engine's poison-recovering shared
 //!   state (codebook cache, arena pool) keeps serving.
@@ -47,19 +58,24 @@
 //! ```
 
 pub mod client;
+pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod shard;
 pub mod wire;
 
 mod error;
 
 pub use client::SegClient;
 pub use error::ServerError;
+pub use metrics::{MetricsSnapshot, ServerMetrics};
 pub use protocol::{
-    RequestMode, ResponseBody, WireSegmentRequest, WireSegmentResponse, WireStatus, WireTelemetry,
-    PROTOCOL_VERSION,
+    RequestMode, ResponseBody, WireCacheStats, WireConnectionStats, WireSegmentRequest,
+    WireSegmentResponse, WireServerStats, WireShardStats, WireStatsRequest, WireStatsResponse,
+    WireStatus, WireTelemetry, PROTOCOL_VERSION,
 };
 pub use queue::{AdmissionQueue, PushError};
 pub use server::{serve, ServerConfig, ServerHandle};
+pub use shard::{key_hash, HashRing, ShardStats, ShardedQueue};
 pub use wire::{WireError, WireResult, DEFAULT_MAX_FRAME_BYTES};

@@ -1,0 +1,148 @@
+//! Server-wide request counters behind lock-free atomics.
+//!
+//! Every response the server hands a client — served labels, `Busy`,
+//! `DeadlineExceeded`, `Invalid`, `Internal` — bumps exactly one status
+//! counter here, plus the cumulative queue-wait and service-time sums, so
+//! a `STATS` frame can report true server-wide rates and mean latencies
+//! without sampling. Counters are monotone from server start; readers take
+//! relaxed snapshots (stats are advisory, not a synchronisation point).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::protocol::WireStatus;
+
+/// Monotone counters over the server's lifetime.
+pub struct ServerMetrics {
+    started: Instant,
+    admitted: AtomicU64,
+    ok: AtomicU64,
+    busy: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    invalid: AtomicU64,
+    internal: AtomicU64,
+    queue_wait_us: AtomicU64,
+    service_us: AtomicU64,
+    snapshot_codebooks_loaded: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Fresh counters; `started` is now.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            admitted: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            invalid: AtomicU64::new(0),
+            internal: AtomicU64::new(0),
+            queue_wait_us: AtomicU64::new(0),
+            service_us: AtomicU64::new(0),
+            snapshot_codebooks_loaded: AtomicU64::new(0),
+        }
+    }
+
+    /// Counts one job accepted by the admission queue.
+    pub fn record_admitted(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one response as the client will see it.
+    pub fn record_response(&self, status: WireStatus, queue_wait_us: u64, service_us: u64) {
+        let counter = match status {
+            WireStatus::Ok => &self.ok,
+            WireStatus::Busy => &self.busy,
+            WireStatus::DeadlineExceeded => &self.deadline_exceeded,
+            WireStatus::Invalid => &self.invalid,
+            WireStatus::Internal => &self.internal,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.queue_wait_us
+            .fetch_add(queue_wait_us, Ordering::Relaxed);
+        self.service_us.fetch_add(service_us, Ordering::Relaxed);
+    }
+
+    /// Records how many codebooks a startup snapshot warm-started.
+    pub fn record_snapshot_loaded(&self, codebooks: usize) {
+        self.snapshot_codebooks_loaded
+            .store(codebooks as u64, Ordering::Relaxed);
+    }
+
+    /// Milliseconds since the server started.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// A point-in-time snapshot of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            invalid: self.invalid.load(Ordering::Relaxed),
+            internal: self.internal.load(Ordering::Relaxed),
+            queue_wait_us: self.queue_wait_us.load(Ordering::Relaxed),
+            service_us: self.service_us.load(Ordering::Relaxed),
+            snapshot_codebooks_loaded: self.snapshot_codebooks_loaded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The counter values at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Jobs the admission queue accepted.
+    pub admitted: u64,
+    /// Responses with served labels.
+    pub ok: u64,
+    /// `Busy` rejections (full queue or shutdown).
+    pub busy: u64,
+    /// `DeadlineExceeded` responses.
+    pub deadline_exceeded: u64,
+    /// `Invalid` responses (malformed or out-of-domain requests).
+    pub invalid: u64,
+    /// `Internal` responses (engine failures, caught panics).
+    pub internal: u64,
+    /// Cumulative admission-queue wait, microseconds.
+    pub queue_wait_us: u64,
+    /// Cumulative engine service time, microseconds.
+    pub service_us: u64,
+    /// Codebooks warm-started from a startup snapshot.
+    pub snapshot_codebooks_loaded: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_status_lands_on_its_own_counter() {
+        let metrics = ServerMetrics::new();
+        metrics.record_admitted();
+        metrics.record_response(WireStatus::Ok, 10, 100);
+        metrics.record_response(WireStatus::Busy, 0, 0);
+        metrics.record_response(WireStatus::DeadlineExceeded, 5, 0);
+        metrics.record_response(WireStatus::Invalid, 0, 0);
+        metrics.record_response(WireStatus::Internal, 1, 2);
+        metrics.record_snapshot_loaded(3);
+
+        let snap = metrics.snapshot();
+        assert_eq!(snap.admitted, 1);
+        assert_eq!(snap.ok, 1);
+        assert_eq!(snap.busy, 1);
+        assert_eq!(snap.deadline_exceeded, 1);
+        assert_eq!(snap.invalid, 1);
+        assert_eq!(snap.internal, 1);
+        assert_eq!(snap.queue_wait_us, 16);
+        assert_eq!(snap.service_us, 102);
+        assert_eq!(snap.snapshot_codebooks_loaded, 3);
+    }
+}

@@ -475,6 +475,213 @@ impl WireSegmentResponse {
     }
 }
 
+/// A statistics request as it travels on the wire (version only — the
+/// response always carries every counter the server keeps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStatsRequest;
+
+impl WireStatsRequest {
+    /// Serializes the stats-request payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        w.put_u16(PROTOCOL_VERSION);
+        w.finish()
+    }
+
+    /// Deserializes a stats-request payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnsupportedVersion`] on a version this build does not
+    /// speak, [`WireError::TrailingBytes`] on extra bytes.
+    pub fn decode(payload: &[u8]) -> WireResult<Self> {
+        let mut r = PayloadReader::new(payload);
+        let version = r.take_u16("version")?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        r.expect_end()?;
+        Ok(Self)
+    }
+}
+
+/// Counters kept by the connection thread serving this client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireConnectionStats {
+    /// Segmentation requests received on this connection.
+    pub requests: u64,
+    /// Responses on this connection that carried labels.
+    pub responses_ok: u64,
+    /// Responses on this connection that carried a typed error.
+    pub responses_error: u64,
+}
+
+/// Server-wide counters since the server started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireServerStats {
+    /// Jobs the admission queue accepted.
+    pub admitted: u64,
+    /// Responses with served labels.
+    pub responses_ok: u64,
+    /// `Busy` rejections.
+    pub responses_busy: u64,
+    /// `DeadlineExceeded` responses.
+    pub responses_deadline: u64,
+    /// `Invalid` responses.
+    pub responses_invalid: u64,
+    /// `Internal` responses.
+    pub responses_internal: u64,
+    /// Cumulative admission-queue wait, microseconds.
+    pub queue_wait_us: u64,
+    /// Cumulative engine service time, microseconds.
+    pub service_us: u64,
+}
+
+/// The shared codebook cache as the server sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireCacheStats {
+    /// Cache hits over the server's lifetime.
+    pub hits: u64,
+    /// Cache misses over the server's lifetime.
+    pub misses: u64,
+    /// Entries evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Encoders currently resident.
+    pub entries: u32,
+    /// Codebook bytes currently resident.
+    pub bytes: u64,
+    /// Codebooks warm-started from a startup snapshot.
+    pub snapshot_loaded: u32,
+}
+
+/// One admission shard's counters (see `crate::shard`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireShardStats {
+    /// Jobs admitted here because this was their home shard.
+    pub routed: u64,
+    /// Jobs admitted here because their home shard was full.
+    pub spilled: u64,
+    /// Jobs dequeued from here by a different worker.
+    pub stolen: u64,
+    /// Jobs dequeued from here by this shard's own worker.
+    pub served: u64,
+    /// Jobs queued here right now.
+    pub depth: u64,
+}
+
+/// A statistics response as it travels on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireStatsResponse {
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Worker threads (== admission shards).
+    pub workers: u32,
+    /// Counters for the connection that asked.
+    pub connection: WireConnectionStats,
+    /// Server-wide counters.
+    pub server: WireServerStats,
+    /// Shared codebook-cache counters.
+    pub cache: WireCacheStats,
+    /// Per-shard routing counters, in shard order.
+    pub shards: Vec<WireShardStats>,
+}
+
+impl WireStatsResponse {
+    /// Serializes the stats-response payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = PayloadWriter::new();
+        w.put_u16(PROTOCOL_VERSION);
+        w.put_u64(self.uptime_ms);
+        w.put_u32(self.workers);
+        w.put_u64(self.connection.requests);
+        w.put_u64(self.connection.responses_ok);
+        w.put_u64(self.connection.responses_error);
+        w.put_u64(self.server.admitted);
+        w.put_u64(self.server.responses_ok);
+        w.put_u64(self.server.responses_busy);
+        w.put_u64(self.server.responses_deadline);
+        w.put_u64(self.server.responses_invalid);
+        w.put_u64(self.server.responses_internal);
+        w.put_u64(self.server.queue_wait_us);
+        w.put_u64(self.server.service_us);
+        w.put_u64(self.cache.hits);
+        w.put_u64(self.cache.misses);
+        w.put_u64(self.cache.evictions);
+        w.put_u32(self.cache.entries);
+        w.put_u64(self.cache.bytes);
+        w.put_u32(self.cache.snapshot_loaded);
+        w.put_u32(self.shards.len() as u32);
+        for shard in &self.shards {
+            w.put_u64(shard.routed);
+            w.put_u64(shard.spilled);
+            w.put_u64(shard.stolen);
+            w.put_u64(shard.served);
+            w.put_u64(shard.depth);
+        }
+        w.finish()
+    }
+
+    /// Deserializes a stats-response payload.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`WireError`]s for version/shape violations; the shard count
+    /// is validated against the remaining payload length before the shard
+    /// list is allocated.
+    pub fn decode(payload: &[u8]) -> WireResult<Self> {
+        let mut r = PayloadReader::new(payload);
+        let version = r.take_u16("version")?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let uptime_ms = r.take_u64("uptime_ms")?;
+        let workers = r.take_u32("workers")?;
+        let connection = WireConnectionStats {
+            requests: r.take_u64("connection.requests")?,
+            responses_ok: r.take_u64("connection.responses_ok")?,
+            responses_error: r.take_u64("connection.responses_error")?,
+        };
+        let server = WireServerStats {
+            admitted: r.take_u64("server.admitted")?,
+            responses_ok: r.take_u64("server.responses_ok")?,
+            responses_busy: r.take_u64("server.responses_busy")?,
+            responses_deadline: r.take_u64("server.responses_deadline")?,
+            responses_invalid: r.take_u64("server.responses_invalid")?,
+            responses_internal: r.take_u64("server.responses_internal")?,
+            queue_wait_us: r.take_u64("server.queue_wait_us")?,
+            service_us: r.take_u64("server.service_us")?,
+        };
+        let cache = WireCacheStats {
+            hits: r.take_u64("cache.hits")?,
+            misses: r.take_u64("cache.misses")?,
+            evictions: r.take_u64("cache.evictions")?,
+            entries: r.take_u32("cache.entries")?,
+            bytes: r.take_u64("cache.bytes")?,
+            snapshot_loaded: r.take_u32("cache.snapshot_loaded")?,
+        };
+        let shard_count = r.take_u32("shard_count")? as usize;
+        let mut shards = Vec::with_capacity(shard_count.min(1024));
+        for _ in 0..shard_count {
+            shards.push(WireShardStats {
+                routed: r.take_u64("shard.routed")?,
+                spilled: r.take_u64("shard.spilled")?,
+                stolen: r.take_u64("shard.stolen")?,
+                served: r.take_u64("shard.served")?,
+                depth: r.take_u64("shard.depth")?,
+            });
+        }
+        r.expect_end()?;
+        Ok(Self {
+            uptime_ms,
+            workers,
+            connection,
+            server,
+            cache,
+            shards,
+        })
+    }
+}
+
 fn encode_position(encoding: PositionEncoding) -> u8 {
     match encoding {
         PositionEncoding::Uniform => 0,
@@ -690,6 +897,96 @@ mod tests {
                 ResponseBody::Error { message, .. } => assert_eq!(message, "queue full"),
                 ResponseBody::Labels { .. } => panic!("expected an error body"),
             }
+        }
+    }
+
+    #[test]
+    fn stats_requests_round_trip_and_refuse_unknown_versions() {
+        let request = WireStatsRequest;
+        assert_eq!(
+            WireStatsRequest::decode(&request.encode()).unwrap(),
+            request
+        );
+        let mut payload = request.encode();
+        payload[0] = 9;
+        assert!(matches!(
+            WireStatsRequest::decode(&payload),
+            Err(WireError::UnsupportedVersion(9))
+        ));
+        let mut long = request.encode();
+        long.push(0);
+        assert!(matches!(
+            WireStatsRequest::decode(&long),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn stats_responses_round_trip_with_shard_lists() {
+        let response = WireStatsResponse {
+            uptime_ms: 123_456,
+            workers: 4,
+            connection: WireConnectionStats {
+                requests: 10,
+                responses_ok: 9,
+                responses_error: 1,
+            },
+            server: WireServerStats {
+                admitted: 40,
+                responses_ok: 36,
+                responses_busy: 2,
+                responses_deadline: 1,
+                responses_invalid: 1,
+                responses_internal: 0,
+                queue_wait_us: 5_000,
+                service_us: 90_000,
+            },
+            cache: WireCacheStats {
+                hits: 35,
+                misses: 3,
+                evictions: 1,
+                entries: 2,
+                bytes: 1 << 20,
+                snapshot_loaded: 2,
+            },
+            shards: vec![
+                WireShardStats {
+                    routed: 30,
+                    spilled: 2,
+                    stolen: 4,
+                    served: 28,
+                    depth: 0,
+                },
+                WireShardStats::default(),
+            ],
+        };
+        let decoded = WireStatsResponse::decode(&response.encode()).unwrap();
+        assert_eq!(decoded, response);
+
+        // An empty shard list survives too.
+        let empty = WireStatsResponse {
+            shards: Vec::new(),
+            ..response
+        };
+        assert_eq!(WireStatsResponse::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn truncated_stats_responses_are_typed_errors() {
+        let response = WireStatsResponse {
+            uptime_ms: 1,
+            workers: 1,
+            connection: WireConnectionStats::default(),
+            server: WireServerStats::default(),
+            cache: WireCacheStats::default(),
+            shards: vec![WireShardStats::default()],
+        };
+        let payload = response.encode();
+        for len in 0..payload.len() {
+            assert!(
+                WireStatsResponse::decode(&payload[..len]).is_err(),
+                "truncation to {len} bytes decoded successfully"
+            );
         }
     }
 

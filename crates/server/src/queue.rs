@@ -14,6 +14,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 /// Why a push was refused.
 #[derive(Debug, PartialEq, Eq)]
@@ -92,17 +93,7 @@ impl<T> AdmissionQueue<T> {
     {
         let mut state = self.lock();
         loop {
-            if let Some(first) = state.jobs.pop_front() {
-                let mut group = vec![first];
-                let mut index = 0;
-                while group.len() < max_group.max(1) && index < state.jobs.len() {
-                    if same_group(&group[0], &state.jobs[index]) {
-                        let job = state.jobs.remove(index).expect("index is in bounds");
-                        group.push(job);
-                    } else {
-                        index += 1;
-                    }
-                }
+            if let Some(group) = drain_group(&mut state, max_group, &same_group) {
                 return Some(group);
             }
             if state.shutdown {
@@ -113,6 +104,35 @@ impl<T> AdmissionQueue<T> {
                 .wait(state)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
+    }
+
+    /// Like [`pop_group`](Self::pop_group), but returns `None` immediately
+    /// when the queue is empty instead of blocking. Used by sharded
+    /// dispatch, where an empty home shard means "go steal", not "sleep".
+    pub fn try_pop_group<F>(&self, max_group: usize, same_group: F) -> Option<Vec<T>>
+    where
+        F: Fn(&T, &T) -> bool,
+    {
+        drain_group(&mut self.lock(), max_group, &same_group)
+    }
+
+    /// Parks the caller until a job arrives, the queue shuts down, or
+    /// `timeout` elapses — whichever happens first. Purely a wakeup hint:
+    /// the caller re-checks the queue (and its steal victims) afterwards.
+    pub fn wait_for_job(&self, timeout: Duration) {
+        let state = self.lock();
+        if !state.jobs.is_empty() || state.shutdown {
+            return;
+        }
+        let _ = self
+            .available
+            .wait_timeout(state, timeout)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+
+    /// Whether [`shutdown`](Self::shutdown) has been called.
+    pub fn is_shut_down(&self) -> bool {
+        self.lock().shutdown
     }
 
     /// Marks the queue as shut down and wakes every blocked worker.
@@ -131,6 +151,27 @@ impl<T> AdmissionQueue<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+/// The shared group-dequeue step: pop the oldest job, then pull up to
+/// `max_group - 1` same-group jobs past any interlopers, preserving FIFO
+/// order within the group.
+fn drain_group<T, F>(state: &mut QueueState<T>, max_group: usize, same_group: &F) -> Option<Vec<T>>
+where
+    F: Fn(&T, &T) -> bool,
+{
+    let first = state.jobs.pop_front()?;
+    let mut group = vec![first];
+    let mut index = 0;
+    while group.len() < max_group.max(1) && index < state.jobs.len() {
+        if same_group(&group[0], &state.jobs[index]) {
+            let job = state.jobs.remove(index).expect("index is in bounds");
+            group.push(job);
+        } else {
+            index += 1;
+        }
+    }
+    Some(group)
 }
 
 #[cfg(test)]
@@ -197,6 +238,42 @@ mod tests {
         queue.shutdown();
         assert_eq!(waiter.join().unwrap(), None);
         assert_eq!(queue.try_push(7), Err(PushError::ShutDown(7)));
+    }
+
+    #[test]
+    fn try_pop_group_never_blocks() {
+        let queue = AdmissionQueue::new(4);
+        assert_eq!(queue.try_pop_group(4, |_, _: &u32| true), None);
+        queue.try_push(1u32).unwrap();
+        queue.try_push(2).unwrap();
+        assert_eq!(queue.try_pop_group(4, |_, _| true), Some(vec![1, 2]));
+        assert_eq!(queue.try_pop_group(4, |_, _| true), None);
+    }
+
+    #[test]
+    fn wait_for_job_returns_on_push_shutdown_and_timeout() {
+        // Timeout: an empty, live queue parks for roughly the timeout.
+        let queue = AdmissionQueue::<u32>::new(4);
+        let start = std::time::Instant::now();
+        queue.wait_for_job(Duration::from_millis(10));
+        assert!(start.elapsed() >= Duration::from_millis(5));
+
+        // Push: a queued job returns immediately.
+        queue.try_push(1).unwrap();
+        let start = std::time::Instant::now();
+        queue.wait_for_job(Duration::from_secs(5));
+        assert!(start.elapsed() < Duration::from_secs(1));
+
+        // Shutdown: a blocked waiter is woken.
+        let queue = Arc::new(AdmissionQueue::<u32>::new(4));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.wait_for_job(Duration::from_secs(30)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        queue.shutdown();
+        waiter.join().unwrap();
+        assert!(queue.is_shut_down());
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! The threaded segmentation server.
 //!
-//! One accept loop, one connection thread per client, a bounded
-//! [`AdmissionQueue`], and a fixed worker pool dispatching into shared
-//! [`SegEngine`]s. The contract a client sees:
+//! One accept loop, one connection thread per client, a **sharded**
+//! admission queue ([`crate::shard`]) with one shard per worker, and a
+//! fixed worker pool dispatching into shared [`SegEngine`]s. The contract
+//! a client sees:
 //!
-//! * **Backpressure, not queuing collapse.** A request that does not fit
-//!   the admission queue is answered immediately with a
-//!   [`WireStatus::Busy`] frame.
+//! * **Backpressure, not queuing collapse.** A request that fits no
+//!   admission shard is answered immediately with a [`WireStatus::Busy`]
+//!   frame.
 //! * **Deadlines are honoured.** Each request carries a deadline; a worker
 //!   that dequeues an already-expired job answers
 //!   [`WireStatus::DeadlineExceeded`] without touching the engine, and the
@@ -17,14 +18,28 @@
 //!   and arena pools recover from the poisoned locks (see the
 //!   `seghdc::cache` and `seghdc::engine` panic-safety tests), so the next
 //!   request on the same engine is served normally.
-//! * **Cache-aware scheduling.** Workers dequeue *groups* of requests that
-//!   resolve to the same [`CodebookKey`], so a burst of same-shape
-//!   requests pays one codebook build and then hits the shared cache.
+//! * **Cache-aware scheduling, twice over.** Admission consistently
+//!   hashes each request's [`CodebookKey`] to a home shard, so same-shape
+//!   traffic keeps landing on the worker whose cache path is warm; on top
+//!   of that, workers dequeue *groups* of same-key requests, so a burst
+//!   pays one codebook build and then hits the shared cache. Cold or
+//!   overflowing shards spill at admission and are stolen from at
+//!   dispatch, so pinning never strands capacity.
+//! * **Warm starts.** [`ServerConfig::codebook_snapshot`] names a
+//!   [`seghdc::snapshot`]-format file to preload the codebook cache from
+//!   before the listener accepts, and [`ServerHandle::save_snapshot`]
+//!   writes one back; a warm-started server serves its first same-shape
+//!   request with zero cache misses.
+//! * **Observable from outside.** A `STATS` frame returns uptime,
+//!   per-connection and server-wide request/latency counters, cache
+//!   counters, and per-shard routing counters (see
+//!   [`crate::protocol::WireStatsResponse`]).
 
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -32,25 +47,31 @@ use std::time::{Duration, Instant};
 
 use seghdc::{
     CodebookCache, CodebookKey, ExecutedMode, ExecutionMode, SegEngine, SegHdcConfig, SegHdcError,
-    SegmentRequest, TileConfig,
+    SegmentRequest, SnapshotError, TileConfig,
 };
 
+use crate::metrics::ServerMetrics;
 use crate::protocol::{
-    RequestMode, ResponseBody, WireSegmentRequest, WireSegmentResponse, WireStatus, WireTelemetry,
+    RequestMode, ResponseBody, WireCacheStats, WireConnectionStats, WireSegmentRequest,
+    WireSegmentResponse, WireServerStats, WireShardStats, WireStatsRequest, WireStatsResponse,
+    WireStatus, WireTelemetry,
 };
-use crate::queue::{AdmissionQueue, PushError};
+use crate::queue::PushError;
+use crate::shard::{key_hash, ShardedQueue};
 use crate::wire::{
     read_frame, write_frame, WireError, DEFAULT_MAX_FRAME_BYTES, FRAME_REQUEST, FRAME_RESPONSE,
+    FRAME_STATS_REQUEST, FRAME_STATS_RESPONSE,
 };
 use crate::ServerError;
 
 /// Tuning knobs of a running server (see [`serve`]).
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads executing segmentations.
+    /// Worker threads executing segmentations; also the admission shard
+    /// count (one shard per worker).
     pub workers: usize,
-    /// Admission-queue capacity; one more request than this is in flight
-    /// per worker at worst. Requests beyond it get `Busy`.
+    /// Admission capacity **per shard**; requests beyond it spill to other
+    /// shards, and get `Busy` only when every shard is full.
     pub queue_depth: usize,
     /// Largest frame accepted or produced, in bytes.
     pub max_frame_bytes: usize,
@@ -64,6 +85,11 @@ pub struct ServerConfig {
     pub max_engines: usize,
     /// Byte capacity of the codebook cache shared by every engine.
     pub codebook_cache_bytes: usize,
+    /// Snapshot file to warm-start the codebook cache from before the
+    /// listener accepts. A missing file is a normal cold start (first
+    /// boot); an existing-but-corrupt file refuses to start with
+    /// [`ServerError::Snapshot`].
+    pub codebook_snapshot: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +105,7 @@ impl Default for ServerConfig {
             max_group: 8,
             max_engines: 16,
             codebook_cache_bytes: 64 << 20,
+            codebook_snapshot: None,
         }
     }
 }
@@ -165,13 +192,33 @@ impl EngineFleet {
         engines.insert(key, Arc::clone(&engine));
         Ok(engine)
     }
+
+    fn cache_stats(&self) -> seghdc::CacheStats {
+        self.cache.stats()
+    }
+
+    fn load_snapshot(&self, path: &Path) -> Result<usize, SnapshotError> {
+        self.cache.load_snapshot(path)
+    }
+
+    fn save_snapshot(&self, path: &Path) -> Result<usize, SnapshotError> {
+        self.cache.save_snapshot(path)
+    }
+}
+
+/// Everything a connection thread or worker needs, behind one `Arc`.
+struct ServerShared {
+    config: ServerConfig,
+    queue: ShardedQueue<Job>,
+    fleet: EngineFleet,
+    metrics: ServerMetrics,
 }
 
 /// Handle to a running server; dropping it shuts the server down.
 pub struct ServerHandle {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    queue: Arc<AdmissionQueue<Job>>,
+    shared: Arc<ServerShared>,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -182,6 +229,19 @@ impl ServerHandle {
         self.local_addr
     }
 
+    /// Serializes every codebook resident in the shared cache to `path`
+    /// in the [`seghdc::snapshot`] format, returning how many codebooks
+    /// were written. A later server started with
+    /// [`ServerConfig::codebook_snapshot`] pointing at the file serves its
+    /// first same-shape request warm.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Snapshot`] if writing fails.
+    pub fn save_snapshot(&self, path: &Path) -> Result<usize, ServerError> {
+        Ok(self.shared.fleet.save_snapshot(path)?)
+    }
+
     /// Stops accepting, drains admitted jobs, and joins every thread.
     pub fn shutdown(mut self) {
         self.stop();
@@ -189,7 +249,7 @@ impl ServerHandle {
 
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        self.queue.shutdown();
+        self.shared.queue.shutdown();
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(thread) = self.accept_thread.take() {
@@ -211,40 +271,51 @@ impl Drop for ServerHandle {
 ///
 /// # Errors
 ///
-/// [`ServerError::Io`] if the listener cannot bind.
+/// [`ServerError::Io`] if the listener cannot bind;
+/// [`ServerError::Snapshot`] if [`ServerConfig::codebook_snapshot`] names
+/// an existing file that fails to load (a missing file is a cold start,
+/// not an error).
 pub fn serve(addr: &str, config: ServerConfig) -> Result<ServerHandle, ServerError> {
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let queue = Arc::new(AdmissionQueue::<Job>::new(config.queue_depth));
-    let fleet = Arc::new(EngineFleet::new(
-        config.codebook_cache_bytes,
-        config.max_engines,
-    ));
+    let workers = config.workers.max(1);
+    let fleet = EngineFleet::new(config.codebook_cache_bytes, config.max_engines);
+    let metrics = ServerMetrics::new();
 
-    let workers = (0..config.workers.max(1))
-        .map(|_| {
-            let queue = Arc::clone(&queue);
-            let fleet = Arc::clone(&fleet);
-            let max_group = config.max_group;
-            std::thread::spawn(move || worker_loop(&queue, &fleet, max_group))
+    if let Some(path) = config.codebook_snapshot.as_deref() {
+        if path.exists() {
+            let loaded = fleet.load_snapshot(path)?;
+            metrics.record_snapshot_loaded(loaded);
+        }
+    }
+
+    let shared = Arc::new(ServerShared {
+        queue: ShardedQueue::new(workers, config.queue_depth),
+        config,
+        fleet,
+        metrics,
+    });
+
+    let worker_threads = (0..workers)
+        .map(|worker| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(worker, &shared))
         })
         .collect();
 
     let accept_thread = {
         let shutdown = Arc::clone(&shutdown);
-        let queue = Arc::clone(&queue);
-        let config = config.clone();
+        let shared = Arc::clone(&shared);
         std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
-                let queue = Arc::clone(&queue);
-                let config = config.clone();
+                let shared = Arc::clone(&shared);
                 std::thread::spawn(move || {
-                    let _ = serve_connection(stream, &queue, &config);
+                    let _ = serve_connection(stream, &shared);
                 });
             }
         })
@@ -253,21 +324,19 @@ pub fn serve(addr: &str, config: ServerConfig) -> Result<ServerHandle, ServerErr
     Ok(ServerHandle {
         local_addr,
         shutdown,
-        queue,
+        shared,
         accept_thread: Some(accept_thread),
-        workers,
+        workers: worker_threads,
     })
 }
 
-/// Reads request frames off one connection until EOF, answering each.
-fn serve_connection(
-    mut stream: TcpStream,
-    queue: &AdmissionQueue<Job>,
-    config: &ServerConfig,
-) -> Result<(), WireError> {
+/// Reads frames off one connection until EOF, answering each.
+fn serve_connection(mut stream: TcpStream, shared: &ServerShared) -> Result<(), WireError> {
     stream.set_nodelay(true).ok();
+    let max_frame_bytes = shared.config.max_frame_bytes;
+    let mut connection = WireConnectionStats::default();
     loop {
-        let (kind, payload) = match read_frame(&mut stream, config.max_frame_bytes) {
+        let (kind, payload) = match read_frame(&mut stream, max_frame_bytes) {
             Ok(Some(frame)) => frame,
             // Clean EOF: the client is done.
             Ok(None) => return Ok(()),
@@ -280,49 +349,152 @@ fn serve_connection(
                     &mut stream,
                     FRAME_RESPONSE,
                     &response.encode(),
-                    config.max_frame_bytes,
+                    max_frame_bytes,
                 );
                 let _ = stream.flush();
+                drain_before_close(&mut stream, max_frame_bytes);
                 return Err(err);
             }
         };
-        if kind != FRAME_REQUEST {
-            let response = WireSegmentResponse::error(
-                WireStatus::Invalid,
-                format!("expected a request frame, got kind {kind}"),
-                0,
-            );
-            write_frame(
-                &mut stream,
-                FRAME_RESPONSE,
-                &response.encode(),
-                config.max_frame_bytes,
-            )?;
-            continue;
+        match kind {
+            FRAME_REQUEST => {
+                connection.requests += 1;
+                let response = handle_request(&payload, shared);
+                match response.status() {
+                    WireStatus::Ok => connection.responses_ok += 1,
+                    _ => connection.responses_error += 1,
+                }
+                write_frame(
+                    &mut stream,
+                    FRAME_RESPONSE,
+                    &response.encode(),
+                    max_frame_bytes,
+                )?;
+            }
+            FRAME_STATS_REQUEST => match WireStatsRequest::decode(&payload) {
+                Ok(WireStatsRequest) => {
+                    let response = stats_response(shared, &connection);
+                    write_frame(
+                        &mut stream,
+                        FRAME_STATS_RESPONSE,
+                        &response.encode(),
+                        max_frame_bytes,
+                    )?;
+                }
+                Err(err) => {
+                    let response =
+                        WireSegmentResponse::error(WireStatus::Invalid, err.to_string(), 0);
+                    write_frame(
+                        &mut stream,
+                        FRAME_RESPONSE,
+                        &response.encode(),
+                        max_frame_bytes,
+                    )?;
+                }
+            },
+            other => {
+                let response = WireSegmentResponse::error(
+                    WireStatus::Invalid,
+                    format!("expected a request frame, got kind {other}"),
+                    0,
+                );
+                write_frame(
+                    &mut stream,
+                    FRAME_RESPONSE,
+                    &response.encode(),
+                    max_frame_bytes,
+                )?;
+            }
         }
-        let response = handle_request(&payload, queue, config);
-        write_frame(
-            &mut stream,
-            FRAME_RESPONSE,
-            &response.encode(),
-            config.max_frame_bytes,
-        )?;
+    }
+}
+
+/// Consumes whatever the peer has already sent (bounded in bytes and
+/// time) before the socket drops. Closing with unread data in the receive
+/// buffer makes TCP reset the connection, which can destroy the error
+/// frame still in flight and break the peer's pending write — e.g. a
+/// client mid-way through sending the oversized frame that triggered the
+/// rejection.
+fn drain_before_close(stream: &mut TcpStream, _max_bytes: usize) {
+    use std::io::Read as _;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut sink = [0u8; 8192];
+    // The rejected frame may be far larger than this server's own cap —
+    // that is usually why it was rejected — so the drain is bounded by
+    // time, not by the cap: a stalling or endlessly streaming peer gets
+    // the RST after the deadline instead of holding the thread.
+    let deadline = Instant::now() + Duration::from_millis(500);
+    while Instant::now() < deadline {
+        match stream.read(&mut sink) {
+            Ok(n) if n > 0 => {}
+            // EOF, a read timeout, or an error: nothing more in flight.
+            _ => break,
+        }
+    }
+}
+
+/// Builds a `STATS` response from the shared counters.
+fn stats_response(shared: &ServerShared, connection: &WireConnectionStats) -> WireStatsResponse {
+    let metrics = shared.metrics.snapshot();
+    let cache = shared.fleet.cache_stats();
+    WireStatsResponse {
+        uptime_ms: shared.metrics.uptime_ms(),
+        workers: shared.queue.shard_count() as u32,
+        connection: *connection,
+        server: WireServerStats {
+            admitted: metrics.admitted,
+            responses_ok: metrics.ok,
+            responses_busy: metrics.busy,
+            responses_deadline: metrics.deadline_exceeded,
+            responses_invalid: metrics.invalid,
+            responses_internal: metrics.internal,
+            queue_wait_us: metrics.queue_wait_us,
+            service_us: metrics.service_us,
+        },
+        cache: WireCacheStats {
+            hits: cache.hits,
+            misses: cache.misses,
+            evictions: cache.evictions,
+            entries: cache.entries as u32,
+            bytes: cache.bytes as u64,
+            snapshot_loaded: metrics.snapshot_codebooks_loaded as u32,
+        },
+        shards: shared
+            .queue
+            .stats()
+            .into_iter()
+            .map(|shard| WireShardStats {
+                routed: shard.routed,
+                spilled: shard.spilled,
+                stolen: shard.stolen,
+                served: shard.served,
+                depth: shard.depth,
+            })
+            .collect(),
     }
 }
 
 /// Admits one decoded request and waits (deadline-bounded) for its
-/// response.
-fn handle_request(
-    payload: &[u8],
-    queue: &AdmissionQueue<Job>,
-    config: &ServerConfig,
-) -> WireSegmentResponse {
+/// response. Every response path records itself in the server metrics
+/// exactly once — as the client will see it.
+fn handle_request(payload: &[u8], shared: &ServerShared) -> WireSegmentResponse {
+    let response = admit_and_wait(payload, shared);
+    shared.metrics.record_response(
+        response.status(),
+        response.queue_wait_us,
+        response.service_us,
+    );
+    response
+}
+
+fn admit_and_wait(payload: &[u8], shared: &ServerShared) -> WireSegmentResponse {
     let request = match WireSegmentRequest::decode(payload) {
         Ok(request) => request,
         Err(err) => return WireSegmentResponse::error(WireStatus::Invalid, err.to_string(), 0),
     };
     let deadline_budget = if request.deadline_ms == 0 {
-        config.default_deadline
+        shared.config.default_deadline
     } else {
         Duration::from_millis(u64::from(request.deadline_ms))
     };
@@ -334,6 +506,7 @@ fn handle_request(
         request.height as usize,
         usize::from(request.channels),
     );
+    let hash = key_hash(&key);
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
         request,
@@ -342,15 +515,22 @@ fn handle_request(
         enqueued,
         reply: reply_tx,
     };
-    if let Err(err) = queue.try_push(job) {
-        let (status, message) = match err {
-            PushError::Full(_) => (
-                WireStatus::Busy,
-                format!("admission queue is full ({} jobs)", config.queue_depth),
-            ),
-            PushError::ShutDown(_) => (WireStatus::Busy, "server is shutting down".to_string()),
-        };
-        return WireSegmentResponse::error(status, message, 0);
+    match shared.queue.try_push(job, hash) {
+        Ok(_shard) => shared.metrics.record_admitted(),
+        Err(err) => {
+            let (status, message) = match err {
+                PushError::Full(_) => (
+                    WireStatus::Busy,
+                    format!(
+                        "admission queue is full ({} jobs per shard across {} shards)",
+                        shared.config.queue_depth,
+                        shared.queue.shard_count()
+                    ),
+                ),
+                PushError::ShutDown(_) => (WireStatus::Busy, "server is shutting down".to_string()),
+            };
+            return WireSegmentResponse::error(status, message, 0);
+        }
     }
     // Safety net on top of the worker-side deadline check: even if every
     // worker is stuck in a long execution, the client hears back shortly
@@ -366,9 +546,14 @@ fn handle_request(
     }
 }
 
-/// Worker: dequeue a same-codebook group, serve it in order.
-fn worker_loop(queue: &AdmissionQueue<Job>, fleet: &EngineFleet, max_group: usize) {
-    while let Some(group) = queue.pop_group(max_group, |a, b| a.key == b.key) {
+/// Worker: dequeue a same-codebook group (own shard first, stealing when
+/// idle), serve it in order.
+fn worker_loop(worker: usize, shared: &ServerShared) {
+    let max_group = shared.config.max_group;
+    while let Some(group) = shared
+        .queue
+        .pop_group_for(worker, max_group, |a, b| a.key == b.key)
+    {
         for job in group {
             let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
             let response = if Instant::now() >= job.deadline {
@@ -378,7 +563,7 @@ fn worker_loop(queue: &AdmissionQueue<Job>, fleet: &EngineFleet, max_group: usiz
                     queue_wait_us,
                 )
             } else {
-                execute(&job.request, fleet, queue_wait_us)
+                execute(&job.request, &shared.fleet, queue_wait_us)
             };
             // A closed receiver means the connection thread already
             // answered (deadline safety net) or hung up; nothing to do.

@@ -1,0 +1,360 @@
+//! Sharded admission: per-worker queues, consistent hashing, work stealing.
+//!
+//! The single global [`AdmissionQueue`] gave every worker an equal shot at
+//! every job, so a burst of same-[`CodebookKey`]
+//! requests could land on whichever workers woke first — each paying its
+//! own cold codebook path even though the cache is shared. Sharding pins
+//! same-shape traffic to one worker instead:
+//!
+//! * **Routing.** Every job carries a deterministic FNV-1a hash of its
+//!   codebook key ([`key_hash`]); a [`HashRing`] of virtual nodes maps the
+//!   hash to a *home shard*. Same key → same shard, every time, on every
+//!   platform (no `RandomState`, no per-process seeds), so the worker that
+//!   built a codebook is the worker that keeps serving it.
+//! * **Spill.** A full home shard does not mean the server is full: the
+//!   job spills to the least-loaded other shard, and only when *every*
+//!   shard is at capacity does admission answer `Busy`. With one shard the
+//!   behaviour degenerates to exactly the old global queue.
+//! * **Stealing.** A worker whose own shard is empty steals a group from
+//!   the deepest other shard, so a skewed key distribution cannot idle
+//!   half the pool while one shard backs up.
+//!
+//! Each shard keeps four monotone counters — `routed`, `spilled`,
+//! `stolen`, `served` — surfaced through the `STATS` frame so routing
+//! behaviour is observable from outside (the loopback suite asserts a
+//! same-key burst routes to exactly one shard).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use seghdc::CodebookKey;
+
+use crate::queue::{AdmissionQueue, PushError};
+
+/// FNV-1a 64 offset basis (shared with the frame and snapshot checksums).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64 prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_bytes(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A deterministic, platform-stable hash of a codebook key.
+///
+/// `std`'s `Hash` + `RandomState` is seeded per process, which would move
+/// every key to a different shard on every restart — exactly what a
+/// warm-started cache cannot afford. FNV-1a over the key's canonical
+/// little-endian field encoding gives the same shard assignment on every
+/// run and every platform.
+pub fn key_hash(key: &CodebookKey) -> u64 {
+    let mut hash = FNV_OFFSET;
+    hash = fnv_bytes(hash, &key.seed.to_le_bytes());
+    hash = fnv_bytes(hash, &(key.dimension as u64).to_le_bytes());
+    hash = fnv_bytes(hash, &(key.width as u64).to_le_bytes());
+    hash = fnv_bytes(hash, &(key.height as u64).to_le_bytes());
+    hash = fnv_bytes(hash, &(key.channels as u64).to_le_bytes());
+    hash = fnv_bytes(hash, &key.alpha_bits.to_le_bytes());
+    hash = fnv_bytes(hash, &(key.beta as u64).to_le_bytes());
+    hash = fnv_bytes(hash, &(key.gamma as u64).to_le_bytes());
+    hash = fnv_bytes(
+        hash,
+        &[key.position_encoding as u8, key.color_encoding as u8],
+    );
+    hash
+}
+
+/// Virtual nodes placed on the ring per shard. Enough to spread keys
+/// evenly across small shard counts; cheap to binary-search.
+const VIRTUAL_NODES: usize = 32;
+
+/// A consistent-hash ring over `shards` shards.
+///
+/// Each shard owns `VIRTUAL_NODES` (32) deterministic points on a `u64`
+/// ring; a key hashes to the first point at or after it (wrapping). The
+/// assignment depends only on the shard count, so a fleet scheduler can
+/// predict where a key lands from the server config alone.
+#[derive(Debug)]
+pub struct HashRing {
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// A ring over `shards` shards (at least one).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        let mut points = Vec::with_capacity(shards * VIRTUAL_NODES);
+        for shard in 0..shards {
+            for vnode in 0..VIRTUAL_NODES {
+                let mut hash = FNV_OFFSET;
+                hash = fnv_bytes(hash, &(shard as u64).to_le_bytes());
+                hash = fnv_bytes(hash, &(vnode as u64).to_le_bytes());
+                points.push((hash, shard));
+            }
+        }
+        points.sort_unstable();
+        Self { points }
+    }
+
+    /// The shard owning `hash`.
+    pub fn shard_for(&self, hash: u64) -> usize {
+        let index = self.points.partition_point(|&(point, _)| point < hash);
+        self.points[index % self.points.len()].1
+    }
+}
+
+/// A point-in-time snapshot of one shard's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Jobs admitted to this shard because it was their home.
+    pub routed: u64,
+    /// Jobs admitted to this shard because their home shard was full.
+    pub spilled: u64,
+    /// Jobs dequeued from this shard by a *different* worker (steals).
+    pub stolen: u64,
+    /// Jobs dequeued from this shard by its own worker.
+    pub served: u64,
+    /// Jobs currently queued on this shard.
+    pub depth: u64,
+}
+
+struct Shard<T> {
+    queue: AdmissionQueue<T>,
+    routed: AtomicU64,
+    spilled: AtomicU64,
+    stolen: AtomicU64,
+    served: AtomicU64,
+}
+
+/// Per-worker admission queues behind one consistent-hash front door.
+pub struct ShardedQueue<T> {
+    shards: Vec<Shard<T>>,
+    ring: HashRing,
+}
+
+impl<T> ShardedQueue<T> {
+    /// `shards` queues of `depth_per_shard` jobs each.
+    pub fn new(shards: usize, depth_per_shard: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    queue: AdmissionQueue::new(depth_per_shard),
+                    routed: AtomicU64::new(0),
+                    spilled: AtomicU64::new(0),
+                    stolen: AtomicU64::new(0),
+                    served: AtomicU64::new(0),
+                })
+                .collect(),
+            ring: HashRing::new(shards),
+        }
+    }
+
+    /// How many shards (== workers) this queue fans out over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The home shard for a key hash (exposed for tests and telemetry).
+    pub fn home_shard(&self, hash: u64) -> usize {
+        self.ring.shard_for(hash)
+    }
+
+    /// Admits a job to its home shard, spilling to the least-loaded other
+    /// shard when the home is full. Returns the shard that accepted it.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] only when **every** shard is at capacity;
+    /// [`PushError::ShutDown`] after [`shutdown`](Self::shutdown). Both
+    /// hand the job back.
+    pub fn try_push(&self, job: T, hash: u64) -> Result<usize, PushError<T>> {
+        let home = self.ring.shard_for(hash);
+        let mut job = match self.shards[home].queue.try_push(job) {
+            Ok(()) => {
+                self.shards[home].routed.fetch_add(1, Ordering::Relaxed);
+                return Ok(home);
+            }
+            Err(PushError::ShutDown(job)) => return Err(PushError::ShutDown(job)),
+            Err(PushError::Full(job)) => job,
+        };
+        // Home full: offer the job to every other shard, emptiest first.
+        let mut others: Vec<usize> = (0..self.shards.len()).filter(|&s| s != home).collect();
+        others.sort_by_key(|&s| self.shards[s].queue.len());
+        for shard in others {
+            job = match self.shards[shard].queue.try_push(job) {
+                Ok(()) => {
+                    self.shards[shard].spilled.fetch_add(1, Ordering::Relaxed);
+                    return Ok(shard);
+                }
+                Err(PushError::ShutDown(job)) => return Err(PushError::ShutDown(job)),
+                Err(PushError::Full(job)) => job,
+            };
+        }
+        Err(PushError::Full(job))
+    }
+
+    /// Worker-side dequeue: a group from the worker's own shard if it has
+    /// one, else a group stolen from the deepest other shard, else a short
+    /// park and retry. Returns `None` once the queue is shut down and every
+    /// shard has drained (admitted jobs still get real responses).
+    pub fn pop_group_for<F>(&self, worker: usize, max_group: usize, same_group: F) -> Option<Vec<T>>
+    where
+        F: Fn(&T, &T) -> bool,
+    {
+        let own = worker % self.shards.len();
+        loop {
+            if let Some(group) = self.shards[own].queue.try_pop_group(max_group, &same_group) {
+                self.shards[own]
+                    .served
+                    .fetch_add(group.len() as u64, Ordering::Relaxed);
+                return Some(group);
+            }
+            // Steal from the deepest other shard so a skewed key mix
+            // cannot idle this worker while another shard backs up.
+            let victim = (0..self.shards.len())
+                .filter(|&s| s != own)
+                .max_by_key(|&s| self.shards[s].queue.len())
+                .filter(|&s| !self.shards[s].queue.is_empty());
+            if let Some(victim) = victim {
+                if let Some(group) = self.shards[victim]
+                    .queue
+                    .try_pop_group(max_group, &same_group)
+                {
+                    self.shards[victim]
+                        .stolen
+                        .fetch_add(group.len() as u64, Ordering::Relaxed);
+                    return Some(group);
+                }
+            }
+            if self.shards[own].queue.is_shut_down() && self.total_len() == 0 {
+                return None;
+            }
+            // Park on the home shard; pushes there wake us immediately and
+            // the timeout bounds how stale a steal opportunity can get.
+            self.shards[own]
+                .queue
+                .wait_for_job(Duration::from_millis(2));
+        }
+    }
+
+    /// Shuts every shard down and wakes every parked worker.
+    pub fn shutdown(&self) {
+        for shard in &self.shards {
+            shard.queue.shutdown();
+        }
+    }
+
+    /// Jobs currently queued across all shards.
+    pub fn total_len(&self) -> usize {
+        self.shards.iter().map(|shard| shard.queue.len()).sum()
+    }
+
+    /// A counter snapshot per shard, in shard order.
+    pub fn stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|shard| ShardStats {
+                routed: shard.routed.load(Ordering::Relaxed),
+                spilled: shard.spilled.load(Ordering::Relaxed),
+                stolen: shard.stolen.load(Ordering::Relaxed),
+                served: shard.served.load(Ordering::Relaxed),
+                depth: shard.queue.len() as u64,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seghdc::SegHdcConfig;
+
+    fn sample_key(seed: u64, edge: usize) -> CodebookKey {
+        let config = SegHdcConfig::builder()
+            .dimension(256)
+            .beta(2)
+            .seed(seed)
+            .build()
+            .unwrap();
+        CodebookKey::for_shape(&config, edge, edge, 1)
+    }
+
+    #[test]
+    fn key_hashes_are_deterministic_and_shape_sensitive() {
+        assert_eq!(key_hash(&sample_key(1, 32)), key_hash(&sample_key(1, 32)));
+        assert_ne!(key_hash(&sample_key(1, 32)), key_hash(&sample_key(2, 32)));
+        assert_ne!(key_hash(&sample_key(1, 32)), key_hash(&sample_key(1, 48)));
+    }
+
+    #[test]
+    fn the_ring_spreads_keys_across_shards() {
+        let ring = HashRing::new(4);
+        let mut hit = [0usize; 4];
+        for seed in 0..64 {
+            hit[ring.shard_for(key_hash(&sample_key(seed, 32)))] += 1;
+        }
+        // Every shard owns some keys; no shard owns almost all of them.
+        assert!(hit.iter().all(|&count| count > 0), "ownership: {hit:?}");
+        assert!(hit.iter().all(|&count| count < 48), "ownership: {hit:?}");
+    }
+
+    #[test]
+    fn same_hash_always_routes_to_the_same_shard() {
+        let queue = ShardedQueue::new(4, 16);
+        let hash = key_hash(&sample_key(9, 32));
+        let home = queue.home_shard(hash);
+        for n in 0..8 {
+            assert_eq!(queue.try_push(n, hash).unwrap(), home);
+        }
+        let stats = queue.stats();
+        assert_eq!(stats[home].routed, 8);
+        assert_eq!(stats.iter().map(|s| s.spilled).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn a_full_home_shard_spills_and_a_full_queue_refuses() {
+        let queue = ShardedQueue::new(2, 1);
+        let hash = key_hash(&sample_key(3, 32));
+        let home = queue.home_shard(hash);
+        assert_eq!(queue.try_push(1u32, hash).unwrap(), home);
+        let spill = queue.try_push(2, hash).unwrap();
+        assert_ne!(spill, home);
+        assert_eq!(queue.stats()[spill].spilled, 1);
+        assert!(matches!(queue.try_push(3, hash), Err(PushError::Full(3))));
+    }
+
+    #[test]
+    fn workers_steal_from_other_shards() {
+        let queue = ShardedQueue::new(2, 8);
+        let hash = key_hash(&sample_key(5, 32));
+        let home = queue.home_shard(hash);
+        queue.try_push(1u32, hash).unwrap();
+        // The *other* worker finds its own shard empty and steals.
+        let thief = 1 - home;
+        let group = queue.pop_group_for(thief, 4, |_, _| true).unwrap();
+        assert_eq!(group, vec![1]);
+        let stats = queue.stats();
+        assert_eq!(stats[home].stolen, 1);
+        assert_eq!(stats[home].served, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_jobs_then_returns_none() {
+        let queue = ShardedQueue::new(2, 8);
+        let hash = key_hash(&sample_key(7, 32));
+        let home = queue.home_shard(hash);
+        queue.try_push(1u32, hash).unwrap();
+        queue.shutdown();
+        assert!(matches!(
+            queue.try_push(2, hash),
+            Err(PushError::ShutDown(2))
+        ));
+        assert_eq!(queue.pop_group_for(home, 4, |_, _| true), Some(vec![1]));
+        assert_eq!(queue.pop_group_for(home, 4, |_, _| true), None);
+    }
+}

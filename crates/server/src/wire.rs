@@ -12,7 +12,8 @@
 //!
 //! * **magic** — the four bytes `SGHD`; anything else means the peer is
 //!   not speaking this protocol and the connection is unrecoverable.
-//! * **kind** — [`FRAME_REQUEST`] or [`FRAME_RESPONSE`].
+//! * **kind** — [`FRAME_REQUEST`], [`FRAME_RESPONSE`],
+//!   [`FRAME_STATS_REQUEST`] or [`FRAME_STATS_RESPONSE`].
 //! * **len** — payload size. A receiver enforces its own cap *before*
 //!   allocating ([`WireError::FrameTooLarge`]), so a hostile or corrupt
 //!   length prefix cannot make it buffer gigabytes.
@@ -37,6 +38,12 @@ pub const FRAME_REQUEST: u8 = 1;
 
 /// Frame kind: a segmentation response (server → client).
 pub const FRAME_RESPONSE: u8 = 2;
+
+/// Frame kind: a server-statistics request (client → server).
+pub const FRAME_STATS_REQUEST: u8 = 3;
+
+/// Frame kind: a server-statistics response (server → client).
+pub const FRAME_STATS_RESPONSE: u8 = 4;
 
 /// Default cap on a single frame's payload (64 MiB — a 4096×4096 label
 /// map response fits with room to spare).
@@ -195,7 +202,7 @@ pub fn read_frame(stream: &mut impl Read, max_bytes: usize) -> WireResult<Option
     let mut kind = [0u8; 1];
     stream.read_exact(&mut kind)?;
     let kind = kind[0];
-    if kind != FRAME_REQUEST && kind != FRAME_RESPONSE {
+    if !(FRAME_REQUEST..=FRAME_STATS_RESPONSE).contains(&kind) {
         return Err(WireError::UnknownFrameKind(kind));
     }
     let mut len_bytes = [0u8; 4];

@@ -1,11 +1,13 @@
 //! End-to-end loopback tests: a real listener, real sockets, real workers.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use imaging::{DynamicImage, GrayImage};
 use seghdc::{SegEngine, SegHdcConfig, SegmentRequest};
 use seghdc_server::{
-    serve, RequestMode, ResponseBody, SegClient, ServerConfig, WireSegmentRequest, WireStatus,
+    serve, RequestMode, ResponseBody, SegClient, ServerConfig, ServerError, WireSegmentRequest,
+    WireStatus,
 };
 
 fn test_config(seed: u64) -> SegHdcConfig {
@@ -312,6 +314,209 @@ fn concurrent_same_codebook_clients_share_one_cache_miss() {
     }
     // The last run to finish observed the other three as hits.
     assert_eq!(max_hits, 3);
+    handle.shutdown();
+}
+
+/// A scratch directory under the system tempdir, removed on drop even if
+/// the test panics.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("seghdc-loopback-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn path(&self, file: &str) -> PathBuf {
+        self.0.join(file)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn a_snapshot_warm_started_server_serves_identical_labels_without_a_miss() {
+    let dir = TempDir::new("warm");
+    let path = dir.path("codebooks.sgsn");
+
+    let config = test_config(31);
+    let image = gradient_image(40, 28);
+    let request = WireSegmentRequest::from_image(&config, &image, RequestMode::Auto, 0);
+
+    // Cold server: serve once (one miss), then persist its cache.
+    let cold = serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = SegClient::connect(cold.local_addr()).unwrap();
+    let cold_response = client.segment(&request).unwrap();
+    assert_eq!(cold_response.status(), WireStatus::Ok);
+    let cold_labels = cold_response.label_map().unwrap();
+    assert_eq!(cold.save_snapshot(&path).unwrap(), 1);
+    cold.shutdown();
+
+    // Warm server: byte-identical labels, zero cache misses.
+    let warm = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            codebook_snapshot: Some(path),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = SegClient::connect(warm.local_addr()).unwrap();
+    let warm_response = client.segment(&request).unwrap();
+    assert_eq!(warm_response.status(), WireStatus::Ok);
+    assert_eq!(
+        warm_response.label_map().unwrap().as_raw(),
+        cold_labels.as_raw()
+    );
+    match &warm_response.body {
+        ResponseBody::Labels { telemetry, .. } => {
+            assert_eq!(telemetry.cache_misses, 0, "warm start must not rebuild");
+            assert!(telemetry.cache_hits >= 1);
+        }
+        ResponseBody::Error { status, message } => {
+            panic!("expected labels, got {status:?}: {message}")
+        }
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache.snapshot_loaded, 1);
+    assert_eq!(stats.cache.misses, 0);
+    warm.shutdown();
+}
+
+#[test]
+fn a_corrupt_snapshot_refuses_to_start_but_a_missing_one_is_a_cold_start() {
+    let dir = TempDir::new("corrupt");
+
+    // Corrupt file: the server must refuse to start rather than silently
+    // serve cold from a file the operator believes is warm.
+    let corrupt = dir.path("corrupt.sgsn");
+    std::fs::write(&corrupt, b"not a snapshot at all").unwrap();
+    let err = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            codebook_snapshot: Some(corrupt),
+            ..ServerConfig::default()
+        },
+    )
+    .err()
+    .expect("a corrupt snapshot must refuse to start");
+    assert!(matches!(err, ServerError::Snapshot(_)), "got {err:?}");
+
+    // Missing file: a normal first-boot cold start.
+    let handle = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            codebook_snapshot: Some(dir.path("never-written.sgsn")),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = SegClient::connect(handle.local_addr()).unwrap();
+    let request = WireSegmentRequest::from_image(
+        &test_config(32),
+        &gradient_image(16, 16),
+        RequestMode::Auto,
+        0,
+    );
+    assert_eq!(client.segment(&request).unwrap().status(), WireStatus::Ok);
+    assert_eq!(client.stats().unwrap().cache.snapshot_loaded, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn a_same_key_burst_routes_to_one_shard_with_one_cache_miss() {
+    let handle = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.local_addr();
+
+    // Eight same-shape requests over four connections: one codebook key.
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = SegClient::connect(addr).unwrap();
+                let request = WireSegmentRequest::from_image(
+                    &test_config(77),
+                    &gradient_image(36, 36),
+                    RequestMode::Auto,
+                    0,
+                );
+                for _ in 0..2 {
+                    assert_eq!(client.segment(&request).unwrap().status(), WireStatus::Ok);
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().unwrap();
+    }
+
+    let mut observer = SegClient::connect(addr).unwrap();
+    let stats = observer.stats().unwrap();
+    assert_eq!(stats.workers, 4);
+    assert_eq!(stats.shards.len(), 4);
+
+    // Consistent hashing pins every admission to the key's home shard.
+    let routed: Vec<u64> = stats.shards.iter().map(|shard| shard.routed).collect();
+    assert_eq!(routed.iter().sum::<u64>(), 8, "routing: {routed:?}");
+    assert_eq!(
+        routed.iter().filter(|&&count| count > 0).count(),
+        1,
+        "a same-key burst must land on exactly one shard: {routed:?}"
+    );
+    assert_eq!(stats.shards.iter().map(|s| s.spilled).sum::<u64>(), 0);
+    // One burst, one codebook build.
+    assert_eq!(stats.cache.misses, 1);
+    assert_eq!(stats.server.admitted, 8);
+    assert_eq!(stats.server.responses_ok, 8);
+    // This observer connection has not sent any segmentation request.
+    assert_eq!(stats.connection.requests, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn stats_frames_report_connection_and_server_counters() {
+    let handle = serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = SegClient::connect(handle.local_addr()).unwrap();
+
+    let good = WireSegmentRequest::from_image(
+        &test_config(41),
+        &gradient_image(16, 16),
+        RequestMode::Auto,
+        0,
+    );
+    assert_eq!(client.segment(&good).unwrap().status(), WireStatus::Ok);
+
+    let mut bad = good.clone();
+    bad.width = 0;
+    bad.height = 0;
+    bad.pixels.clear();
+    assert_eq!(client.segment(&bad).unwrap().status(), WireStatus::Invalid);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.connection.requests, 2);
+    assert_eq!(stats.connection.responses_ok, 1);
+    assert_eq!(stats.connection.responses_error, 1);
+    assert_eq!(stats.server.responses_ok, 1);
+    assert_eq!(stats.server.responses_invalid, 1);
+    assert!(stats.server.service_us > 0);
+    assert_eq!(stats.workers as usize, stats.shards.len());
+
+    // The served group shows up in exactly the shard counters.
+    let served: u64 = stats.shards.iter().map(|s| s.served + s.stolen).sum();
+    assert_eq!(served, 2);
     handle.shutdown();
 }
 

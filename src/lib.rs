@@ -60,12 +60,12 @@ pub mod prelude {
     pub use seghdc::{
         CodebookCache, ColorEncoding, CpuBackend, DistanceMetric, EngineOptions, ExecBackend,
         ExecutedMode, ExecutionMode, PositionEncoding, SegEngine, SegHdc, SegHdcConfig,
-        SegmentReport, SegmentRequest, Segmentation, SimdCpuBackend, StreamingSegmentation,
-        TileArena, TileConfig,
+        SegmentReport, SegmentRequest, Segmentation, SimdCpuBackend, Snapshot, SnapshotError,
+        StreamingSegmentation, TileArena, TileConfig,
     };
     pub use seghdc_server::{
-        serve, RequestMode, SegClient, ServerConfig, WireSegmentRequest, WireSegmentResponse,
-        WireStatus,
+        serve, RequestMode, SegClient, ServerConfig, ServerError, WireSegmentRequest,
+        WireSegmentResponse, WireStatsResponse, WireStatus,
     };
     pub use synthdata::{DatasetProfile, NucleiImageGenerator, Sample, SyntheticDataset};
 }
