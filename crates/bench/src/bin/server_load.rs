@@ -35,6 +35,18 @@
 //!
 //! `--quick --snapshot-warm` combines the two: a JSON-free smoke that
 //! still asserts the warm-started server serves with zero cache misses.
+//!
+//! `--batch-burst` measures fused same-codebook batch execution instead:
+//! a closed-loop burst of one-key traffic is served twice by a one-worker
+//! server — once with group fusion off (the serial per-request baseline)
+//! and once with fusion on plus a short batching window — and the
+//! sustained req/s of both arms is reported with the fusion counters. It
+//! records:
+//!
+//! * `server_serial_req` — mean ns per request, fusion off
+//! * `server_fused_req`  — mean ns per request, fusion + window on
+//!
+//! `--quick --batch-burst` is the JSON-free CI smoke for the same path.
 
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -133,6 +145,157 @@ fn drive_connection(
         }
     }
     stats
+}
+
+/// One shape, one codebook key: the burst workload group fusion targets.
+const BURST_EDGE: usize = 48;
+/// Distinct frames cycled through the burst; repeats of a frame inside
+/// one fused group exercise identical-payload coalescing.
+const BURST_FRAMES: usize = 3;
+/// Closed-loop client connections in the burst.
+const BURST_CONNECTIONS: usize = 8;
+
+/// Same-key burst mix: `BURST_FRAMES` distinct 48² frames.
+fn burst_mix() -> Vec<WireSegmentRequest> {
+    let config = load_config();
+    (0..BURST_FRAMES)
+        .map(|phase| {
+            let mut img = GrayImage::new(BURST_EDGE, BURST_EDGE).expect("non-empty");
+            for y in 0..BURST_EDGE {
+                for x in 0..BURST_EDGE {
+                    img.set(x, y, ((x * 7 + y * 13 + phase * 31) % 256) as u8)
+                        .expect("in bounds");
+                }
+            }
+            WireSegmentRequest::from_image(
+                &config,
+                &DynamicImage::Gray(img),
+                RequestMode::WholeImage,
+                0,
+            )
+        })
+        .collect()
+}
+
+/// Serves the same closed-loop one-key burst with fusion off (serial
+/// baseline) and on (fused batches plus a short batching window), and
+/// reports the sustained req/s of both arms.
+fn batch_burst(quick: bool) {
+    let per_connection = if quick { 4 } else { 48 };
+
+    // Both arms pin one worker: the burst is one codebook key, which
+    // consistent hashing routes to one shard anyway, and a single worker
+    // keeps the serial-versus-fused comparison free of steal noise.
+    let run = |fuse: bool| {
+        let handle = serve(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 1,
+                fuse_groups: fuse,
+                fuse_window: if fuse {
+                    Duration::from_micros(500)
+                } else {
+                    Duration::ZERO
+                },
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind burst server");
+        let addr = handle.local_addr();
+
+        // Warm the codebook off the clock and grab the kernel ISA.
+        let mut observer = SegClient::connect(addr).expect("observer connection");
+        let mix = burst_mix();
+        let mut kernel_isa = String::from("unknown");
+        for request in &mix {
+            let response = observer.segment(request).expect("warm-up exchange");
+            assert_eq!(response.status(), WireStatus::Ok, "{:?}", response.body);
+            if let ResponseBody::Labels { telemetry, .. } = &response.body {
+                kernel_isa = telemetry.kernel_isa.clone();
+            }
+        }
+
+        let started = Instant::now();
+        let threads: Vec<_> = (0..BURST_CONNECTIONS)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let mut client = SegClient::connect(addr).expect("burst connection");
+                    let mix = burst_mix();
+                    for n in 0..per_connection {
+                        let response = client
+                            .segment(&mix[(c + n) % mix.len()])
+                            .expect("burst exchange");
+                        assert_eq!(response.status(), WireStatus::Ok, "{:?}", response.body);
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().expect("burst thread");
+        }
+        let elapsed = started.elapsed();
+        let stats = observer.stats().expect("stats frame");
+        handle.shutdown();
+
+        let rps = (BURST_CONNECTIONS * per_connection) as f64 / elapsed.as_secs_f64();
+        (rps, stats, kernel_isa)
+    };
+
+    let (serial_rps, serial_stats, _) = run(false);
+    let (fused_rps, fused_stats, kernel_isa) = run(true);
+    assert_eq!(
+        serial_stats.server.fused_requests, 0,
+        "the serial arm must not fuse"
+    );
+    assert!(
+        fused_stats.server.fused_requests > 0,
+        "the fused arm never fused: {:?}",
+        fused_stats.server
+    );
+    assert_eq!(
+        fused_stats.server.fusion_fallbacks, 0,
+        "the burst should never hit the fallback path"
+    );
+
+    println!(
+        "batch burst ({BURST_CONNECTIONS} connections, one {BURST_EDGE}\u{b2} codebook key): \
+         serial {serial_rps:.1} req/s, fused {fused_rps:.1} req/s ({:.2}x)",
+        fused_rps / serial_rps
+    );
+    println!(
+        "fusion: {} groups covering {} requests, {} coalesced, {} fallbacks",
+        fused_stats.server.fused_groups,
+        fused_stats.server.fused_requests,
+        fused_stats.server.fused_coalesced,
+        fused_stats.server.fusion_fallbacks
+    );
+
+    if quick {
+        println!("server_load --quick --batch-burst: both arms served every request");
+        return;
+    }
+
+    let records = vec![
+        BenchRecord {
+            op: "server_serial_req".to_string(),
+            isa: kernel_isa.clone(),
+            dim: DIMENSION,
+            k: BURST_CONNECTIONS,
+            ns_per_op: 1e9 / serial_rps,
+        },
+        BenchRecord {
+            op: "server_fused_req".to_string(),
+            isa: kernel_isa,
+            dim: DIMENSION,
+            k: BURST_CONNECTIONS,
+            ns_per_op: 1e9 / fused_rps,
+        },
+    ];
+    let path = std::env::var_os("SEGHDC_BENCH_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_server.json"));
+    merge_into_file(&path, &records).expect("write bench records");
+    println!("recorded {} records to {}", records.len(), path.display());
 }
 
 fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
@@ -251,6 +414,10 @@ fn main() {
     let quick = std::env::args().any(|arg| arg == "--quick");
     if std::env::args().any(|arg| arg == "--snapshot-warm") {
         snapshot_warm(quick);
+        return;
+    }
+    if std::env::args().any(|arg| arg == "--batch-burst") {
+        batch_burst(quick);
         return;
     }
     let connections: usize = if quick { 2 } else { 4 };

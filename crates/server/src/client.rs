@@ -13,7 +13,7 @@ use crate::protocol::{
     WireSegmentRequest, WireSegmentResponse, WireStatsRequest, WireStatsResponse,
 };
 use crate::wire::{
-    read_frame, write_frame, WireError, WireResult, DEFAULT_MAX_FRAME_BYTES, FRAME_REQUEST,
+    read_frame_into, write_frame, WireError, WireResult, DEFAULT_MAX_FRAME_BYTES, FRAME_REQUEST,
     FRAME_RESPONSE, FRAME_STATS_REQUEST, FRAME_STATS_RESPONSE,
 };
 
@@ -21,6 +21,9 @@ use crate::wire::{
 pub struct SegClient {
     stream: TcpStream,
     max_frame_bytes: usize,
+    // Reused across responses, so a long-lived client pays for its
+    // largest response frame once instead of allocating per exchange.
+    read_buf: Vec<u8>,
 }
 
 impl SegClient {
@@ -35,6 +38,7 @@ impl SegClient {
         Ok(Self {
             stream,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            read_buf: Vec::new(),
         })
     }
 
@@ -71,9 +75,9 @@ impl SegClient {
             self.max_frame_bytes,
         )?;
         self.stream.flush()?;
-        match read_frame(&mut self.stream, self.max_frame_bytes)? {
-            Some((FRAME_RESPONSE, payload)) => WireSegmentResponse::decode(&payload),
-            Some((kind, _)) => Err(WireError::UnknownFrameKind(kind)),
+        match read_frame_into(&mut self.stream, self.max_frame_bytes, &mut self.read_buf)? {
+            Some(FRAME_RESPONSE) => WireSegmentResponse::decode(&self.read_buf),
+            Some(kind) => Err(WireError::UnknownFrameKind(kind)),
             None => Err(WireError::Truncated {
                 field: "response frame",
             }),
@@ -95,9 +99,9 @@ impl SegClient {
             self.max_frame_bytes,
         )?;
         self.stream.flush()?;
-        match read_frame(&mut self.stream, self.max_frame_bytes)? {
-            Some((FRAME_STATS_RESPONSE, payload)) => WireStatsResponse::decode(&payload),
-            Some((kind, _)) => Err(WireError::UnknownFrameKind(kind)),
+        match read_frame_into(&mut self.stream, self.max_frame_bytes, &mut self.read_buf)? {
+            Some(FRAME_STATS_RESPONSE) => WireStatsResponse::decode(&self.read_buf),
+            Some(kind) => Err(WireError::UnknownFrameKind(kind)),
             None => Err(WireError::Truncated {
                 field: "stats response frame",
             }),

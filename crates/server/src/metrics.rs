@@ -24,6 +24,10 @@ pub struct ServerMetrics {
     queue_wait_us: AtomicU64,
     service_us: AtomicU64,
     snapshot_codebooks_loaded: AtomicU64,
+    fused_groups: AtomicU64,
+    fused_requests: AtomicU64,
+    fused_coalesced: AtomicU64,
+    fusion_fallbacks: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -40,6 +44,10 @@ impl ServerMetrics {
             queue_wait_us: AtomicU64::new(0),
             service_us: AtomicU64::new(0),
             snapshot_codebooks_loaded: AtomicU64::new(0),
+            fused_groups: AtomicU64::new(0),
+            fused_requests: AtomicU64::new(0),
+            fused_coalesced: AtomicU64::new(0),
+            fusion_fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -61,6 +69,21 @@ impl ServerMetrics {
         self.queue_wait_us
             .fetch_add(queue_wait_us, Ordering::Relaxed);
         self.service_us.fetch_add(service_us, Ordering::Relaxed);
+    }
+
+    /// Counts one group executed as a fused engine batch: how many
+    /// requests it covered and how many of them were answered from
+    /// another request's run because their pixel payloads were identical.
+    pub fn record_fused(&self, requests: u64, coalesced: u64) {
+        self.fused_groups.fetch_add(1, Ordering::Relaxed);
+        self.fused_requests.fetch_add(requests, Ordering::Relaxed);
+        self.fused_coalesced.fetch_add(coalesced, Ordering::Relaxed);
+    }
+
+    /// Counts one fused batch that fell back to per-image serial
+    /// execution after a batch error or panic.
+    pub fn record_fusion_fallback(&self) {
+        self.fusion_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records how many codebooks a startup snapshot warm-started.
@@ -86,6 +109,10 @@ impl ServerMetrics {
             queue_wait_us: self.queue_wait_us.load(Ordering::Relaxed),
             service_us: self.service_us.load(Ordering::Relaxed),
             snapshot_codebooks_loaded: self.snapshot_codebooks_loaded.load(Ordering::Relaxed),
+            fused_groups: self.fused_groups.load(Ordering::Relaxed),
+            fused_requests: self.fused_requests.load(Ordering::Relaxed),
+            fused_coalesced: self.fused_coalesced.load(Ordering::Relaxed),
+            fusion_fallbacks: self.fusion_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -117,6 +144,14 @@ pub struct MetricsSnapshot {
     pub service_us: u64,
     /// Codebooks warm-started from a startup snapshot.
     pub snapshot_codebooks_loaded: u64,
+    /// Same-codebook groups executed as one fused engine batch.
+    pub fused_groups: u64,
+    /// Requests served by fused batches.
+    pub fused_requests: u64,
+    /// Fused requests coalesced onto another request's identical payload.
+    pub fused_coalesced: u64,
+    /// Fused batches that fell back to per-image serial execution.
+    pub fusion_fallbacks: u64,
 }
 
 #[cfg(test)]
@@ -133,6 +168,9 @@ mod tests {
         metrics.record_response(WireStatus::Invalid, 0, 0);
         metrics.record_response(WireStatus::Internal, 1, 2);
         metrics.record_snapshot_loaded(3);
+        metrics.record_fused(4, 2);
+        metrics.record_fused(2, 0);
+        metrics.record_fusion_fallback();
 
         let snap = metrics.snapshot();
         assert_eq!(snap.admitted, 1);
@@ -144,5 +182,9 @@ mod tests {
         assert_eq!(snap.queue_wait_us, 16);
         assert_eq!(snap.service_us, 102);
         assert_eq!(snap.snapshot_codebooks_loaded, 3);
+        assert_eq!(snap.fused_groups, 2);
+        assert_eq!(snap.fused_requests, 6);
+        assert_eq!(snap.fused_coalesced, 2);
+        assert_eq!(snap.fusion_fallbacks, 1);
     }
 }

@@ -18,8 +18,11 @@ use crate::wire::{PayloadReader, PayloadWriter, WireError, WireResult};
 use imaging::{DynamicImage, GrayImage, RgbImage};
 use seghdc::{ColorEncoding, DistanceMetric, PositionEncoding, SegHdcConfig};
 
-/// Version both payload layouts are written at.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Version both payload layouts are written at. Version 2 extended the
+/// stats response's server counters with the fused-execution counters
+/// (`fused_groups`, `fused_requests`, `fused_coalesced`,
+/// `fusion_fallbacks`).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Execution mode requested on the wire (mirrors
 /// [`seghdc::ExecutionMode`], with tile geometry spelled out).
@@ -181,30 +184,26 @@ impl WireSegmentRequest {
         })
     }
 
-    /// Reassembles the pixel buffer into an image.
+    /// Reassembles the pixel buffer into an image, cloning the pixels
+    /// (the request stays usable — the client-side and test-side variant).
     ///
     /// # Errors
     ///
     /// [`WireError::InvalidField`] for degenerate shapes (zero-sized
     /// frames included — a server must reject them, not crash).
     pub fn to_image(&self) -> WireResult<DynamicImage> {
-        let invalid = |message: String| WireError::InvalidField {
-            field: "image",
-            message,
-        };
-        let width = self.width as usize;
-        let height = self.height as usize;
-        match self.channels {
-            1 => GrayImage::from_raw(width, height, self.pixels.clone())
-                .map(DynamicImage::Gray)
-                .map_err(|err| invalid(err.to_string())),
-            3 => RgbImage::from_raw(width, height, self.pixels.clone())
-                .map(DynamicImage::Rgb)
-                .map_err(|err| invalid(err.to_string())),
-            other => Err(invalid(format!(
-                "channel count must be 1 or 3, got {other}"
-            ))),
-        }
+        assemble_image(self.channels, self.width, self.height, self.pixels.clone())
+    }
+
+    /// Like [`to_image`](Self::to_image), but **moves** the pixel buffer
+    /// into the image instead of cloning it — the server's hot path,
+    /// where the request is not needed after the image exists.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::InvalidField`] for degenerate shapes.
+    pub fn into_dynamic_image(self) -> WireResult<DynamicImage> {
+        assemble_image(self.channels, self.width, self.height, self.pixels)
     }
 
     /// Builds a wire request from an in-memory image.
@@ -230,6 +229,33 @@ impl WireSegmentRequest {
             height: image.height() as u32,
             pixels,
         }
+    }
+}
+
+/// The shared image-reassembly step behind [`WireSegmentRequest::to_image`]
+/// and [`WireSegmentRequest::into_dynamic_image`].
+fn assemble_image(
+    channels: u8,
+    width: u32,
+    height: u32,
+    pixels: Vec<u8>,
+) -> WireResult<DynamicImage> {
+    let invalid = |message: String| WireError::InvalidField {
+        field: "image",
+        message,
+    };
+    let width = width as usize;
+    let height = height as usize;
+    match channels {
+        1 => GrayImage::from_raw(width, height, pixels)
+            .map(DynamicImage::Gray)
+            .map_err(|err| invalid(err.to_string())),
+        3 => RgbImage::from_raw(width, height, pixels)
+            .map(DynamicImage::Rgb)
+            .map_err(|err| invalid(err.to_string())),
+        other => Err(invalid(format!(
+            "channel count must be 1 or 3, got {other}"
+        ))),
     }
 }
 
@@ -380,7 +406,16 @@ impl WireSegmentResponse {
 
     /// Serializes the response payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = PayloadWriter::new();
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Serializes the response payload into `buf`, reusing its allocation
+    /// (the server encodes every response on a connection into one pooled
+    /// buffer instead of allocating per response).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let mut w = PayloadWriter::reuse(std::mem::take(buf));
         w.put_u16(PROTOCOL_VERSION);
         w.put_u8(self.status().to_byte());
         w.put_u64(self.queue_wait_us);
@@ -411,7 +446,7 @@ impl WireSegmentResponse {
                 w.put_str(message);
             }
         }
-        w.finish()
+        *buf = w.finish();
     }
 
     /// Deserializes a response payload.
@@ -535,6 +570,16 @@ pub struct WireServerStats {
     pub queue_wait_us: u64,
     /// Cumulative engine service time, microseconds.
     pub service_us: u64,
+    /// Same-codebook groups executed as one fused engine batch.
+    pub fused_groups: u64,
+    /// Requests served by those fused batches.
+    pub fused_requests: u64,
+    /// Fused requests answered from another request's engine run because
+    /// their pixel payloads were identical (request coalescing).
+    pub fused_coalesced: u64,
+    /// Fused batches that fell back to per-image serial execution after a
+    /// batch error or panic.
+    pub fusion_fallbacks: u64,
 }
 
 /// The shared codebook cache as the server sees it.
@@ -604,6 +649,10 @@ impl WireStatsResponse {
         w.put_u64(self.server.responses_internal);
         w.put_u64(self.server.queue_wait_us);
         w.put_u64(self.server.service_us);
+        w.put_u64(self.server.fused_groups);
+        w.put_u64(self.server.fused_requests);
+        w.put_u64(self.server.fused_coalesced);
+        w.put_u64(self.server.fusion_fallbacks);
         w.put_u64(self.cache.hits);
         w.put_u64(self.cache.misses);
         w.put_u64(self.cache.evictions);
@@ -650,6 +699,10 @@ impl WireStatsResponse {
             responses_internal: r.take_u64("server.responses_internal")?,
             queue_wait_us: r.take_u64("server.queue_wait_us")?,
             service_us: r.take_u64("server.service_us")?,
+            fused_groups: r.take_u64("server.fused_groups")?,
+            fused_requests: r.take_u64("server.fused_requests")?,
+            fused_coalesced: r.take_u64("server.fused_coalesced")?,
+            fusion_fallbacks: r.take_u64("server.fusion_fallbacks")?,
         };
         let cache = WireCacheStats {
             hits: r.take_u64("cache.hits")?,
@@ -802,6 +855,58 @@ mod tests {
     }
 
     #[test]
+    fn consuming_image_conversion_matches_the_cloning_one() {
+        let image = sample_image();
+        let request =
+            WireSegmentRequest::from_image(&sample_config(), &image, RequestMode::Auto, 0);
+        assert_eq!(request.to_image().unwrap(), image);
+        assert_eq!(request.into_dynamic_image().unwrap(), image);
+
+        let mut degenerate =
+            WireSegmentRequest::from_image(&sample_config(), &image, RequestMode::Auto, 0);
+        degenerate.width = 0;
+        degenerate.height = 0;
+        degenerate.pixels.clear();
+        assert!(matches!(
+            degenerate.into_dynamic_image(),
+            Err(WireError::InvalidField { field: "image", .. })
+        ));
+    }
+
+    #[test]
+    fn encode_into_reuses_the_buffer_and_matches_encode() {
+        let ok = WireSegmentResponse {
+            queue_wait_us: 5,
+            service_us: 10,
+            body: ResponseBody::Labels {
+                executed_tiled: false,
+                width: 2,
+                height: 1,
+                labels: vec![1, 0],
+                telemetry: WireTelemetry {
+                    cache_hits: 1,
+                    cache_misses: 0,
+                    cache_entries: 1,
+                    cache_bytes: 64,
+                    peak_matrix_bytes: 32,
+                    backend: "simd-cpu".to_string(),
+                    kernel_isa: "scalar".to_string(),
+                },
+            },
+        };
+        let error = WireSegmentResponse::error(WireStatus::Busy, "full", 0);
+
+        let mut buf = Vec::new();
+        ok.encode_into(&mut buf);
+        assert_eq!(buf, ok.encode());
+        let capacity = buf.capacity();
+        // A smaller follow-up response reuses the same allocation.
+        error.encode_into(&mut buf);
+        assert_eq!(buf, error.encode());
+        assert_eq!(buf.capacity(), capacity);
+    }
+
+    #[test]
     fn snapshot_recording_never_crosses_the_wire() {
         let mut config = sample_config();
         config.record_snapshots = true;
@@ -940,6 +1045,10 @@ mod tests {
                 responses_internal: 0,
                 queue_wait_us: 5_000,
                 service_us: 90_000,
+                fused_groups: 6,
+                fused_requests: 20,
+                fused_coalesced: 7,
+                fusion_fallbacks: 1,
             },
             cache: WireCacheStats {
                 hits: 35,

@@ -116,6 +116,35 @@ impl<T> AdmissionQueue<T> {
         drain_group(&mut self.lock(), max_group, &same_group)
     }
 
+    /// Grows an already-popped `group` in place with queued jobs for which
+    /// `same_group(&group[0], &candidate)` holds, up to `max_group` total,
+    /// without blocking. Returns how many jobs were added.
+    ///
+    /// This is the queue half of the fused-batching window: a worker
+    /// holding a partial group can poll for late-arriving fusible jobs
+    /// before committing the group to one engine batch.
+    pub fn try_extend_group<F>(&self, group: &mut Vec<T>, max_group: usize, same_group: F) -> usize
+    where
+        F: Fn(&T, &T) -> bool,
+    {
+        if group.is_empty() {
+            return 0;
+        }
+        let mut state = self.lock();
+        let mut added = 0;
+        let mut index = 0;
+        while group.len() < max_group.max(1) && index < state.jobs.len() {
+            if same_group(&group[0], &state.jobs[index]) {
+                let job = state.jobs.remove(index).expect("index is in bounds");
+                group.push(job);
+                added += 1;
+            } else {
+                index += 1;
+            }
+        }
+        added
+    }
+
     /// Parks the caller until a job arrives, the queue shuts down, or
     /// `timeout` elapses — whichever happens first. Purely a wakeup hint:
     /// the caller re-checks the queue (and its steal victims) afterwards.
@@ -248,6 +277,27 @@ mod tests {
         queue.try_push(2).unwrap();
         assert_eq!(queue.try_pop_group(4, |_, _| true), Some(vec![1, 2]));
         assert_eq!(queue.try_pop_group(4, |_, _| true), None);
+    }
+
+    #[test]
+    fn try_extend_group_pulls_matching_jobs_without_blocking() {
+        let queue = AdmissionQueue::new(8);
+        for job in ["x1", "y1", "x2"] {
+            queue.try_push(job).unwrap();
+        }
+        let same = |a: &&str, b: &&str| a.as_bytes()[0] == b.as_bytes()[0];
+        let mut group = queue.pop_group(1, same).unwrap();
+        assert_eq!(group, vec!["x1"]);
+        // The window poll pulls the late fusible job past the interloper.
+        assert_eq!(queue.try_extend_group(&mut group, 4, same), 1);
+        assert_eq!(group, vec!["x1", "x2"]);
+        // Nothing fusible left: no-op, and the interloper stays queued.
+        assert_eq!(queue.try_extend_group(&mut group, 4, same), 0);
+        assert_eq!(queue.pop_group(1, |_, _| false).unwrap(), vec!["y1"]);
+        // An empty group never extends.
+        let mut empty: Vec<&str> = Vec::new();
+        queue.try_push("x9").unwrap();
+        assert_eq!(queue.try_extend_group(&mut empty, 4, same), 0);
     }
 
     #[test]

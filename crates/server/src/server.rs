@@ -25,6 +25,17 @@
 //!   pays one codebook build and then hits the shared cache. Cold or
 //!   overflowing shards spill at admission and are stolen from at
 //!   dispatch, so pinning never strands capacity.
+//! * **Fused batch execution.** A dequeued group whose requests share a
+//!   codebook key, engine configuration, execution mode, and image shape
+//!   runs as **one** [`SegmentRequest::batch`] — one codebook lookup, one
+//!   arena-pooled plan, the engine's parallel cluster path — and the
+//!   per-image label maps are scattered back to each originating
+//!   connection in order. Byte-identical pixel payloads inside a group
+//!   coalesce onto a single batch image. Expired deadlines are pruned
+//!   *before* fusion (each pruned request still gets its
+//!   `DeadlineExceeded` frame), and a failed batch falls back to
+//!   per-request execution. Knobs: [`ServerConfig::fuse_groups`],
+//!   [`ServerConfig::fuse_window`], [`ServerConfig::max_group`].
 //! * **Warm starts.** [`ServerConfig::codebook_snapshot`] names a
 //!   [`seghdc::snapshot`]-format file to preload the codebook cache from
 //!   before the listener accepts, and [`ServerHandle::save_snapshot`]
@@ -45,9 +56,10 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use imaging::DynamicImage;
 use seghdc::{
-    CodebookCache, CodebookKey, ExecutedMode, ExecutionMode, SegEngine, SegHdcConfig, SegHdcError,
-    SegmentRequest, SnapshotError, TileConfig,
+    CodebookCache, CodebookKey, EngineTelemetry, ExecutedMode, ExecutionMode, SegEngine,
+    SegHdcConfig, SegHdcError, SegmentOutput, SegmentRequest, SnapshotError, TileConfig,
 };
 
 use crate::metrics::ServerMetrics;
@@ -59,8 +71,8 @@ use crate::protocol::{
 use crate::queue::PushError;
 use crate::shard::{key_hash, ShardedQueue};
 use crate::wire::{
-    read_frame, write_frame, WireError, DEFAULT_MAX_FRAME_BYTES, FRAME_REQUEST, FRAME_RESPONSE,
-    FRAME_STATS_REQUEST, FRAME_STATS_RESPONSE,
+    checksum, read_frame_into, write_frame, WireError, DEFAULT_MAX_FRAME_BYTES, FRAME_REQUEST,
+    FRAME_RESPONSE, FRAME_STATS_REQUEST, FRAME_STATS_RESPONSE,
 };
 use crate::ServerError;
 
@@ -77,8 +89,18 @@ pub struct ServerConfig {
     pub max_frame_bytes: usize,
     /// Deadline applied when a request asks for `deadline_ms == 0`.
     pub default_deadline: Duration,
-    /// Most same-codebook requests a worker dequeues back-to-back.
+    /// Most same-codebook requests a worker dequeues back-to-back; also
+    /// the largest fused engine batch.
     pub max_group: usize,
+    /// Whether workers run fusible groups as one engine batch (with
+    /// identical-payload coalescing) instead of a serial per-request
+    /// loop. Disable to get the pre-fusion execution path.
+    pub fuse_groups: bool,
+    /// How long a worker holding a partial group polls its own shard for
+    /// late-arriving fusible jobs before executing the batch. Zero (the
+    /// default) disables the wait entirely: a group is whatever one
+    /// dequeue found, and no request ever idles on the window.
+    pub fuse_window: Duration,
     /// Most distinct engine configurations kept resident; an arbitrary
     /// engine is dropped beyond this (its codebooks stay in the shared
     /// cache, so resurrecting it later is cheap).
@@ -103,6 +125,8 @@ impl Default for ServerConfig {
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             default_deadline: Duration::from_secs(10),
             max_group: 8,
+            fuse_groups: true,
+            fuse_window: Duration::ZERO,
             max_engines: 16,
             codebook_cache_bytes: 64 << 20,
             codebook_snapshot: None,
@@ -335,9 +359,13 @@ fn serve_connection(mut stream: TcpStream, shared: &ServerShared) -> Result<(), 
     stream.set_nodelay(true).ok();
     let max_frame_bytes = shared.config.max_frame_bytes;
     let mut connection = WireConnectionStats::default();
+    // Both buffers persist across frames: the connection pays for its
+    // largest request and response once instead of allocating per frame.
+    let mut read_buf = Vec::new();
+    let mut write_buf = Vec::new();
     loop {
-        let (kind, payload) = match read_frame(&mut stream, max_frame_bytes) {
-            Ok(Some(frame)) => frame,
+        let kind = match read_frame_into(&mut stream, max_frame_bytes, &mut read_buf) {
+            Ok(Some(kind)) => kind,
             // Clean EOF: the client is done.
             Ok(None) => return Ok(()),
             Err(err) => {
@@ -345,12 +373,8 @@ fn serve_connection(mut stream: TcpStream, shared: &ServerShared) -> Result<(), 
                 // hang up (resynchronising a corrupt byte stream is not
                 // worth guessing at).
                 let response = WireSegmentResponse::error(WireStatus::Invalid, err.to_string(), 0);
-                let _ = write_frame(
-                    &mut stream,
-                    FRAME_RESPONSE,
-                    &response.encode(),
-                    max_frame_bytes,
-                );
+                response.encode_into(&mut write_buf);
+                let _ = write_frame(&mut stream, FRAME_RESPONSE, &write_buf, max_frame_bytes);
                 let _ = stream.flush();
                 drain_before_close(&mut stream, max_frame_bytes);
                 return Err(err);
@@ -359,19 +383,15 @@ fn serve_connection(mut stream: TcpStream, shared: &ServerShared) -> Result<(), 
         match kind {
             FRAME_REQUEST => {
                 connection.requests += 1;
-                let response = handle_request(&payload, shared);
+                let response = handle_request(&read_buf, shared);
                 match response.status() {
                     WireStatus::Ok => connection.responses_ok += 1,
                     _ => connection.responses_error += 1,
                 }
-                write_frame(
-                    &mut stream,
-                    FRAME_RESPONSE,
-                    &response.encode(),
-                    max_frame_bytes,
-                )?;
+                response.encode_into(&mut write_buf);
+                write_frame(&mut stream, FRAME_RESPONSE, &write_buf, max_frame_bytes)?;
             }
-            FRAME_STATS_REQUEST => match WireStatsRequest::decode(&payload) {
+            FRAME_STATS_REQUEST => match WireStatsRequest::decode(&read_buf) {
                 Ok(WireStatsRequest) => {
                     let response = stats_response(shared, &connection);
                     write_frame(
@@ -384,12 +404,8 @@ fn serve_connection(mut stream: TcpStream, shared: &ServerShared) -> Result<(), 
                 Err(err) => {
                     let response =
                         WireSegmentResponse::error(WireStatus::Invalid, err.to_string(), 0);
-                    write_frame(
-                        &mut stream,
-                        FRAME_RESPONSE,
-                        &response.encode(),
-                        max_frame_bytes,
-                    )?;
+                    response.encode_into(&mut write_buf);
+                    write_frame(&mut stream, FRAME_RESPONSE, &write_buf, max_frame_bytes)?;
                 }
             },
             other => {
@@ -398,12 +414,8 @@ fn serve_connection(mut stream: TcpStream, shared: &ServerShared) -> Result<(), 
                     format!("expected a request frame, got kind {other}"),
                     0,
                 );
-                write_frame(
-                    &mut stream,
-                    FRAME_RESPONSE,
-                    &response.encode(),
-                    max_frame_bytes,
-                )?;
+                response.encode_into(&mut write_buf);
+                write_frame(&mut stream, FRAME_RESPONSE, &write_buf, max_frame_bytes)?;
             }
         }
     }
@@ -451,6 +463,10 @@ fn stats_response(shared: &ServerShared, connection: &WireConnectionStats) -> Wi
             responses_internal: metrics.internal,
             queue_wait_us: metrics.queue_wait_us,
             service_us: metrics.service_us,
+            fused_groups: metrics.fused_groups,
+            fused_requests: metrics.fused_requests,
+            fused_coalesced: metrics.fused_coalesced,
+            fusion_fallbacks: metrics.fusion_fallbacks,
         },
         cache: WireCacheStats {
             hits: cache.hits,
@@ -546,25 +562,58 @@ fn admit_and_wait(payload: &[u8], shared: &ServerShared) -> WireSegmentResponse 
     }
 }
 
-/// Worker: dequeue a same-codebook group (own shard first, stealing when
-/// idle), serve it in order.
+/// Whether two queued jobs may run inside one fused engine batch: same
+/// codebook key, same full engine configuration, same execution mode,
+/// same image shape. The codebook key alone is not enough — it ignores
+/// `clusters`, `iterations`, and the distance metric, all of which change
+/// the label maps, so a batch mixing them would silently serve wrong
+/// results.
+fn fusible(a: &Job, b: &Job) -> bool {
+    a.key == b.key
+        && a.request.config == b.request.config
+        && a.request.mode == b.request.mode
+        && a.request.channels == b.request.channels
+        && a.request.width == b.request.width
+        && a.request.height == b.request.height
+}
+
+/// Worker: dequeue a fusible group (own shard first, stealing when idle),
+/// optionally hold it open for [`ServerConfig::fuse_window`] so late
+/// same-key arrivals can join, then serve it.
 fn worker_loop(worker: usize, shared: &ServerShared) {
     let max_group = shared.config.max_group;
-    while let Some(group) = shared
-        .queue
-        .pop_group_for(worker, max_group, |a, b| a.key == b.key)
-    {
-        for job in group {
+    let window = shared.config.fuse_window;
+    while let Some(mut group) = shared.queue.pop_group_for(worker, max_group, fusible) {
+        if shared.config.fuse_groups && !window.is_zero() && group.len() < max_group {
+            let until = Instant::now() + window;
+            while group.len() < max_group && Instant::now() < until {
+                let added = shared
+                    .queue
+                    .try_extend_group_for(worker, &mut group, max_group, fusible);
+                if added == 0 {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+        serve_group(group, shared);
+    }
+}
+
+/// Serves one dequeued group: prune expired deadlines first (each pruned
+/// job still gets its `DeadlineExceeded` frame), then run the survivors —
+/// as one fused engine batch when fusion is on and more than one job is
+/// left, per-request otherwise.
+fn serve_group(group: Vec<Job>, shared: &ServerShared) {
+    let live = prune_expired(group, Instant::now());
+    if live.is_empty() {
+        return;
+    }
+    if shared.config.fuse_groups && live.len() > 1 {
+        execute_fused(live, &shared.fleet, &shared.metrics);
+    } else {
+        for job in live {
             let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
-            let response = if Instant::now() >= job.deadline {
-                WireSegmentResponse::error(
-                    WireStatus::DeadlineExceeded,
-                    "deadline elapsed while queued",
-                    queue_wait_us,
-                )
-            } else {
-                execute(&job.request, &shared.fleet, queue_wait_us)
-            };
+            let response = execute(job.request, &shared.fleet, queue_wait_us);
             // A closed receiver means the connection thread already
             // answered (deadline safety net) or hung up; nothing to do.
             let _ = job.reply.send(response);
@@ -572,9 +621,178 @@ fn worker_loop(worker: usize, shared: &ServerShared) {
     }
 }
 
-/// Runs one request on its engine, catching panics.
+/// Splits off jobs whose deadline has already passed, answering each with
+/// its `DeadlineExceeded` frame, and returns the still-live remainder.
+/// Runs *before* fusion so one slow batch cannot silently eat a fast
+/// client's budget.
+fn prune_expired(group: Vec<Job>, now: Instant) -> Vec<Job> {
+    let mut live = Vec::with_capacity(group.len());
+    for job in group {
+        if now >= job.deadline {
+            let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
+            let _ = job.reply.send(WireSegmentResponse::error(
+                WireStatus::DeadlineExceeded,
+                "deadline elapsed while queued",
+                queue_wait_us,
+            ));
+        } else {
+            live.push(job);
+        }
+    }
+    live
+}
+
+/// Maps a wire-level execution mode onto the engine's.
+fn resolve_mode(mode: RequestMode) -> Result<ExecutionMode, String> {
+    match mode {
+        RequestMode::Auto => Ok(ExecutionMode::Auto),
+        RequestMode::WholeImage => Ok(ExecutionMode::WholeImage),
+        RequestMode::Tiled {
+            tile_width,
+            tile_height,
+            halo,
+        } => TileConfig::new(tile_width as usize, tile_height as usize, halo as usize)
+            .map(ExecutionMode::Tiled)
+            .map_err(|err| err.to_string()),
+    }
+}
+
+/// One request of a fused batch: which batch image answers it, and how to
+/// reach its connection.
+struct Waiter {
+    image: usize,
+    queue_wait_us: u64,
+    reply: mpsc::Sender<WireSegmentResponse>,
+}
+
+/// Runs a fused group as **one** engine batch: one codebook lookup, one
+/// arena-pooled plan, the engine's parallel cluster path. Requests whose
+/// pixel payloads are byte-identical coalesce onto a single batch image
+/// and fan out from its label map — the engine is deterministic, so the
+/// labels match a dedicated run exactly. A batch error or panic falls
+/// back to per-image execution so one poisoned request cannot take its
+/// groupmates down with it.
+fn execute_fused(group: Vec<Job>, fleet: &EngineFleet, metrics: &ServerMetrics) {
+    let first = &group[0];
+    let engine = match fleet.engine_for(&first.request.config) {
+        Ok(engine) => engine,
+        Err(err) => return fail_group(group, &err.to_string()),
+    };
+    let mode = match resolve_mode(first.request.mode) {
+        Ok(mode) => mode,
+        Err(message) => return fail_group(group, &message),
+    };
+
+    let mut images: Vec<DynamicImage> = Vec::with_capacity(group.len());
+    let mut digests: Vec<u64> = Vec::with_capacity(group.len());
+    let mut waiters: Vec<Waiter> = Vec::with_capacity(group.len());
+    let mut coalesced = 0u64;
+    for job in group {
+        let Job {
+            request,
+            enqueued,
+            reply,
+            ..
+        } = job;
+        let queue_wait_us = enqueued.elapsed().as_micros() as u64;
+        // Digest prefilter, then a full byte compare: a colliding digest
+        // only costs a missed coalesce, never a wrong answer.
+        let digest = checksum(&[&request.pixels]);
+        let duplicate = digests
+            .iter()
+            .position(|&d| d == digest)
+            .filter(|&i| image_pixels(&images[i]) == request.pixels.as_slice());
+        let image = match duplicate {
+            Some(index) => {
+                coalesced += 1;
+                index
+            }
+            None => match request.into_dynamic_image() {
+                Ok(image) => {
+                    images.push(image);
+                    digests.push(digest);
+                    images.len() - 1
+                }
+                Err(err) => {
+                    let _ = reply.send(WireSegmentResponse::error(
+                        WireStatus::Invalid,
+                        err.to_string(),
+                        queue_wait_us,
+                    ));
+                    continue;
+                }
+            },
+        };
+        waiters.push(Waiter {
+            image,
+            queue_wait_us,
+            reply,
+        });
+    }
+    if waiters.is_empty() {
+        return;
+    }
+
+    let started = Instant::now();
+    // The engine's shared state (codebook cache, arena pool) recovers from
+    // poisoned locks by design, so resuming after a caught panic is sound.
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        engine.run(&SegmentRequest::batch(&images).mode(mode))
+    }));
+    let service_us = started.elapsed().as_micros() as u64;
+    match outcome {
+        Ok(Ok(report)) => {
+            metrics.record_fused(waiters.len() as u64, coalesced);
+            let telemetry = engine.telemetry();
+            for waiter in waiters {
+                // The batch ran as one unit, so each request is billed the
+                // full batch wall time.
+                let _ = waiter.reply.send(labels_response(
+                    &report.outputs[waiter.image],
+                    &telemetry,
+                    waiter.queue_wait_us,
+                    service_us,
+                ));
+            }
+        }
+        // The batch failed as a unit; retry each image alone so only the
+        // poisoned request answers with an error.
+        Ok(Err(_)) | Err(_) => {
+            metrics.record_fusion_fallback();
+            for waiter in waiters {
+                let response =
+                    run_image(&engine, &images[waiter.image], mode, waiter.queue_wait_us);
+                let _ = waiter.reply.send(response);
+            }
+        }
+    }
+}
+
+/// Answers every job in a group with the same `Invalid` message (the
+/// group shares one engine configuration, so a config error is shared).
+fn fail_group(group: Vec<Job>, message: &str) {
+    for job in group {
+        let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
+        let _ = job.reply.send(WireSegmentResponse::error(
+            WireStatus::Invalid,
+            message,
+            queue_wait_us,
+        ));
+    }
+}
+
+/// The raw pixel bytes of an assembled image (coalescing comparisons).
+fn image_pixels(image: &DynamicImage) -> &[u8] {
+    match image {
+        DynamicImage::Gray(img) => img.as_raw(),
+        DynamicImage::Rgb(img) => img.as_raw(),
+    }
+}
+
+/// Runs one request on its engine, catching panics. Consumes the request
+/// so the pixel buffer moves (not clones) into the image.
 fn execute(
-    request: &WireSegmentRequest,
+    request: WireSegmentRequest,
     fleet: &EngineFleet,
     queue_wait_us: u64,
 ) -> WireSegmentResponse {
@@ -584,51 +802,44 @@ fn execute(
             return WireSegmentResponse::error(WireStatus::Invalid, err.to_string(), queue_wait_us)
         }
     };
-    let image = match request.to_image() {
+    let mode = match resolve_mode(request.mode) {
+        Ok(mode) => mode,
+        Err(message) => {
+            return WireSegmentResponse::error(WireStatus::Invalid, message, queue_wait_us)
+        }
+    };
+    let image = match request.into_dynamic_image() {
         Ok(image) => image,
         Err(err) => {
             return WireSegmentResponse::error(WireStatus::Invalid, err.to_string(), queue_wait_us)
         }
     };
-    let mode = match request.mode {
-        RequestMode::Auto => ExecutionMode::Auto,
-        RequestMode::WholeImage => ExecutionMode::WholeImage,
-        RequestMode::Tiled {
-            tile_width,
-            tile_height,
-            halo,
-        } => match TileConfig::new(tile_width as usize, tile_height as usize, halo as usize) {
-            Ok(tiles) => ExecutionMode::Tiled(tiles),
-            Err(err) => {
-                return WireSegmentResponse::error(
-                    WireStatus::Invalid,
-                    err.to_string(),
-                    queue_wait_us,
-                )
-            }
-        },
-    };
+    run_image(&engine, &image, mode, queue_wait_us)
+}
+
+/// Runs one already-assembled image on an already-resolved engine and
+/// mode, catching panics.
+fn run_image(
+    engine: &SegEngine,
+    image: &DynamicImage,
+    mode: ExecutionMode,
+    queue_wait_us: u64,
+) -> WireSegmentResponse {
     let started = Instant::now();
     // The engine's shared state (codebook cache, arena pool) recovers from
     // poisoned locks by design, so resuming after a caught panic is sound.
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        engine.run(&SegmentRequest::image(&image).mode(mode))
+        engine.run(&SegmentRequest::image(image).mode(mode))
     }));
     let service_us = started.elapsed().as_micros() as u64;
-    let report = match outcome {
-        Ok(Ok(report)) => report,
-        Ok(Err(err)) => {
-            let status = match err {
-                SegHdcError::InvalidConfig { .. } => WireStatus::Invalid,
-                SegHdcError::Hdc(_) | SegHdcError::Imaging(_) => WireStatus::Invalid,
-                // Future engine error variants default to Internal: the
-                // request may be fine and the server is not.
-                _ => WireStatus::Internal,
-            };
-            let mut response = WireSegmentResponse::error(status, err.to_string(), queue_wait_us);
-            response.service_us = service_us;
-            return response;
-        }
+    match outcome {
+        Ok(Ok(report)) => labels_response(
+            report.single(),
+            &engine.telemetry(),
+            queue_wait_us,
+            service_us,
+        ),
+        Ok(Err(err)) => engine_error_response(&err, queue_wait_us, service_us),
         Err(panic) => {
             let message = panic
                 .downcast_ref::<&str>()
@@ -641,12 +852,37 @@ fn execute(
                 queue_wait_us,
             );
             response.service_us = service_us;
-            return response;
+            response
         }
+    }
+}
+
+/// Maps an engine error onto a wire status.
+fn engine_error_response(
+    err: &SegHdcError,
+    queue_wait_us: u64,
+    service_us: u64,
+) -> WireSegmentResponse {
+    let status = match err {
+        SegHdcError::InvalidConfig { .. } => WireStatus::Invalid,
+        SegHdcError::Hdc(_) | SegHdcError::Imaging(_) => WireStatus::Invalid,
+        // Future engine error variants default to Internal: the request
+        // may be fine and the server is not.
+        _ => WireStatus::Internal,
     };
-    let output = report.single();
+    let mut response = WireSegmentResponse::error(status, err.to_string(), queue_wait_us);
+    response.service_us = service_us;
+    response
+}
+
+/// Builds the `Ok` response for one segmented output.
+fn labels_response(
+    output: &SegmentOutput,
+    telemetry: &EngineTelemetry,
+    queue_wait_us: u64,
+    service_us: u64,
+) -> WireSegmentResponse {
     let executed_tiled = matches!(output.mode, ExecutedMode::Tiled { .. });
-    let telemetry = engine.telemetry();
     WireSegmentResponse {
         queue_wait_us,
         service_us,
@@ -665,5 +901,126 @@ fn execute(
                 kernel_isa: telemetry.kernel_isa.to_string(),
             },
         },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imaging::GrayImage;
+
+    fn test_config(seed: u64) -> SegHdcConfig {
+        SegHdcConfig::builder()
+            .dimension(256)
+            .beta(2)
+            .iterations(2)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    fn test_image(edge: usize, phase: usize) -> DynamicImage {
+        let mut img = GrayImage::new(edge, edge).expect("non-empty");
+        for y in 0..edge {
+            for x in 0..edge {
+                img.set(x, y, ((x * 7 + y * 13 + phase * 31) % 256) as u8)
+                    .expect("in bounds");
+            }
+        }
+        DynamicImage::Gray(img)
+    }
+
+    fn job_for(
+        config: &SegHdcConfig,
+        image: &DynamicImage,
+        deadline: Instant,
+    ) -> (Job, mpsc::Receiver<WireSegmentResponse>) {
+        let request = WireSegmentRequest::from_image(config, image, RequestMode::WholeImage, 0);
+        let key = CodebookKey::for_shape(
+            &request.config,
+            request.width as usize,
+            request.height as usize,
+            usize::from(request.channels),
+        );
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            request,
+            key,
+            deadline,
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        (job, rx)
+    }
+
+    #[test]
+    fn expired_jobs_in_a_group_are_pruned_with_deadline_frames() {
+        let config = test_config(5);
+        let image = test_image(8, 0);
+        let now = Instant::now();
+        let (expired, expired_rx) = job_for(&config, &image, now);
+        let (live, live_rx) = job_for(&config, &image, now + Duration::from_secs(60));
+        let remaining = prune_expired(vec![expired, live], now);
+        assert_eq!(remaining.len(), 1);
+        let frame = expired_rx.try_recv().unwrap();
+        assert_eq!(frame.status(), WireStatus::DeadlineExceeded);
+        // The live job was not answered: it is handed on to execution.
+        assert!(live_rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn a_fused_group_scatters_byte_identical_labels_and_coalesces_duplicates() {
+        let config = test_config(7);
+        let fleet = EngineFleet::new(16 << 20, 4);
+        let metrics = ServerMetrics::new();
+        let image_a = test_image(12, 0);
+        let image_b = test_image(12, 1);
+        let far = Instant::now() + Duration::from_secs(60);
+        let (job_a, rx_a) = job_for(&config, &image_a, far);
+        let (job_b, rx_b) = job_for(&config, &image_b, far);
+        let (job_dup, rx_dup) = job_for(&config, &image_a, far);
+        execute_fused(vec![job_a, job_b, job_dup], &fleet, &metrics);
+
+        let direct = |image: &DynamicImage| {
+            let engine = fleet.engine_for(&config).unwrap();
+            let report = engine
+                .run(&SegmentRequest::image(image).mode(ExecutionMode::WholeImage))
+                .unwrap();
+            report.single().label_map.as_raw().to_vec()
+        };
+        let expected_a = direct(&image_a);
+        let expected_b = direct(&image_b);
+        for (rx, expected) in [
+            (rx_a, &expected_a),
+            (rx_b, &expected_b),
+            (rx_dup, &expected_a),
+        ] {
+            let response = rx.try_recv().unwrap();
+            assert_eq!(response.status(), WireStatus::Ok);
+            let ResponseBody::Labels { labels, .. } = response.body else {
+                panic!("expected a labels body");
+            };
+            assert_eq!(&labels, expected);
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.fused_groups, 1);
+        assert_eq!(snap.fused_requests, 3);
+        assert_eq!(snap.fused_coalesced, 1);
+        assert_eq!(snap.fusion_fallbacks, 0);
+    }
+
+    #[test]
+    fn an_unassemblable_request_fails_alone_not_the_group() {
+        let config = test_config(9);
+        let fleet = EngineFleet::new(16 << 20, 4);
+        let metrics = ServerMetrics::new();
+        let far = Instant::now() + Duration::from_secs(60);
+        let (good, good_rx) = job_for(&config, &test_image(8, 0), far);
+        let (mut bad, bad_rx) = job_for(&config, &test_image(8, 1), far);
+        // Unassemblable: the shape no longer matches the pixel buffer.
+        bad.request.width = 0;
+        execute_fused(vec![good, bad], &fleet, &metrics);
+        assert_eq!(bad_rx.try_recv().unwrap().status(), WireStatus::Invalid);
+        assert_eq!(good_rx.try_recv().unwrap().status(), WireStatus::Ok);
     }
 }

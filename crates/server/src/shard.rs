@@ -242,6 +242,34 @@ impl<T> ShardedQueue<T> {
         }
     }
 
+    /// Grows an already-popped `group` with fusible jobs from the worker's
+    /// **own** shard, without blocking. Returns how many jobs were added.
+    ///
+    /// Only the home shard is polled: consistent hashing routes same-key
+    /// traffic there, so that is where a late fusible job will land; raiding
+    /// other shards from inside a batching window would race their owners.
+    pub fn try_extend_group_for<F>(
+        &self,
+        worker: usize,
+        group: &mut Vec<T>,
+        max_group: usize,
+        same_group: F,
+    ) -> usize
+    where
+        F: Fn(&T, &T) -> bool,
+    {
+        let own = worker % self.shards.len();
+        let added = self.shards[own]
+            .queue
+            .try_extend_group(group, max_group, same_group);
+        if added > 0 {
+            self.shards[own]
+                .served
+                .fetch_add(added as u64, Ordering::Relaxed);
+        }
+        added
+    }
+
     /// Shuts every shard down and wakes every parked worker.
     pub fn shutdown(&self) {
         for shard in &self.shards {
@@ -341,6 +369,32 @@ mod tests {
         let stats = queue.stats();
         assert_eq!(stats[home].stolen, 1);
         assert_eq!(stats[home].served, 0);
+    }
+
+    #[test]
+    fn extend_polls_only_the_workers_own_shard() {
+        let queue = ShardedQueue::new(2, 8);
+        let hash = key_hash(&sample_key(5, 32));
+        let home = queue.home_shard(hash);
+        queue.try_push(10u32, hash).unwrap();
+        let mut group = queue.pop_group_for(home, 1, |_, _| true).unwrap();
+        assert_eq!(group, vec![10]);
+        // A late same-key arrival on the home shard joins the group...
+        queue.try_push(11, hash).unwrap();
+        assert_eq!(
+            queue.try_extend_group_for(home, &mut group, 4, |_, _| true),
+            1
+        );
+        assert_eq!(group, vec![10, 11]);
+        // ...but a job on another shard is left for its own worker.
+        queue.try_push(12, hash).unwrap();
+        let other = 1 - home;
+        assert_eq!(
+            queue.try_extend_group_for(other, &mut group, 8, |_, _| true),
+            0
+        );
+        assert_eq!(group, vec![10, 11]);
+        assert_eq!(queue.stats()[home].served, 2);
     }
 
     #[test]

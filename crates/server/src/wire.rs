@@ -184,6 +184,9 @@ pub fn write_frame(
 /// Reads one complete frame, returning `Ok(None)` on a clean end of
 /// stream (the peer closed between frames).
 ///
+/// Allocates a fresh payload `Vec` per call; a connection loop reading
+/// many frames should hold a buffer and use [`read_frame_into`] instead.
+///
 /// # Errors
 ///
 /// Every decode failure is typed: [`WireError::BadMagic`] and
@@ -191,6 +194,27 @@ pub fn write_frame(
 /// [`WireError::FrameTooLarge`] is raised from the length prefix *before*
 /// the payload is allocated or read.
 pub fn read_frame(stream: &mut impl Read, max_bytes: usize) -> WireResult<Option<(u8, Vec<u8>)>> {
+    let mut payload = Vec::new();
+    Ok(read_frame_into(stream, max_bytes, &mut payload)?.map(|kind| (kind, payload)))
+}
+
+/// Reads one complete frame into a caller-owned payload buffer, returning
+/// the frame kind (or `Ok(None)` on a clean end of stream). The buffer is
+/// cleared first and keeps its allocation across calls, so a persistent
+/// connection pays for its largest frame once instead of allocating per
+/// frame.
+///
+/// # Errors
+///
+/// Same typed failures as [`read_frame`]; the frame cap is still enforced
+/// from the length prefix *before* the buffer is grown, so a hostile
+/// length cannot force a huge allocation.
+pub fn read_frame_into(
+    stream: &mut impl Read,
+    max_bytes: usize,
+    payload: &mut Vec<u8>,
+) -> WireResult<Option<u8>> {
+    payload.clear();
     let mut magic = [0u8; 4];
     match read_exact_or_eof(stream, &mut magic)? {
         ReadOutcome::CleanEof => return Ok(None),
@@ -214,15 +238,15 @@ pub fn read_frame(stream: &mut impl Read, max_bytes: usize) -> WireResult<Option
             max: max_bytes,
         });
     }
-    let mut payload = vec![0u8; len];
-    stream.read_exact(&mut payload)?;
+    payload.resize(len, 0);
+    stream.read_exact(payload)?;
     let mut check_bytes = [0u8; 8];
     stream.read_exact(&mut check_bytes)?;
-    let expected = checksum(&[&[kind], &len_bytes, &payload]);
+    let expected = checksum(&[&[kind], &len_bytes, payload]);
     if u64::from_le_bytes(check_bytes) != expected {
         return Err(WireError::ChecksumMismatch);
     }
-    Ok(Some((kind, payload)))
+    Ok(Some(kind))
 }
 
 enum ReadOutcome {
@@ -261,6 +285,13 @@ impl PayloadWriter {
     /// An empty payload.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A writer that reuses `buf`'s allocation (contents are cleared).
+    /// Pairs with [`finish`](Self::finish) to encode into a pooled buffer.
+    pub fn reuse(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Self { buf }
     }
 
     /// Appends a `u8`.
@@ -418,6 +449,55 @@ mod tests {
         assert_eq!(decoded, payload);
         // Clean EOF after the frame.
         assert!(read_frame(&mut cursor, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn a_reused_buffer_reads_many_frames_and_keeps_its_allocation() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, FRAME_REQUEST, &[7u8; 512], 1024).unwrap();
+        write_frame(&mut stream, FRAME_RESPONSE, &[9u8; 16], 1024).unwrap();
+        let mut cursor = Cursor::new(stream);
+        let mut payload = Vec::new();
+        assert_eq!(
+            read_frame_into(&mut cursor, 1024, &mut payload).unwrap(),
+            Some(FRAME_REQUEST)
+        );
+        assert_eq!(payload, vec![7u8; 512]);
+        let capacity = payload.capacity();
+        assert_eq!(
+            read_frame_into(&mut cursor, 1024, &mut payload).unwrap(),
+            Some(FRAME_RESPONSE)
+        );
+        assert_eq!(payload, vec![9u8; 16]);
+        assert_eq!(payload.capacity(), capacity, "the big allocation is kept");
+        assert!(read_frame_into(&mut cursor, 1024, &mut payload)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn read_frame_into_rejects_oversized_prefixes_before_growing_the_buffer() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&MAGIC);
+        stream.push(FRAME_REQUEST);
+        stream.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut payload = Vec::new();
+        let err = read_frame_into(&mut Cursor::new(stream), 1024, &mut payload).unwrap_err();
+        assert!(matches!(err, WireError::FrameTooLarge { max: 1024, .. }));
+        assert_eq!(payload.capacity(), 0, "the cap must gate the allocation");
+    }
+
+    #[test]
+    fn a_reused_writer_clears_old_contents_but_keeps_the_allocation() {
+        let mut writer = PayloadWriter::new();
+        writer.put_u64(u64::MAX);
+        let first = writer.finish();
+        let capacity = first.capacity();
+        let mut writer = PayloadWriter::reuse(first);
+        writer.put_u8(5);
+        let second = writer.finish();
+        assert_eq!(second, vec![5]);
+        assert_eq!(second.capacity(), capacity);
     }
 
     #[test]

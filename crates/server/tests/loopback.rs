@@ -279,7 +279,18 @@ fn a_full_admission_queue_answers_busy() {
 
 #[test]
 fn concurrent_same_codebook_clients_share_one_cache_miss() {
-    let handle = serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+    // Fusion off: this test pins down the *serial* path's per-request
+    // cache telemetry. The four requests carry identical pixels, so the
+    // fused path would coalesce them into one engine run and the cache
+    // would never be consulted four times.
+    let handle = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            fuse_groups: false,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
     let addr = handle.local_addr();
 
     let clients: Vec<_> = (0..4)
@@ -484,6 +495,114 @@ fn a_same_key_burst_routes_to_one_shard_with_one_cache_miss() {
     // This observer connection has not sent any segmentation request.
     assert_eq!(stats.connection.requests, 0);
     handle.shutdown();
+}
+
+#[test]
+fn a_mixed_burst_is_fused_with_byte_identical_labels_per_connection() {
+    let fused = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            fuse_window: Duration::from_millis(5),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let serial = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            fuse_groups: false,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let fused_addr = fused.local_addr();
+
+    // Occupy the fused server's single worker so the burst queues behind
+    // it and dequeues as whole groups.
+    let occupy = std::thread::spawn(move || {
+        let mut client = SegClient::connect(fused_addr).unwrap();
+        let request = WireSegmentRequest::from_image(
+            &slow_config(50),
+            &gradient_image(96, 96),
+            RequestMode::WholeImage,
+            60_000,
+        );
+        client.segment(&request).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Mixed shapes (two codebook keys) with connection-distinct pixels,
+    // so a label map scattered to the wrong connection cannot pass.
+    let shapes = [
+        (24usize, 24usize),
+        (24, 24),
+        (24, 24),
+        (32, 32),
+        (32, 32),
+        (24, 24),
+    ];
+    let burst: Vec<_> = shapes
+        .iter()
+        .enumerate()
+        .map(|(n, &(w, h))| {
+            std::thread::spawn(move || {
+                let mut image = GrayImage::new(w, h).unwrap();
+                for y in 0..h {
+                    for x in 0..w {
+                        image
+                            .set(x, y, ((x * 3 + y * 5 + n * 37) % 256) as u8)
+                            .unwrap();
+                    }
+                }
+                let image = DynamicImage::Gray(image);
+                let request = WireSegmentRequest::from_image(
+                    &test_config(50),
+                    &image,
+                    RequestMode::WholeImage,
+                    60_000,
+                );
+                let mut client = SegClient::connect(fused_addr).unwrap();
+                let response = client.segment(&request).unwrap();
+                (image, response)
+            })
+        })
+        .collect();
+
+    let mut serial_client = SegClient::connect(serial.local_addr()).unwrap();
+    for worker in burst {
+        let (image, response) = worker.join().unwrap();
+        assert_eq!(response.status(), WireStatus::Ok);
+        // Byte-identical to the serial (fusion-off) execution of the
+        // exact same request.
+        let request = WireSegmentRequest::from_image(
+            &test_config(50),
+            &image,
+            RequestMode::WholeImage,
+            60_000,
+        );
+        let serial_response = serial_client.segment(&request).unwrap();
+        assert_eq!(serial_response.status(), WireStatus::Ok);
+        assert_eq!(
+            response.label_map().unwrap().as_raw(),
+            serial_response.label_map().unwrap().as_raw()
+        );
+    }
+    assert_eq!(occupy.join().unwrap().status(), WireStatus::Ok);
+
+    let mut observer = SegClient::connect(fused_addr).unwrap();
+    let stats = observer.stats().unwrap();
+    // The queued burst dequeued as groups; at least one multi-request
+    // group ran fused (exact counts depend on timing).
+    assert!(
+        stats.server.fused_groups >= 1 && stats.server.fused_requests >= 2,
+        "expected fused execution, got {:?}",
+        stats.server
+    );
+    assert_eq!(stats.server.fusion_fallbacks, 0);
+    fused.shutdown();
+    serial.shutdown();
 }
 
 #[test]
