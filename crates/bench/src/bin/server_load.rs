@@ -47,6 +47,21 @@
 //! * `server_fused_req`  — mean ns per request, fusion + window on
 //!
 //! `--quick --batch-burst` is the JSON-free CI smoke for the same path.
+//!
+//! `--progress` measures the streaming-progress and mid-run-cancellation
+//! path instead: a long tiled job is driven through
+//! [`SegClient::segment_with_progress`] to time the first
+//! `FRAME_PROGRESS` frame, then the same job is re-sent with a deadline
+//! of half its measured runtime so the worker's deadline-armed cancel
+//! token aborts it mid-run. It records:
+//!
+//! * `server_first_progress` — ns from send to the first progress frame
+//! * `server_cancel_latency` — ns past the deadline until the
+//!   `DeadlineExceeded` response for the aborted run
+//!
+//! `--quick --progress` is the JSON-free CI smoke: it still asserts at
+//! least one progress frame streamed and that the over-deadline run was
+//! cancelled mid-flight (the `cancelled_mid_run` stats counter moved).
 
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -298,6 +313,138 @@ fn batch_burst(quick: bool) {
     println!("recorded {} records to {}", records.len(), path.display());
 }
 
+/// Dimension of the long-tiled-job config: big hypervectors and many
+/// k-means iterations make each 16×16 tile a visible unit of work, so
+/// tile-row progress frames arrive well before the final response.
+const PROGRESS_DIMENSION: usize = 4096;
+/// Edge of the square image segmented by the progress mode (6 tile rows).
+const PROGRESS_EDGE: usize = 96;
+
+/// The long tiled job the progress/cancel mode measures.
+fn progress_request(deadline_ms: u32) -> WireSegmentRequest {
+    let config = SegHdcConfig::builder()
+        .dimension(PROGRESS_DIMENSION)
+        .beta(4)
+        .iterations(10)
+        .seed(17)
+        .build()
+        .expect("progress config is valid");
+    WireSegmentRequest::from_image(
+        &config,
+        &gradient_image(PROGRESS_EDGE),
+        RequestMode::Tiled {
+            tile_width: 16,
+            tile_height: 16,
+            halo: 2,
+        },
+        deadline_ms,
+    )
+}
+
+/// Measures time-to-first-progress-frame on a long tiled job, then the
+/// latency of a deadline-armed mid-run cancellation of the same job.
+fn progress_mode(quick: bool) {
+    let handle = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind progress server");
+    let mut client = SegClient::connect(handle.local_addr()).expect("progress connection");
+
+    // Arm 1: the full run, streaming progress. The first frame's arrival
+    // time is the interactivity figure a UI cares about.
+    let request = progress_request(60_000);
+    let started = Instant::now();
+    let mut first_progress_ns = 0u64;
+    let mut frames = 0usize;
+    let response = client
+        .segment_with_progress(&request, |_| {
+            if frames == 0 {
+                first_progress_ns = started.elapsed().as_nanos() as u64;
+            }
+            frames += 1;
+        })
+        .expect("progress exchange");
+    let total_ns = started.elapsed().as_nanos() as u64;
+    assert_eq!(response.status(), WireStatus::Ok, "{:?}", response.body);
+    assert!(frames > 0, "a multi-row tiled run must stream progress");
+    let kernel_isa = match &response.body {
+        ResponseBody::Labels { telemetry, .. } => telemetry.kernel_isa.clone(),
+        ResponseBody::Error { .. } => unreachable!("status was Ok"),
+    };
+
+    // Arm 2: the same job with half its measured runtime as the deadline —
+    // guaranteed to expire mid-run at any machine speed — timing how far
+    // past the deadline the client learns of the abort.
+    let deadline_ms = ((total_ns / 2) / 1_000_000).max(25) as u32;
+    let sent = Instant::now();
+    let response = client
+        .segment(&progress_request(deadline_ms))
+        .expect("cancel exchange");
+    let answered_ns = sent.elapsed().as_nanos() as u64;
+    assert_eq!(
+        response.status(),
+        WireStatus::DeadlineExceeded,
+        "a half-runtime deadline must expire mid-run: {:?}",
+        response.body
+    );
+    let cancel_latency_ns = answered_ns.saturating_sub(u64::from(deadline_ms) * 1_000_000);
+
+    // The worker recorded the abort (it can land shortly after the
+    // client's safety-net response, so poll the stats frame briefly).
+    let give_up = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = client.stats().expect("stats frame");
+        if stats.server.cancelled_mid_run >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < give_up,
+            "the worker never recorded a mid-run cancellation"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    handle.shutdown();
+
+    println!(
+        "progress: first frame after {:.2} ms ({frames} frames over a {:.2} ms tiled run); \
+         cancel answered {:.2} ms past its {deadline_ms} ms deadline",
+        first_progress_ns as f64 / 1e6,
+        total_ns as f64 / 1e6,
+        cancel_latency_ns as f64 / 1e6,
+    );
+
+    if quick {
+        println!("server_load --quick --progress: streamed progress and cancelled mid-run");
+        return;
+    }
+
+    let records = vec![
+        BenchRecord {
+            op: "server_first_progress".to_string(),
+            isa: kernel_isa.clone(),
+            dim: PROGRESS_DIMENSION,
+            k: 1,
+            ns_per_op: first_progress_ns as f64,
+        },
+        BenchRecord {
+            op: "server_cancel_latency".to_string(),
+            isa: kernel_isa,
+            dim: PROGRESS_DIMENSION,
+            k: 1,
+            ns_per_op: cancel_latency_ns as f64,
+        },
+    ];
+    let path = std::env::var_os("SEGHDC_BENCH_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_server.json"));
+    merge_into_file(&path, &records).expect("write bench records");
+    println!("recorded {} records to {}", records.len(), path.display());
+}
+
 fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
     let index = ((sorted.len() as f64 - 1.0) * p).round() as usize;
     sorted[index]
@@ -418,6 +565,10 @@ fn main() {
     }
     if std::env::args().any(|arg| arg == "--batch-burst") {
         batch_burst(quick);
+        return;
+    }
+    if std::env::args().any(|arg| arg == "--progress") {
+        progress_mode(quick);
         return;
     }
     let connections: usize = if quick { 2 } else { 4 };

@@ -57,6 +57,7 @@
 //! ```
 
 use crate::cache::{CacheStats, CodebookCache, CodebookKey};
+use crate::observe::RunObserver;
 use crate::sync::lock_unpoisoned;
 use crate::tiled::{self, StreamingSegmentation, TileArena, TileConfig};
 use crate::{
@@ -561,6 +562,23 @@ impl SegEngine {
     /// Returns the first error produced by any image. An empty batch
     /// returns an empty report.
     pub fn run(&self, request: &SegmentRequest<'_>) -> Result<SegmentReport> {
+        self.run_observed(request, &RunObserver::new())
+    }
+
+    /// [`run`](Self::run) with an observer: the progress callback fires
+    /// once per completed tile row of each tiled execution, and the
+    /// observer's [`crate::CancelToken`] is checked between tiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegHdcError::Cancelled`] if the observer's token fires
+    /// mid-run (shared engine state — cache, arena pool — stays intact);
+    /// otherwise the first error produced by any image.
+    pub fn run_observed(
+        &self,
+        request: &SegmentRequest<'_>,
+        observer: &RunObserver<'_>,
+    ) -> Result<SegmentReport> {
         let start = Instant::now();
         let plan = self.plan(request)?;
         let encoders = self.resolve_encoders(&plan)?;
@@ -568,9 +586,11 @@ impl SegEngine {
         let outputs: Vec<SegmentOutput> = match &request.input {
             RequestInput::Single(image) => {
                 let view = ImageView::full(image);
-                vec![self.run_one(&view, &plan.decisions[0], &encoders)?]
+                vec![self.run_one(&view, &plan.decisions[0], &encoders, 0, observer)?]
             }
-            RequestInput::View(view) => vec![self.run_one(view, &plan.decisions[0], &encoders)?],
+            RequestInput::View(view) => {
+                vec![self.run_one(view, &plan.decisions[0], &encoders, 0, observer)?]
+            }
             RequestInput::Batch(images) => {
                 let decisions = &plan.decisions;
                 let encoders = &encoders;
@@ -578,7 +598,7 @@ impl SegEngine {
                     .into_par_iter()
                     .map(|index| {
                         let view = ImageView::full(&images[index]);
-                        self.run_one(&view, &decisions[index], encoders)
+                        self.run_one(&view, &decisions[index], encoders, index, observer)
                     })
                     .collect::<Result<Vec<_>>>()?
             }
@@ -617,6 +637,7 @@ impl SegEngine {
             tiles,
             arena,
             self.backend.as_ref(),
+            RunObserver::new().for_image(0),
         );
         self.peak_matrix_bytes
             .fetch_max(arena.peak_matrix_bytes(), Ordering::Relaxed);
@@ -672,7 +693,12 @@ impl SegEngine {
         view: &ImageView<'_>,
         decision: &PlanDecision,
         encoders: &HashMap<(usize, usize, usize), Arc<PixelEncoder>>,
+        image_index: usize,
+        observer: &RunObserver<'_>,
     ) -> Result<SegmentOutput> {
+        if observer.is_cancelled() {
+            return Err(SegHdcError::Cancelled);
+        }
         let shape = (decision.width, decision.height, decision.channels);
         let encoder = encoders
             .get(&shape)
@@ -681,7 +707,9 @@ impl SegEngine {
             })?;
         match decision.mode {
             PlannedMode::WholeImage => self.run_whole(view, encoder),
-            PlannedMode::Tiled(tiles) => self.run_tiled(view, &tiles, encoder),
+            PlannedMode::Tiled(tiles) => {
+                self.run_tiled(view, &tiles, encoder, image_index, observer)
+            }
         }
     }
 
@@ -749,6 +777,8 @@ impl SegEngine {
         view: &ImageView<'_>,
         tiles: &TileConfig,
         encoder: &PixelEncoder,
+        image_index: usize,
+        observer: &RunObserver<'_>,
     ) -> Result<SegmentOutput> {
         self.with_arena(|arena| {
             let streamed = tiled::segment_streaming_with(
@@ -758,6 +788,7 @@ impl SegEngine {
                 tiles,
                 arena,
                 self.backend.as_ref(),
+                observer.for_image(image_index),
             )?;
 
             // Stitched-group sizes in ascending label order, so the report
@@ -1131,6 +1162,66 @@ mod tests {
         assert_eq!(report.telemetry.cache_misses, 1);
         assert_eq!(report.telemetry.cache_hits, 1);
         assert_eq!(report.outputs[0].label_map.pixel_count(), 16 * 16);
+    }
+
+    #[test]
+    fn observed_tiled_runs_report_each_completed_tile_row() {
+        let image = square_image(32);
+        let engine = SegEngine::new(fast_config()).unwrap();
+        let tiles = TileConfig::square(16, 4).unwrap();
+        let rows = std::sync::Mutex::new(Vec::new());
+        let observer = RunObserver::new().on_progress(|p| {
+            rows.lock()
+                .unwrap()
+                .push((p.image_index, p.rows_done, p.rows_total))
+        });
+        let observed = engine
+            .run_observed(&SegmentRequest::image(&image).tiled(tiles), &observer)
+            .unwrap();
+        assert_eq!(rows.lock().unwrap().as_slice(), &[(0, 1, 2), (0, 2, 2)]);
+        // Observation does not perturb the output.
+        let plain = engine
+            .run(&SegmentRequest::image(&image).tiled(tiles))
+            .unwrap();
+        assert_eq!(
+            observed.single().label_map.as_raw(),
+            plain.single().label_map.as_raw()
+        );
+    }
+
+    #[test]
+    fn cancelled_runs_return_a_typed_error_and_leave_the_engine_serviceable() {
+        use crate::observe::CancelToken;
+        let image = square_image(32);
+        let engine = SegEngine::new(fast_config()).unwrap();
+        let tiles = TileConfig::square(16, 4).unwrap();
+
+        // Cancel from inside the progress callback: the first completed
+        // tile row fires the token; the next between-tile poll unwinds.
+        let token = CancelToken::new();
+        let fire = token.clone();
+        let observer = RunObserver::new()
+            .on_progress(move |_| fire.cancel())
+            .cancel_token(token);
+        let err = engine
+            .run_observed(&SegmentRequest::image(&image).tiled(tiles), &observer)
+            .unwrap_err();
+        assert!(matches!(err, SegHdcError::Cancelled), "got {err:?}");
+
+        // A pre-fired token cancels before any tile is encoded.
+        let token = CancelToken::new();
+        token.cancel();
+        let observer = RunObserver::new().cancel_token(token);
+        let err = engine
+            .run_observed(&SegmentRequest::image(&image).tiled(tiles), &observer)
+            .unwrap_err();
+        assert!(matches!(err, SegHdcError::Cancelled), "got {err:?}");
+
+        // Nothing is poisoned: the same engine serves the same request.
+        let report = engine
+            .run(&SegmentRequest::image(&image).tiled(tiles))
+            .unwrap();
+        assert_eq!(report.single().label_map.pixel_count(), 32 * 32);
     }
 
     #[test]

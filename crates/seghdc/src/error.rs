@@ -14,6 +14,10 @@ pub enum SegHdcError {
     Hdc(hdc::HdcError),
     /// An underlying imaging operation failed.
     Imaging(imaging::ImagingError),
+    /// The run was cancelled cooperatively (an observer's
+    /// [`crate::CancelToken`] fired between tiles). Shared engine state is
+    /// left intact; the partial output is discarded.
+    Cancelled,
 }
 
 impl fmt::Display for SegHdcError {
@@ -22,6 +26,7 @@ impl fmt::Display for SegHdcError {
             SegHdcError::InvalidConfig { message } => write!(f, "invalid config: {message}"),
             SegHdcError::Hdc(err) => write!(f, "hypervector error: {err}"),
             SegHdcError::Imaging(err) => write!(f, "imaging error: {err}"),
+            SegHdcError::Cancelled => write!(f, "run cancelled before completion"),
         }
     }
 }
@@ -31,7 +36,7 @@ impl Error for SegHdcError {
         match self {
             SegHdcError::Hdc(err) => Some(err),
             SegHdcError::Imaging(err) => Some(err),
-            SegHdcError::InvalidConfig { .. } => None,
+            SegHdcError::InvalidConfig { .. } | SegHdcError::Cancelled => None,
         }
     }
 }
@@ -63,6 +68,9 @@ mod tests {
         assert!(e.source().is_some());
         let e = SegHdcError::from(imaging::ImagingError::EmptyImage);
         assert!(e.source().is_some());
+        let e = SegHdcError::Cancelled;
+        assert!(e.to_string().contains("cancelled"));
+        assert!(e.source().is_none());
     }
 
     #[test]

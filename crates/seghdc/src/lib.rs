@@ -78,6 +78,7 @@ mod color;
 mod config;
 pub mod engine;
 mod error;
+pub mod observe;
 mod pipeline;
 mod pixel;
 mod position;
@@ -99,6 +100,7 @@ pub use engine::{
     SegEngine, SegEngineBuilder, SegmentOutput, SegmentPlan, SegmentReport, SegmentRequest,
 };
 pub use error::SegHdcError;
+pub use observe::{CancelToken, RunObserver, RunProgress};
 pub use pipeline::{SegHdc, Segmentation};
 pub use pixel::PixelEncoder;
 pub use position::PositionEncoder;

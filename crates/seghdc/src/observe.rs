@@ -1,0 +1,233 @@
+//! Run observation: streaming progress callbacks and cooperative
+//! cancellation for long engine runs.
+//!
+//! A [`RunObserver`] rides along with [`crate::SegEngine::run_observed`]:
+//! the engine invokes its progress callback once per completed tile row of
+//! a streaming tiled execution, and checks its [`CancelToken`] between
+//! tiles. A run whose token fires unwinds with the typed
+//! [`crate::SegHdcError::Cancelled`] — shared engine state (codebook
+//! cache, arena pool) is returned intact, exactly as on any other typed
+//! error.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// A shared cancellation flag for cooperative early termination of engine
+/// runs.
+///
+/// Clones share one flag. The token fires either explicitly
+/// ([`cancel`](Self::cancel)) or when an armed deadline
+/// ([`cancel_at`](Self::cancel_at)) passes; the engine polls
+/// [`is_cancelled`](Self::is_cancelled) between tiles.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: OnceLock<Instant>,
+}
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fires the token: every clone observes cancellation from now on.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Arms the token with a deadline: once `deadline` passes, the token
+    /// reports cancelled without anyone calling [`cancel`](Self::cancel).
+    ///
+    /// A token arms at most once; later arms are ignored (the first
+    /// deadline stands).
+    pub fn cancel_at(&self, deadline: Instant) {
+        let _ = self.inner.deadline.set(deadline);
+    }
+
+    /// Whether the token has fired (explicitly or by armed deadline).
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline.get() {
+            Some(deadline) if Instant::now() >= *deadline => {
+                // Latch, so later polls skip the clock read.
+                self.inner.cancelled.store(true, Ordering::Release);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// One progress event of an observed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunProgress {
+    /// Index of the image within the request (always 0 for single-image
+    /// requests).
+    pub image_index: usize,
+    /// Tile rows completed so far for this image.
+    pub rows_done: usize,
+    /// Total tile rows this image's grid holds.
+    pub rows_total: usize,
+}
+
+/// Observation hooks for one engine run: an optional progress callback
+/// (invoked per completed tile row of a tiled execution) and an optional
+/// [`CancelToken`] (checked between tiles).
+///
+/// The default observer is inert — [`crate::SegEngine::run`] uses it, so
+/// unobserved runs pay nothing. The progress callback must be `Send +
+/// Sync` because batch requests execute images in parallel.
+#[derive(Default)]
+pub struct RunObserver<'a> {
+    progress: Option<Box<dyn Fn(RunProgress) + Send + Sync + 'a>>,
+    cancel: Option<CancelToken>,
+}
+
+impl std::fmt::Debug for RunObserver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunObserver")
+            .field("progress", &self.progress.is_some())
+            .field("cancel", &self.cancel)
+            .finish()
+    }
+}
+
+impl<'a> RunObserver<'a> {
+    /// An inert observer: no progress callback, no cancel token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a progress callback, invoked once per completed tile row
+    /// of a streaming tiled execution (whole-image runs emit no progress).
+    pub fn on_progress(mut self, callback: impl Fn(RunProgress) + Send + Sync + 'a) -> Self {
+        self.progress = Some(Box::new(callback));
+        self
+    }
+
+    /// Installs a cancel token, checked between tiles.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether this observer's token (if any) has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Emits one progress event to the callback, if installed.
+    pub(crate) fn emit(&self, progress: RunProgress) {
+        if let Some(callback) = &self.progress {
+            callback(progress);
+        }
+    }
+
+    /// Focuses this observer on one image of a request.
+    pub(crate) fn for_image(&self, image_index: usize) -> ImageObserver<'_, 'a> {
+        ImageObserver {
+            observer: self,
+            image_index,
+        }
+    }
+}
+
+/// A [`RunObserver`] focused on one image of a request: progress events it
+/// emits carry the image's index automatically.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ImageObserver<'o, 'a> {
+    observer: &'o RunObserver<'a>,
+    image_index: usize,
+}
+
+impl ImageObserver<'_, '_> {
+    /// Whether the underlying observer's token has fired.
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.observer.is_cancelled()
+    }
+
+    /// Emits a tile-row progress event for this image.
+    pub(crate) fn emit_rows(&self, rows_done: usize, rows_total: usize) {
+        self.observer.emit(RunProgress {
+            image_index: self.image_index,
+            rows_done,
+            rows_total,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn explicit_cancel_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(!clone.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn armed_deadline_fires_the_token() {
+        let token = CancelToken::new();
+        token.cancel_at(Instant::now() + Duration::from_secs(3600));
+        assert!(!token.is_cancelled(), "a far deadline must not fire");
+        // The first arm stands: re-arming with an already-passed deadline
+        // is ignored.
+        token.cancel_at(Instant::now() - Duration::from_millis(1));
+        assert!(!token.is_cancelled(), "re-arming must be ignored");
+
+        let expired = CancelToken::new();
+        expired.cancel_at(Instant::now() - Duration::from_millis(1));
+        assert!(expired.is_cancelled());
+        // Latched: still cancelled on the next poll.
+        assert!(expired.is_cancelled());
+    }
+
+    #[test]
+    fn default_observer_is_inert() {
+        let observer = RunObserver::new();
+        assert!(!observer.is_cancelled());
+        observer.emit(RunProgress {
+            image_index: 0,
+            rows_done: 1,
+            rows_total: 2,
+        });
+    }
+
+    #[test]
+    fn observer_forwards_progress_and_cancellation() {
+        use std::sync::atomic::AtomicUsize;
+        let events = AtomicUsize::new(0);
+        let token = CancelToken::new();
+        let observer = RunObserver::new()
+            .on_progress(|p| {
+                assert_eq!(p.rows_total, 4);
+                events.fetch_add(1, Ordering::SeqCst);
+            })
+            .cancel_token(token.clone());
+        observer.emit(RunProgress {
+            image_index: 0,
+            rows_done: 1,
+            rows_total: 4,
+        });
+        assert_eq!(events.load(Ordering::SeqCst), 1);
+        assert!(!observer.is_cancelled());
+        token.cancel();
+        assert!(observer.is_cancelled());
+    }
+}

@@ -29,6 +29,7 @@
 //!    stitched label instead of being absorbed into the least-dissimilar
 //!    neighbour group.
 
+use crate::observe::ImageObserver;
 use crate::{ExecBackend, HvKmeans, PixelEncoder, Result, SegHdcConfig, SegHdcError};
 use hdc::{Accumulator, BitSlicedCounts, HvMatrix};
 use imaging::{ImageView, LabelMap, TileGrid};
@@ -273,7 +274,9 @@ type TileCentroids = Vec<Option<BitSlicedCounts>>;
 
 /// Runs the streaming engine. `encoder` must have been built for the view's
 /// exact shape; `arena` supplies (and keeps) the bounded working memory;
-/// every per-tile encode and cluster executes through `backend`.
+/// every per-tile encode and cluster executes through `backend`. The
+/// `observed` hooks fire once per completed tile row (progress) and are
+/// polled between tiles (cancellation).
 pub(crate) fn segment_streaming_with(
     config: &SegHdcConfig,
     encoder: &PixelEncoder,
@@ -281,6 +284,7 @@ pub(crate) fn segment_streaming_with(
     tiles: &TileConfig,
     arena: &mut TileArena,
     backend: &dyn ExecBackend,
+    observed: ImageObserver<'_, '_>,
 ) -> Result<StreamingSegmentation> {
     let grid = tiles.grid_for(view.width(), view.height())?;
     let width = view.width();
@@ -308,6 +312,12 @@ pub(crate) fn segment_streaming_with(
     arena.prepare(grid.max_padded_pixels(), config.dimension)?;
 
     for (tile_index, tile) in grid.iter().enumerate() {
+        // Cooperative cancellation: polled between tiles, so a fired token
+        // costs at most one tile of extra work before the run unwinds. The
+        // arena is left in a reusable state — nothing is poisoned.
+        if observed.is_cancelled() {
+            return Err(SegHdcError::Cancelled);
+        }
         let padded = tile.padded;
         let rows = padded.area();
 
@@ -364,6 +374,12 @@ pub(crate) fn segment_streaming_with(
                     *votes.entry((provisional[pixel], id)).or_insert(0) += 1;
                 }
             }
+        }
+
+        // Tiles stream in row-major order, so finishing the last tile of a
+        // grid row completes that row: report it.
+        if (tile_index + 1) % grid.tiles_x() == 0 {
+            observed.emit_rows((tile_index + 1) / grid.tiles_x(), grid.tiles_y());
         }
     }
 

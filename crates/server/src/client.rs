@@ -10,11 +10,11 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::protocol::{
-    WireSegmentRequest, WireSegmentResponse, WireStatsRequest, WireStatsResponse,
+    WireProgress, WireSegmentRequest, WireSegmentResponse, WireStatsRequest, WireStatsResponse,
 };
 use crate::wire::{
-    read_frame_into, write_frame, WireError, WireResult, DEFAULT_MAX_FRAME_BYTES, FRAME_REQUEST,
-    FRAME_RESPONSE, FRAME_STATS_REQUEST, FRAME_STATS_RESPONSE,
+    read_frame_into, write_frame, WireError, WireResult, DEFAULT_MAX_FRAME_BYTES, FRAME_PROGRESS,
+    FRAME_REQUEST, FRAME_RESPONSE, FRAME_STATS_REQUEST, FRAME_STATS_RESPONSE,
 };
 
 /// A blocking connection to a segmentation server.
@@ -81,6 +81,53 @@ impl SegClient {
             None => Err(WireError::Truncated {
                 field: "response frame",
             }),
+        }
+    }
+
+    /// Sends one request **opted in to streaming progress** and blocks
+    /// for its final response, invoking `on_progress` once per
+    /// `FRAME_PROGRESS` frame the server interleaves (one per completed
+    /// tile row of a tiled run; whole-image runs may produce none).
+    ///
+    /// The request is sent with its progress flag forced on, so callers
+    /// can reuse the same [`WireSegmentRequest`] they would pass to
+    /// [`segment`](Self::segment). The final response is returned exactly
+    /// as `segment` would return it — a cancelled or over-deadline run
+    /// arrives as `Ok(response)` with
+    /// [`WireStatus::DeadlineExceeded`](crate::WireStatus).
+    ///
+    /// # Errors
+    ///
+    /// Typed [`WireError`]s for transport or framing failures, including
+    /// a corrupt progress payload.
+    pub fn segment_with_progress(
+        &mut self,
+        request: &WireSegmentRequest,
+        mut on_progress: impl FnMut(&WireProgress),
+    ) -> WireResult<WireSegmentResponse> {
+        let payload = if request.progress {
+            request.encode()
+        } else {
+            request.clone().with_progress().encode()
+        };
+        write_frame(
+            &mut self.stream,
+            FRAME_REQUEST,
+            &payload,
+            self.max_frame_bytes,
+        )?;
+        self.stream.flush()?;
+        loop {
+            match read_frame_into(&mut self.stream, self.max_frame_bytes, &mut self.read_buf)? {
+                Some(FRAME_PROGRESS) => on_progress(&WireProgress::decode(&self.read_buf)?),
+                Some(FRAME_RESPONSE) => return WireSegmentResponse::decode(&self.read_buf),
+                Some(kind) => return Err(WireError::UnknownFrameKind(kind)),
+                None => {
+                    return Err(WireError::Truncated {
+                        field: "response frame",
+                    })
+                }
+            }
         }
     }
 

@@ -77,9 +77,9 @@ pub use client::SegClient;
 pub use error::ServerError;
 pub use metrics::{MetricsSnapshot, ServerMetrics};
 pub use protocol::{
-    RequestMode, ResponseBody, WireCacheStats, WireConnectionStats, WireSegmentRequest,
-    WireSegmentResponse, WireServerStats, WireShardStats, WireStatsRequest, WireStatsResponse,
-    WireStatus, WireTelemetry, PROTOCOL_VERSION,
+    RequestMode, ResponseBody, WireCacheStats, WireConnectionStats, WireProgress,
+    WireSegmentRequest, WireSegmentResponse, WireServerStats, WireShardStats, WireStatsRequest,
+    WireStatsResponse, WireStatus, WireTelemetry, PROTOCOL_VERSION,
 };
 pub use queue::{AdmissionQueue, PushError};
 pub use server::{serve, ServerConfig, ServerHandle};

@@ -28,6 +28,7 @@ pub struct ServerMetrics {
     fused_requests: AtomicU64,
     fused_coalesced: AtomicU64,
     fusion_fallbacks: AtomicU64,
+    cancelled_mid_run: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -48,6 +49,7 @@ impl ServerMetrics {
             fused_requests: AtomicU64::new(0),
             fused_coalesced: AtomicU64::new(0),
             fusion_fallbacks: AtomicU64::new(0),
+            cancelled_mid_run: AtomicU64::new(0),
         }
     }
 
@@ -86,6 +88,13 @@ impl ServerMetrics {
         self.fusion_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one engine run aborted mid-flight by its cancel token (the
+    /// job's deadline expired, or its client abandoned it, after execution
+    /// had already started).
+    pub fn record_cancelled_mid_run(&self) {
+        self.cancelled_mid_run.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records how many codebooks a startup snapshot warm-started.
     pub fn record_snapshot_loaded(&self, codebooks: usize) {
         self.snapshot_codebooks_loaded
@@ -113,6 +122,7 @@ impl ServerMetrics {
             fused_requests: self.fused_requests.load(Ordering::Relaxed),
             fused_coalesced: self.fused_coalesced.load(Ordering::Relaxed),
             fusion_fallbacks: self.fusion_fallbacks.load(Ordering::Relaxed),
+            cancelled_mid_run: self.cancelled_mid_run.load(Ordering::Relaxed),
         }
     }
 }
@@ -152,6 +162,8 @@ pub struct MetricsSnapshot {
     pub fused_coalesced: u64,
     /// Fused batches that fell back to per-image serial execution.
     pub fusion_fallbacks: u64,
+    /// Engine runs aborted mid-flight by a fired cancel token.
+    pub cancelled_mid_run: u64,
 }
 
 #[cfg(test)]
@@ -171,6 +183,7 @@ mod tests {
         metrics.record_fused(4, 2);
         metrics.record_fused(2, 0);
         metrics.record_fusion_fallback();
+        metrics.record_cancelled_mid_run();
 
         let snap = metrics.snapshot();
         assert_eq!(snap.admitted, 1);
@@ -186,5 +199,6 @@ mod tests {
         assert_eq!(snap.fused_requests, 6);
         assert_eq!(snap.fused_coalesced, 2);
         assert_eq!(snap.fusion_fallbacks, 1);
+        assert_eq!(snap.cancelled_mid_run, 1);
     }
 }

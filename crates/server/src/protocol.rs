@@ -18,11 +18,12 @@ use crate::wire::{PayloadReader, PayloadWriter, WireError, WireResult};
 use imaging::{DynamicImage, GrayImage, RgbImage};
 use seghdc::{ColorEncoding, DistanceMetric, PositionEncoding, SegHdcConfig};
 
-/// Version both payload layouts are written at. Version 2 extended the
+/// Version every payload layout is written at. Version 2 extended the
 /// stats response's server counters with the fused-execution counters
 /// (`fused_groups`, `fused_requests`, `fused_coalesced`,
-/// `fusion_fallbacks`).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// `fusion_fallbacks`). Version 3 added the streaming [`WireProgress`]
+/// payload and the `cancelled_mid_run` server counter.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Execution mode requested on the wire (mirrors
 /// [`seghdc::ExecutionMode`], with tile geometry spelled out).
@@ -63,6 +64,13 @@ pub struct WireSegmentRequest {
     pub height: u32,
     /// Row-major pixel bytes (`width × height × channels` of them).
     pub pixels: Vec<u8>,
+    /// Whether the client opted in to streaming progress: when `true`,
+    /// the server interleaves zero or more `FRAME_PROGRESS` frames
+    /// ([`WireProgress`]) before the final response frame. When `false`
+    /// (the default, and what [`from_image`](Self::from_image) emits),
+    /// the connection stays strictly one frame per request, so clients
+    /// that never opt in never see a progress frame.
+    pub progress: bool,
 }
 
 impl WireSegmentRequest {
@@ -99,6 +107,7 @@ impl WireSegmentRequest {
         w.put_u32(self.width);
         w.put_u32(self.height);
         w.put_bytes(&self.pixels);
+        w.put_u8(u8::from(self.progress));
         w.finish()
     }
 
@@ -159,6 +168,16 @@ impl WireSegmentRequest {
                 message: "image shape overflows".to_string(),
             })?;
         let pixels = r.take_bytes(pixel_bytes, "pixels")?.to_vec();
+        let progress = match r.take_u8("progress")? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(WireError::InvalidField {
+                    field: "progress",
+                    message: format!("progress flag must be 0 or 1, got {other}"),
+                })
+            }
+        };
         r.expect_end()?;
         let config = SegHdcConfig {
             dimension,
@@ -181,6 +200,7 @@ impl WireSegmentRequest {
             width,
             height,
             pixels,
+            progress,
         })
     }
 
@@ -228,7 +248,16 @@ impl WireSegmentRequest {
             width: image.width() as u32,
             height: image.height() as u32,
             pixels,
+            progress: false,
         }
+    }
+
+    /// Opts this request in to streaming `FRAME_PROGRESS` frames
+    /// (builder-style; see the [`progress`](Self::progress) field).
+    #[must_use]
+    pub fn with_progress(mut self) -> Self {
+        self.progress = true;
+        self
     }
 }
 
@@ -510,6 +539,70 @@ impl WireSegmentResponse {
     }
 }
 
+/// One streaming progress update for an in-flight segmentation request,
+/// carried in a [`crate::wire::FRAME_PROGRESS`] frame between the request
+/// and its final response.
+///
+/// `request_id` is the connection's request sequence number (the first
+/// segmentation request on a connection is id 1), so a client that
+/// pipelines can attribute updates; `rows_done`/`rows_total` count
+/// completed tile rows of a streaming tiled execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireProgress {
+    /// Connection-scoped request sequence number this update belongs to.
+    pub request_id: u64,
+    /// Tile rows completed so far.
+    pub rows_done: u32,
+    /// Total tile rows the run will process.
+    pub rows_total: u32,
+    /// Microseconds elapsed since the engine run started.
+    pub elapsed_us: u64,
+}
+
+impl WireProgress {
+    /// Serializes the progress payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Serializes the progress payload into `buf`, reusing its allocation
+    /// (progress frames share the connection's pooled write buffer).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let mut w = PayloadWriter::reuse(std::mem::take(buf));
+        w.put_u16(PROTOCOL_VERSION);
+        w.put_u64(self.request_id);
+        w.put_u32(self.rows_done);
+        w.put_u32(self.rows_total);
+        w.put_u64(self.elapsed_us);
+        *buf = w.finish();
+    }
+
+    /// Deserializes a progress payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::UnsupportedVersion`] on a version this build does not
+    /// speak, [`WireError::Truncated`] on a short payload,
+    /// [`WireError::TrailingBytes`] on extra bytes.
+    pub fn decode(payload: &[u8]) -> WireResult<Self> {
+        let mut r = PayloadReader::new(payload);
+        let version = r.take_u16("version")?;
+        if version != PROTOCOL_VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let progress = Self {
+            request_id: r.take_u64("request_id")?,
+            rows_done: r.take_u32("rows_done")?,
+            rows_total: r.take_u32("rows_total")?,
+            elapsed_us: r.take_u64("elapsed_us")?,
+        };
+        r.expect_end()?;
+        Ok(progress)
+    }
+}
+
 /// A statistics request as it travels on the wire (version only — the
 /// response always carries every counter the server keeps).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -580,6 +673,9 @@ pub struct WireServerStats {
     /// Fused batches that fell back to per-image serial execution after a
     /// batch error or panic.
     pub fusion_fallbacks: u64,
+    /// Engine runs aborted mid-flight by a fired cancel token (deadline
+    /// expiry or client abandonment after execution had started).
+    pub cancelled_mid_run: u64,
 }
 
 /// The shared codebook cache as the server sees it.
@@ -634,7 +730,16 @@ pub struct WireStatsResponse {
 impl WireStatsResponse {
     /// Serializes the stats-response payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = PayloadWriter::new();
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Serializes the stats-response payload into `buf`, reusing its
+    /// allocation (so a connection's STATS responses share the pooled
+    /// write buffer with every other response kind).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let mut w = PayloadWriter::reuse(std::mem::take(buf));
         w.put_u16(PROTOCOL_VERSION);
         w.put_u64(self.uptime_ms);
         w.put_u32(self.workers);
@@ -653,6 +758,7 @@ impl WireStatsResponse {
         w.put_u64(self.server.fused_requests);
         w.put_u64(self.server.fused_coalesced);
         w.put_u64(self.server.fusion_fallbacks);
+        w.put_u64(self.server.cancelled_mid_run);
         w.put_u64(self.cache.hits);
         w.put_u64(self.cache.misses);
         w.put_u64(self.cache.evictions);
@@ -667,7 +773,7 @@ impl WireStatsResponse {
             w.put_u64(shard.served);
             w.put_u64(shard.depth);
         }
-        w.finish()
+        *buf = w.finish();
     }
 
     /// Deserializes a stats-response payload.
@@ -703,6 +809,7 @@ impl WireStatsResponse {
             fused_requests: r.take_u64("server.fused_requests")?,
             fused_coalesced: r.take_u64("server.fused_coalesced")?,
             fusion_fallbacks: r.take_u64("server.fusion_fallbacks")?,
+            cancelled_mid_run: r.take_u64("server.cancelled_mid_run")?,
         };
         let cache = WireCacheStats {
             hits: r.take_u64("cache.hits")?,
@@ -835,10 +942,16 @@ mod tests {
             },
         ] {
             let request = WireSegmentRequest::from_image(&config, &image, mode, 250);
+            assert!(!request.progress, "progress streaming is opt-in");
             let decoded = WireSegmentRequest::decode(&request.encode()).unwrap();
             assert_eq!(decoded, request);
             assert_eq!(decoded.config, config);
             assert_eq!(decoded.to_image().unwrap(), image);
+
+            let opted = request.with_progress();
+            let decoded = WireSegmentRequest::decode(&opted.encode()).unwrap();
+            assert!(decoded.progress);
+            assert_eq!(decoded, opted);
         }
     }
 
@@ -1049,6 +1162,7 @@ mod tests {
                 fused_requests: 20,
                 fused_coalesced: 7,
                 fusion_fallbacks: 1,
+                cancelled_mid_run: 3,
             },
             cache: WireCacheStats {
                 hits: 35,
@@ -1097,6 +1211,46 @@ mod tests {
                 "truncation to {len} bytes decoded successfully"
             );
         }
+    }
+
+    #[test]
+    fn stats_encode_into_reuses_the_buffer_and_matches_encode() {
+        let response = WireStatsResponse {
+            uptime_ms: 7,
+            workers: 2,
+            connection: WireConnectionStats::default(),
+            server: WireServerStats::default(),
+            cache: WireCacheStats::default(),
+            shards: vec![WireShardStats::default(); 2],
+        };
+        let mut buf = vec![0u8; 512];
+        let capacity = buf.capacity();
+        response.encode_into(&mut buf);
+        assert_eq!(buf, response.encode());
+        assert_eq!(buf.capacity(), capacity, "the allocation must be reused");
+    }
+
+    #[test]
+    fn progress_payloads_round_trip() {
+        let progress = WireProgress {
+            request_id: 42,
+            rows_done: 3,
+            rows_total: 8,
+            elapsed_us: 1_234_567,
+        };
+        let decoded = WireProgress::decode(&progress.encode()).unwrap();
+        assert_eq!(decoded, progress);
+
+        let mut buf = Vec::new();
+        progress.encode_into(&mut buf);
+        assert_eq!(buf, progress.encode());
+
+        let mut payload = progress.encode();
+        payload[0] = 9;
+        assert!(matches!(
+            WireProgress::decode(&payload),
+            Err(WireError::UnsupportedVersion(9))
+        ));
     }
 
     #[test]

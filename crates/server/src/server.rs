@@ -41,6 +41,17 @@
 //!   before the listener accepts, and [`ServerHandle::save_snapshot`]
 //!   writes one back; a warm-started server serves its first same-shape
 //!   request with zero cache misses.
+//! * **Streaming progress and mid-run cancellation.** A request that
+//!   opts in ([`WireSegmentRequest::with_progress`]) receives a
+//!   `FRAME_PROGRESS` frame per completed tile row of a tiled run before
+//!   its final response; requests that never opt in keep the strict
+//!   one-frame-per-request contract. Every job carries a
+//!   [`CancelToken`]: the worker arms it from the job's deadline before
+//!   running (an over-budget tiled run aborts at the next tile boundary
+//!   instead of finishing work nobody will read), and the connection
+//!   thread fires it when the safety net abandons the job. Aborted runs
+//!   answer `DeadlineExceeded` and count in the `cancelled_mid_run`
+//!   server stat.
 //! * **Observable from outside.** A `STATS` frame returns uptime,
 //!   per-connection and server-wide request/latency counters, cache
 //!   counters, and per-shard routing counters (see
@@ -58,21 +69,22 @@ use std::time::{Duration, Instant};
 
 use imaging::DynamicImage;
 use seghdc::{
-    CodebookCache, CodebookKey, EngineTelemetry, ExecutedMode, ExecutionMode, SegEngine,
-    SegHdcConfig, SegHdcError, SegmentOutput, SegmentRequest, SnapshotError, TileConfig,
+    CancelToken, CodebookCache, CodebookKey, EngineTelemetry, ExecutedMode, ExecutionMode,
+    RunObserver, SegEngine, SegHdcConfig, SegHdcError, SegmentOutput, SegmentRequest,
+    SnapshotError, TileConfig,
 };
 
 use crate::metrics::ServerMetrics;
 use crate::protocol::{
-    RequestMode, ResponseBody, WireCacheStats, WireConnectionStats, WireSegmentRequest,
-    WireSegmentResponse, WireServerStats, WireShardStats, WireStatsRequest, WireStatsResponse,
-    WireStatus, WireTelemetry,
+    RequestMode, ResponseBody, WireCacheStats, WireConnectionStats, WireProgress,
+    WireSegmentRequest, WireSegmentResponse, WireServerStats, WireShardStats, WireStatsRequest,
+    WireStatsResponse, WireStatus, WireTelemetry,
 };
 use crate::queue::PushError;
 use crate::shard::{key_hash, ShardedQueue};
 use crate::wire::{
-    checksum, read_frame_into, write_frame, WireError, DEFAULT_MAX_FRAME_BYTES, FRAME_REQUEST,
-    FRAME_RESPONSE, FRAME_STATS_REQUEST, FRAME_STATS_RESPONSE,
+    checksum, read_frame_into, write_frame, WireError, DEFAULT_MAX_FRAME_BYTES, FRAME_PROGRESS,
+    FRAME_REQUEST, FRAME_RESPONSE, FRAME_STATS_REQUEST, FRAME_STATS_RESPONSE,
 };
 use crate::ServerError;
 
@@ -134,13 +146,41 @@ impl Default for ServerConfig {
     }
 }
 
+/// What a worker sends back over a job's event channel: zero or more
+/// progress updates (only when the request opted in), then exactly one
+/// final response.
+enum JobEvent {
+    /// One completed tile row of an observed tiled run.
+    Progress(WireProgress),
+    /// The final response; nothing follows it.
+    Done(WireSegmentResponse),
+}
+
 /// One admitted request travelling from a connection thread to a worker.
 struct Job {
     request: WireSegmentRequest,
     key: CodebookKey,
     deadline: Instant,
     enqueued: Instant,
-    reply: mpsc::Sender<WireSegmentResponse>,
+    /// Connection-scoped request sequence number (first request is `1`),
+    /// echoed in every progress frame so the client can attribute them.
+    id: u64,
+    /// Carries progress updates and the final response back to the
+    /// connection thread.
+    events: mpsc::Sender<JobEvent>,
+    /// Shared with the connection thread: armed from `deadline` by the
+    /// worker before execution, fired by the connection thread when the
+    /// safety net abandons the job.
+    cancel: CancelToken,
+}
+
+impl Job {
+    /// Sends the final response. A closed receiver means the connection
+    /// thread already answered (deadline safety net) or hung up; nothing
+    /// to do then.
+    fn answer(&self, response: WireSegmentResponse) {
+        let _ = self.events.send(JobEvent::Done(response));
+    }
 }
 
 /// Hashable identity of an engine configuration (bit-compares `alpha`,
@@ -383,7 +423,21 @@ fn serve_connection(mut stream: TcpStream, shared: &ServerShared) -> Result<(), 
         match kind {
             FRAME_REQUEST => {
                 connection.requests += 1;
-                let response = handle_request(&read_buf, shared);
+                let request_id = connection.requests;
+                let response = {
+                    let stream = &mut stream;
+                    let write_buf = &mut write_buf;
+                    // Progress events arrive only for requests that opted
+                    // in; each is forwarded as its own frame while the
+                    // final response is still in flight. A write failure
+                    // is ignored here — the final-response write below
+                    // reports the broken connection.
+                    handle_request(&read_buf, shared, request_id, &mut |progress| {
+                        progress.encode_into(write_buf);
+                        let _ = write_frame(stream, FRAME_PROGRESS, write_buf, max_frame_bytes);
+                        let _ = stream.flush();
+                    })
+                };
                 match response.status() {
                     WireStatus::Ok => connection.responses_ok += 1,
                     _ => connection.responses_error += 1,
@@ -394,10 +448,11 @@ fn serve_connection(mut stream: TcpStream, shared: &ServerShared) -> Result<(), 
             FRAME_STATS_REQUEST => match WireStatsRequest::decode(&read_buf) {
                 Ok(WireStatsRequest) => {
                     let response = stats_response(shared, &connection);
+                    response.encode_into(&mut write_buf);
                     write_frame(
                         &mut stream,
                         FRAME_STATS_RESPONSE,
-                        &response.encode(),
+                        &write_buf,
                         max_frame_bytes,
                     )?;
                 }
@@ -427,23 +482,31 @@ fn serve_connection(mut stream: TcpStream, shared: &ServerShared) -> Result<(), 
 /// frame still in flight and break the peer's pending write — e.g. a
 /// client mid-way through sending the oversized frame that triggered the
 /// rejection.
-fn drain_before_close(stream: &mut TcpStream, _max_bytes: usize) {
+fn drain_before_close(stream: &mut TcpStream, max_bytes: usize) {
     use std::io::Read as _;
     let _ = stream.shutdown(std::net::Shutdown::Write);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let mut sink = [0u8; 8192];
-    // The rejected frame may be far larger than this server's own cap —
-    // that is usually why it was rejected — so the drain is bounded by
-    // time, not by the cap: a stalling or endlessly streaming peer gets
-    // the RST after the deadline instead of holding the thread.
+    // Bounded in time *and* bytes: a stalling peer gets the RST after the
+    // deadline instead of holding the thread, and an endlessly streaming
+    // peer stops costing reads once `max_bytes` have been sunk — the
+    // courtesy drain exists to let a well-behaved peer finish its
+    // in-flight frame, not to tail an unbounded stream.
     let deadline = Instant::now() + Duration::from_millis(500);
-    while Instant::now() < deadline {
+    let mut drained = 0usize;
+    while Instant::now() < deadline && drained < max_bytes {
         match stream.read(&mut sink) {
-            Ok(n) if n > 0 => {}
+            Ok(n) if n > 0 => drained += n,
             // EOF, a read timeout, or an error: nothing more in flight.
             _ => break,
         }
     }
+}
+
+/// Saturating narrowing for `u32` wire counters: a value past `u32::MAX`
+/// reports the ceiling instead of silently wrapping around.
+fn clamp_u32(value: u64) -> u32 {
+    u32::try_from(value).unwrap_or(u32::MAX)
 }
 
 /// Builds a `STATS` response from the shared counters.
@@ -452,7 +515,7 @@ fn stats_response(shared: &ServerShared, connection: &WireConnectionStats) -> Wi
     let cache = shared.fleet.cache_stats();
     WireStatsResponse {
         uptime_ms: shared.metrics.uptime_ms(),
-        workers: shared.queue.shard_count() as u32,
+        workers: clamp_u32(shared.queue.shard_count() as u64),
         connection: *connection,
         server: WireServerStats {
             admitted: metrics.admitted,
@@ -467,14 +530,15 @@ fn stats_response(shared: &ServerShared, connection: &WireConnectionStats) -> Wi
             fused_requests: metrics.fused_requests,
             fused_coalesced: metrics.fused_coalesced,
             fusion_fallbacks: metrics.fusion_fallbacks,
+            cancelled_mid_run: metrics.cancelled_mid_run,
         },
         cache: WireCacheStats {
             hits: cache.hits,
             misses: cache.misses,
             evictions: cache.evictions,
-            entries: cache.entries as u32,
+            entries: clamp_u32(cache.entries as u64),
             bytes: cache.bytes as u64,
-            snapshot_loaded: metrics.snapshot_codebooks_loaded as u32,
+            snapshot_loaded: clamp_u32(metrics.snapshot_codebooks_loaded),
         },
         shards: shared
             .queue
@@ -492,10 +556,16 @@ fn stats_response(shared: &ServerShared, connection: &WireConnectionStats) -> Wi
 }
 
 /// Admits one decoded request and waits (deadline-bounded) for its
-/// response. Every response path records itself in the server metrics
-/// exactly once — as the client will see it.
-fn handle_request(payload: &[u8], shared: &ServerShared) -> WireSegmentResponse {
-    let response = admit_and_wait(payload, shared);
+/// response, handing each interleaved progress event to
+/// `forward_progress` as it arrives. Every response path records itself
+/// in the server metrics exactly once — as the client will see it.
+fn handle_request(
+    payload: &[u8],
+    shared: &ServerShared,
+    request_id: u64,
+    forward_progress: &mut dyn FnMut(&WireProgress),
+) -> WireSegmentResponse {
+    let response = admit_and_wait(payload, shared, request_id, forward_progress);
     shared.metrics.record_response(
         response.status(),
         response.queue_wait_us,
@@ -504,7 +574,12 @@ fn handle_request(payload: &[u8], shared: &ServerShared) -> WireSegmentResponse 
     response
 }
 
-fn admit_and_wait(payload: &[u8], shared: &ServerShared) -> WireSegmentResponse {
+fn admit_and_wait(
+    payload: &[u8],
+    shared: &ServerShared,
+    request_id: u64,
+    forward_progress: &mut dyn FnMut(&WireProgress),
+) -> WireSegmentResponse {
     let request = match WireSegmentRequest::decode(payload) {
         Ok(request) => request,
         Err(err) => return WireSegmentResponse::error(WireStatus::Invalid, err.to_string(), 0),
@@ -523,13 +598,16 @@ fn admit_and_wait(payload: &[u8], shared: &ServerShared) -> WireSegmentResponse 
         usize::from(request.channels),
     );
     let hash = key_hash(&key);
-    let (reply_tx, reply_rx) = mpsc::channel();
+    let cancel = CancelToken::new();
+    let (events_tx, events_rx) = mpsc::channel();
     let job = Job {
         request,
         key,
         deadline,
         enqueued,
-        reply: reply_tx,
+        id: request_id,
+        events: events_tx,
+        cancel: cancel.clone(),
     };
     match shared.queue.try_push(job, hash) {
         Ok(_shard) => shared.metrics.record_admitted(),
@@ -550,15 +628,27 @@ fn admit_and_wait(payload: &[u8], shared: &ServerShared) -> WireSegmentResponse 
     }
     // Safety net on top of the worker-side deadline check: even if every
     // worker is stuck in a long execution, the client hears back shortly
-    // after its deadline.
+    // after its deadline. Progress events are forwarded as they arrive.
     let grace = Duration::from_millis(50);
-    match reply_rx.recv_timeout(deadline_budget + grace) {
-        Ok(response) => response,
-        Err(_) => WireSegmentResponse::error(
-            WireStatus::DeadlineExceeded,
-            format!("deadline of {deadline_budget:?} elapsed before a worker finished"),
-            enqueued.elapsed().as_micros() as u64,
-        ),
+    let give_up = deadline + grace;
+    loop {
+        let timeout = give_up.saturating_duration_since(Instant::now());
+        match events_rx.recv_timeout(timeout) {
+            Ok(JobEvent::Progress(progress)) => forward_progress(&progress),
+            Ok(JobEvent::Done(response)) => return response,
+            // Timed out (or the job was dropped unanswered): abandon the
+            // wait, and fire the cancel token so a worker mid-run stops
+            // at the next tile boundary instead of finishing work nobody
+            // will read.
+            Err(_) => {
+                cancel.cancel();
+                return WireSegmentResponse::error(
+                    WireStatus::DeadlineExceeded,
+                    format!("deadline of {deadline_budget:?} elapsed before a worker finished"),
+                    enqueued.elapsed().as_micros() as u64,
+                );
+            }
+        }
     }
 }
 
@@ -585,7 +675,7 @@ fn worker_loop(worker: usize, shared: &ServerShared) {
     let window = shared.config.fuse_window;
     while let Some(mut group) = shared.queue.pop_group_for(worker, max_group, fusible) {
         if shared.config.fuse_groups && !window.is_zero() && group.len() < max_group {
-            let until = Instant::now() + window;
+            let until = fuse_hold_until(Instant::now(), window, &group);
             while group.len() < max_group && Instant::now() < until {
                 let added = shared
                     .queue
@@ -595,8 +685,25 @@ fn worker_loop(worker: usize, shared: &ServerShared) {
                 }
             }
         }
+        // serve_group re-prunes against *now*, so anything that expired
+        // during the hold still gets its DeadlineExceeded frame promptly.
         serve_group(group, shared);
     }
+}
+
+/// How long a worker may hold a partial group open for late fusible
+/// arrivals: the fuse window, capped at the group's earliest member
+/// deadline. Without the cap, a job with 1 ms of budget left could sit
+/// out a 10 ms window and miss a deadline it would otherwise have made —
+/// the window exists to improve throughput, never to sacrifice a live
+/// deadline.
+fn fuse_hold_until(now: Instant, window: Duration, group: &[Job]) -> Instant {
+    let until = now + window;
+    group
+        .iter()
+        .map(|job| job.deadline)
+        .min()
+        .map_or(until, |deadline| until.min(deadline))
 }
 
 /// Serves one dequeued group: prune expired deadlines first (each pruned
@@ -612,11 +719,7 @@ fn serve_group(group: Vec<Job>, shared: &ServerShared) {
         execute_fused(live, &shared.fleet, &shared.metrics);
     } else {
         for job in live {
-            let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
-            let response = execute(job.request, &shared.fleet, queue_wait_us);
-            // A closed receiver means the connection thread already
-            // answered (deadline safety net) or hung up; nothing to do.
-            let _ = job.reply.send(response);
+            execute(job, &shared.fleet, &shared.metrics);
         }
     }
 }
@@ -630,7 +733,7 @@ fn prune_expired(group: Vec<Job>, now: Instant) -> Vec<Job> {
     for job in group {
         if now >= job.deadline {
             let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
-            let _ = job.reply.send(WireSegmentResponse::error(
+            job.answer(WireSegmentResponse::error(
                 WireStatus::DeadlineExceeded,
                 "deadline elapsed while queued",
                 queue_wait_us,
@@ -662,7 +765,14 @@ fn resolve_mode(mode: RequestMode) -> Result<ExecutionMode, String> {
 struct Waiter {
     image: usize,
     queue_wait_us: u64,
-    reply: mpsc::Sender<WireSegmentResponse>,
+    events: mpsc::Sender<JobEvent>,
+}
+
+impl Waiter {
+    /// Sends the final response (see [`Job::answer`]).
+    fn answer(&self, response: WireSegmentResponse) {
+        let _ = self.events.send(JobEvent::Done(response));
+    }
 }
 
 /// Runs a fused group as **one** engine batch: one codebook lookup, one
@@ -691,7 +801,7 @@ fn execute_fused(group: Vec<Job>, fleet: &EngineFleet, metrics: &ServerMetrics) 
         let Job {
             request,
             enqueued,
-            reply,
+            events,
             ..
         } = job;
         let queue_wait_us = enqueued.elapsed().as_micros() as u64;
@@ -714,11 +824,11 @@ fn execute_fused(group: Vec<Job>, fleet: &EngineFleet, metrics: &ServerMetrics) 
                     images.len() - 1
                 }
                 Err(err) => {
-                    let _ = reply.send(WireSegmentResponse::error(
+                    let _ = events.send(JobEvent::Done(WireSegmentResponse::error(
                         WireStatus::Invalid,
                         err.to_string(),
                         queue_wait_us,
-                    ));
+                    )));
                     continue;
                 }
             },
@@ -726,7 +836,7 @@ fn execute_fused(group: Vec<Job>, fleet: &EngineFleet, metrics: &ServerMetrics) 
         waiters.push(Waiter {
             image,
             queue_wait_us,
-            reply,
+            events,
         });
     }
     if waiters.is_empty() {
@@ -747,7 +857,7 @@ fn execute_fused(group: Vec<Job>, fleet: &EngineFleet, metrics: &ServerMetrics) 
             for waiter in waiters {
                 // The batch ran as one unit, so each request is billed the
                 // full batch wall time.
-                let _ = waiter.reply.send(labels_response(
+                waiter.answer(labels_response(
                     &report.outputs[waiter.image],
                     &telemetry,
                     waiter.queue_wait_us,
@@ -760,9 +870,15 @@ fn execute_fused(group: Vec<Job>, fleet: &EngineFleet, metrics: &ServerMetrics) 
         Ok(Err(_)) | Err(_) => {
             metrics.record_fusion_fallback();
             for waiter in waiters {
-                let response =
-                    run_image(&engine, &images[waiter.image], mode, waiter.queue_wait_us);
-                let _ = waiter.reply.send(response);
+                let response = run_image(
+                    &engine,
+                    &images[waiter.image],
+                    mode,
+                    waiter.queue_wait_us,
+                    &RunObserver::new(),
+                    metrics,
+                );
+                waiter.answer(response);
             }
         }
     }
@@ -773,7 +889,7 @@ fn execute_fused(group: Vec<Job>, fleet: &EngineFleet, metrics: &ServerMetrics) 
 fn fail_group(group: Vec<Job>, message: &str) {
     for job in group {
         let queue_wait_us = job.enqueued.elapsed().as_micros() as u64;
-        let _ = job.reply.send(WireSegmentResponse::error(
+        job.answer(WireSegmentResponse::error(
             WireStatus::Invalid,
             message,
             queue_wait_us,
@@ -789,47 +905,78 @@ fn image_pixels(image: &DynamicImage) -> &[u8] {
     }
 }
 
-/// Runs one request on its engine, catching panics. Consumes the request
-/// so the pixel buffer moves (not clones) into the image.
-fn execute(
-    request: WireSegmentRequest,
-    fleet: &EngineFleet,
-    queue_wait_us: u64,
-) -> WireSegmentResponse {
+/// Runs one job on its engine and answers it, catching panics. Consumes
+/// the job so the pixel buffer moves (not clones) into the image. The
+/// job's cancel token is armed from its deadline before the run, so an
+/// over-budget tiled execution aborts at the next tile boundary; when the
+/// request opted in, each completed tile row streams back as a progress
+/// event.
+fn execute(job: Job, fleet: &EngineFleet, metrics: &ServerMetrics) {
+    let Job {
+        request,
+        deadline,
+        enqueued,
+        id,
+        events,
+        cancel,
+        ..
+    } = job;
+    let queue_wait_us = enqueued.elapsed().as_micros() as u64;
+    let fail = |message: String| {
+        let _ = events.send(JobEvent::Done(WireSegmentResponse::error(
+            WireStatus::Invalid,
+            message,
+            queue_wait_us,
+        )));
+    };
     let engine = match fleet.engine_for(&request.config) {
         Ok(engine) => engine,
-        Err(err) => {
-            return WireSegmentResponse::error(WireStatus::Invalid, err.to_string(), queue_wait_us)
-        }
+        Err(err) => return fail(err.to_string()),
     };
     let mode = match resolve_mode(request.mode) {
         Ok(mode) => mode,
-        Err(message) => {
-            return WireSegmentResponse::error(WireStatus::Invalid, message, queue_wait_us)
-        }
+        Err(message) => return fail(message),
     };
+    let wants_progress = request.progress;
     let image = match request.into_dynamic_image() {
         Ok(image) => image,
-        Err(err) => {
-            return WireSegmentResponse::error(WireStatus::Invalid, err.to_string(), queue_wait_us)
-        }
+        Err(err) => return fail(err.to_string()),
     };
-    run_image(&engine, &image, mode, queue_wait_us)
+    cancel.cancel_at(deadline);
+    let started = Instant::now();
+    let progress_events = events.clone();
+    let mut observer = RunObserver::new().cancel_token(cancel);
+    if wants_progress {
+        observer = observer.on_progress(move |update| {
+            let _ = progress_events.send(JobEvent::Progress(WireProgress {
+                request_id: id,
+                rows_done: update.rows_done as u32,
+                rows_total: update.rows_total as u32,
+                elapsed_us: started.elapsed().as_micros() as u64,
+            }));
+        });
+    }
+    let response = run_image(&engine, &image, mode, queue_wait_us, &observer, metrics);
+    let _ = events.send(JobEvent::Done(response));
 }
 
 /// Runs one already-assembled image on an already-resolved engine and
-/// mode, catching panics.
+/// mode under `observer`, catching panics. A run aborted by the
+/// observer's cancel token counts in `cancelled_mid_run` and answers
+/// `DeadlineExceeded`.
 fn run_image(
     engine: &SegEngine,
     image: &DynamicImage,
     mode: ExecutionMode,
     queue_wait_us: u64,
+    observer: &RunObserver<'_>,
+    metrics: &ServerMetrics,
 ) -> WireSegmentResponse {
     let started = Instant::now();
     // The engine's shared state (codebook cache, arena pool) recovers from
     // poisoned locks by design, so resuming after a caught panic is sound.
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        engine.run(&SegmentRequest::image(image).mode(mode))
+        engine.run_observed(&SegmentRequest::image(image).mode(mode), observer)
     }));
     let service_us = started.elapsed().as_micros() as u64;
     match outcome {
@@ -839,7 +986,12 @@ fn run_image(
             queue_wait_us,
             service_us,
         ),
-        Ok(Err(err)) => engine_error_response(&err, queue_wait_us, service_us),
+        Ok(Err(err)) => {
+            if matches!(err, SegHdcError::Cancelled) {
+                metrics.record_cancelled_mid_run();
+            }
+            engine_error_response(&err, queue_wait_us, service_us)
+        }
         Err(panic) => {
             let message = panic
                 .downcast_ref::<&str>()
@@ -866,6 +1018,10 @@ fn engine_error_response(
     let status = match err {
         SegHdcError::InvalidConfig { .. } => WireStatus::Invalid,
         SegHdcError::Hdc(_) | SegHdcError::Imaging(_) => WireStatus::Invalid,
+        // A fired cancel token means the job's budget ran out (deadline
+        // expired, or the client abandoned it) after execution started —
+        // bill it as the deadline miss it is, not a server fault.
+        SegHdcError::Cancelled => WireStatus::DeadlineExceeded,
         // Future engine error variants default to Internal: the request
         // may be fine and the server is not.
         _ => WireStatus::Internal,
@@ -934,7 +1090,7 @@ mod tests {
         config: &SegHdcConfig,
         image: &DynamicImage,
         deadline: Instant,
-    ) -> (Job, mpsc::Receiver<WireSegmentResponse>) {
+    ) -> (Job, mpsc::Receiver<JobEvent>) {
         let request = WireSegmentRequest::from_image(config, image, RequestMode::WholeImage, 0);
         let key = CodebookKey::for_shape(
             &request.config,
@@ -948,9 +1104,21 @@ mod tests {
             key,
             deadline,
             enqueued: Instant::now(),
-            reply: tx,
+            id: 1,
+            events: tx,
+            cancel: CancelToken::new(),
         };
         (job, rx)
+    }
+
+    /// Skips past any progress events to the job's final response.
+    fn final_response(rx: &mpsc::Receiver<JobEvent>) -> WireSegmentResponse {
+        loop {
+            match rx.try_recv().expect("a final response should be queued") {
+                JobEvent::Done(response) => return response,
+                JobEvent::Progress(_) => {}
+            }
+        }
     }
 
     #[test]
@@ -962,7 +1130,7 @@ mod tests {
         let (live, live_rx) = job_for(&config, &image, now + Duration::from_secs(60));
         let remaining = prune_expired(vec![expired, live], now);
         assert_eq!(remaining.len(), 1);
-        let frame = expired_rx.try_recv().unwrap();
+        let frame = final_response(&expired_rx);
         assert_eq!(frame.status(), WireStatus::DeadlineExceeded);
         // The live job was not answered: it is handed on to execution.
         assert!(live_rx.try_recv().is_err());
@@ -995,7 +1163,7 @@ mod tests {
             (rx_b, &expected_b),
             (rx_dup, &expected_a),
         ] {
-            let response = rx.try_recv().unwrap();
+            let response = final_response(&rx);
             assert_eq!(response.status(), WireStatus::Ok);
             let ResponseBody::Labels { labels, .. } = response.body else {
                 panic!("expected a labels body");
@@ -1020,7 +1188,98 @@ mod tests {
         // Unassemblable: the shape no longer matches the pixel buffer.
         bad.request.width = 0;
         execute_fused(vec![good, bad], &fleet, &metrics);
-        assert_eq!(bad_rx.try_recv().unwrap().status(), WireStatus::Invalid);
-        assert_eq!(good_rx.try_recv().unwrap().status(), WireStatus::Ok);
+        assert_eq!(final_response(&bad_rx).status(), WireStatus::Invalid);
+        assert_eq!(final_response(&good_rx).status(), WireStatus::Ok);
+    }
+
+    #[test]
+    fn a_fuse_window_never_holds_a_job_past_its_deadline() {
+        let config = test_config(11);
+        let image = test_image(8, 0);
+        let now = Instant::now();
+        let window = Duration::from_millis(10);
+
+        // A job with 1 ms of budget left caps the hold at its deadline,
+        // not the 10 ms window.
+        let (tight, _tight_rx) = job_for(&config, &image, now + Duration::from_millis(1));
+        let until = fuse_hold_until(now, window, std::slice::from_ref(&tight));
+        assert_eq!(until, tight.deadline);
+        assert!(until < now + window);
+
+        // A group's *earliest* deadline governs the whole hold.
+        let (lazy, _lazy_rx) = job_for(&config, &image, now + Duration::from_secs(60));
+        let until = fuse_hold_until(now, window, &[tight, lazy]);
+        assert_eq!(until, now + Duration::from_millis(1));
+
+        // With only lazy deadlines the full window is available.
+        let (lazy, _lazy_rx) = job_for(&config, &image, now + Duration::from_secs(60));
+        assert_eq!(fuse_hold_until(now, window, &[lazy]), now + window);
+    }
+
+    #[test]
+    fn drain_before_close_stops_at_the_byte_cap() {
+        use std::io::{Read as _, Write as _};
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut peer = TcpStream::connect(addr).unwrap();
+            peer.set_write_timeout(Some(Duration::from_millis(200)))
+                .ok();
+            let chunk = vec![0xABu8; 16 * 1024];
+            // Push well past the drain cap; stop once the kernel buffers
+            // fill (the drain under test must not need all of it).
+            for _ in 0..8 {
+                if peer.write_all(&chunk).is_err() {
+                    break;
+                }
+            }
+            peer
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        // Let a first burst land so the drain has bytes to count.
+        std::thread::sleep(Duration::from_millis(100));
+        let started = Instant::now();
+        drain_before_close(&mut stream, 4096);
+        // The byte cap fires on the first 8 KiB read — long before the
+        // 500 ms time cap.
+        assert!(
+            started.elapsed() < Duration::from_millis(400),
+            "drain should stop at the byte cap, not run out the clock"
+        );
+        // And it genuinely stopped early: unread bytes remain.
+        stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .ok();
+        let mut probe = [0u8; 64];
+        let n = stream.read(&mut probe).unwrap();
+        assert!(n > 0, "data past the byte cap must be left unread");
+        let _ = writer.join();
+    }
+
+    #[test]
+    fn wire_counters_saturate_instead_of_wrapping() {
+        assert_eq!(clamp_u32(7), 7);
+        assert_eq!(clamp_u32(u64::from(u32::MAX)), u32::MAX);
+        // One past the ceiling used to wrap to 0 under `as u32`.
+        assert_eq!(clamp_u32(u64::from(u32::MAX) + 1), u32::MAX);
+        assert_eq!(clamp_u32(u64::MAX), u32::MAX);
+    }
+
+    #[test]
+    fn an_abandoned_job_is_cancelled_and_billed_as_a_deadline_miss() {
+        let config = test_config(13);
+        let fleet = EngineFleet::new(16 << 20, 4);
+        let metrics = ServerMetrics::new();
+        let far = Instant::now() + Duration::from_secs(60);
+        let (job, rx) = job_for(&config, &test_image(8, 0), far);
+        // The connection side gave up on this job before a worker got to
+        // it (deadline safety net fired).
+        job.cancel.cancel();
+        execute(job, &fleet, &metrics);
+        let response = final_response(&rx);
+        assert_eq!(response.status(), WireStatus::DeadlineExceeded);
+        assert_eq!(metrics.snapshot().cancelled_mid_run, 1);
     }
 }

@@ -13,7 +13,8 @@
 //! * **magic** — the four bytes `SGHD`; anything else means the peer is
 //!   not speaking this protocol and the connection is unrecoverable.
 //! * **kind** — [`FRAME_REQUEST`], [`FRAME_RESPONSE`],
-//!   [`FRAME_STATS_REQUEST`] or [`FRAME_STATS_RESPONSE`].
+//!   [`FRAME_STATS_REQUEST`], [`FRAME_STATS_RESPONSE`] or
+//!   [`FRAME_PROGRESS`].
 //! * **len** — payload size. A receiver enforces its own cap *before*
 //!   allocating ([`WireError::FrameTooLarge`]), so a hostile or corrupt
 //!   length prefix cannot make it buffer gigabytes.
@@ -44,6 +45,11 @@ pub const FRAME_STATS_REQUEST: u8 = 3;
 
 /// Frame kind: a server-statistics response (server → client).
 pub const FRAME_STATS_RESPONSE: u8 = 4;
+
+/// Frame kind: a streaming progress update for an in-flight segmentation
+/// request (server → client). Zero or more precede the final
+/// [`FRAME_RESPONSE`]; clients that never opt in never see one.
+pub const FRAME_PROGRESS: u8 = 5;
 
 /// Default cap on a single frame's payload (64 MiB — a 4096×4096 label
 /// map response fits with room to spare).
@@ -226,7 +232,7 @@ pub fn read_frame_into(
     let mut kind = [0u8; 1];
     stream.read_exact(&mut kind)?;
     let kind = kind[0];
-    if !(FRAME_REQUEST..=FRAME_STATS_RESPONSE).contains(&kind) {
+    if !(FRAME_REQUEST..=FRAME_PROGRESS).contains(&kind) {
         return Err(WireError::UnknownFrameKind(kind));
     }
     let mut len_bytes = [0u8; 4];

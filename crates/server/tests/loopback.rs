@@ -1,13 +1,13 @@
 //! End-to-end loopback tests: a real listener, real sockets, real workers.
 
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use imaging::{DynamicImage, GrayImage};
 use seghdc::{SegEngine, SegHdcConfig, SegmentRequest};
 use seghdc_server::{
-    serve, RequestMode, ResponseBody, SegClient, ServerConfig, ServerError, WireSegmentRequest,
-    WireStatus,
+    serve, RequestMode, ResponseBody, SegClient, ServerConfig, ServerError, WireProgress,
+    WireSegmentRequest, WireStatus,
 };
 
 fn test_config(seed: u64) -> SegHdcConfig {
@@ -636,6 +636,110 @@ fn stats_frames_report_connection_and_server_counters() {
     // The served group shows up in exactly the shard counters.
     let served: u64 = stats.shards.iter().map(|s| s.served + s.stolen).sum();
     assert_eq!(served, 2);
+    handle.shutdown();
+}
+
+#[test]
+fn a_long_tiled_job_streams_progress_frames_before_its_response() {
+    let handle = serve("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = SegClient::connect(handle.local_addr()).unwrap();
+
+    // 64×64 tiled as 16×16 → four tile rows, each slow enough to matter.
+    let config = slow_config(21);
+    let image = gradient_image(64, 64);
+    let request = WireSegmentRequest::from_image(
+        &config,
+        &image,
+        RequestMode::Tiled {
+            tile_width: 16,
+            tile_height: 16,
+            halo: 2,
+        },
+        60_000,
+    );
+
+    let mut frames: Vec<WireProgress> = Vec::new();
+    let streamed = client
+        .segment_with_progress(&request, |progress| frames.push(*progress))
+        .unwrap();
+    assert_eq!(streamed.status(), WireStatus::Ok);
+
+    // One frame per completed tile row, all before the final response.
+    assert_eq!(frames.len(), 4, "expected one progress frame per tile row");
+    for (i, frame) in frames.iter().enumerate() {
+        assert_eq!(frame.request_id, 1, "first request on this connection");
+        assert_eq!(frame.rows_done, i as u32 + 1);
+        assert_eq!(frame.rows_total, 4);
+    }
+    assert!(
+        frames
+            .windows(2)
+            .all(|w| w[0].elapsed_us <= w[1].elapsed_us),
+        "elapsed time must be monotone across progress frames"
+    );
+
+    // Observation is passive: the plain path returns identical labels.
+    let plain = client.segment(&request).unwrap();
+    assert_eq!(plain.status(), WireStatus::Ok);
+    assert_eq!(
+        streamed.label_map().unwrap().as_raw(),
+        plain.label_map().unwrap().as_raw()
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn an_over_deadline_tiled_job_is_cancelled_mid_run_and_counted() {
+    let handle = serve(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = SegClient::connect(handle.local_addr()).unwrap();
+
+    // A tiled run whose full execution takes far longer than its 150 ms
+    // deadline: the worker starts it promptly (the pool is idle), the
+    // deadline-armed cancel token fires mid-run, and the engine stops at
+    // the next tile boundary instead of completing the job.
+    let request = WireSegmentRequest::from_image(
+        &slow_config(23),
+        &gradient_image(96, 96),
+        RequestMode::Tiled {
+            tile_width: 16,
+            tile_height: 16,
+            halo: 2,
+        },
+        150,
+    );
+    let response = client.segment(&request).unwrap();
+    assert_eq!(response.status(), WireStatus::DeadlineExceeded);
+
+    // The worker recorded the abort (it may land shortly after the
+    // client's safety-net response, so poll the stats frame).
+    let give_up = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = client.stats().unwrap();
+        if stats.server.cancelled_mid_run >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < give_up,
+            "the worker never recorded the mid-run cancellation"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The aborted run poisoned nothing: the server keeps serving.
+    let quick = WireSegmentRequest::from_image(
+        &test_config(24),
+        &gradient_image(16, 16),
+        RequestMode::Auto,
+        0,
+    );
+    assert_eq!(client.segment(&quick).unwrap().status(), WireStatus::Ok);
     handle.shutdown();
 }
 

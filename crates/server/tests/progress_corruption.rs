@@ -1,0 +1,117 @@
+//! Hardening tests for the `FRAME_PROGRESS` payload decoder: corrupt
+//! input of every kind must map to a typed [`WireError`] — never a panic
+//! — and any payload the decoder accepts must re-encode byte-identically
+//! (the payload is pure fixed-width fields, so decode∘encode is identity).
+
+use proptest::prelude::*;
+use seghdc_server::{WireError, WireProgress, PROTOCOL_VERSION};
+
+/// One representative progress payload.
+fn sample() -> WireProgress {
+    WireProgress {
+        request_id: 7,
+        rows_done: 3,
+        rows_total: 12,
+        elapsed_us: 48_213,
+    }
+}
+
+#[test]
+fn the_sample_round_trips_and_encode_into_matches_encode() {
+    let progress = sample();
+    let bytes = progress.encode();
+    assert_eq!(WireProgress::decode(&bytes).unwrap(), progress);
+
+    let mut buf = vec![0xFFu8; 64];
+    progress.encode_into(&mut buf);
+    assert_eq!(buf, bytes);
+}
+
+#[test]
+fn wrong_version_is_refused_with_the_declared_version() {
+    let mut bytes = sample().encode();
+    bytes[0] = 0x2a;
+    bytes[1] = 0x00;
+    match WireProgress::decode(&bytes) {
+        Err(WireError::UnsupportedVersion(version)) => assert_eq!(version, 0x2a),
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn every_truncation_length_is_a_typed_error() {
+    let bytes = sample().encode();
+    for len in 0..bytes.len() {
+        match WireProgress::decode(&bytes[..len]) {
+            Err(WireError::Truncated { .. }) => {}
+            other => panic!("truncation to {len} bytes: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn trailing_bytes_are_rejected_with_their_count() {
+    let mut bytes = sample().encode();
+    bytes.extend_from_slice(&[0xAA, 0xBB, 0xCC]);
+    match WireProgress::decode(&bytes) {
+        Err(WireError::TrailingBytes(3)) => {}
+        other => panic!("expected TrailingBytes(3), got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every field combination round-trips exactly, and the pooled-buffer
+    /// encoder produces the same bytes as the allocating one.
+    #[test]
+    fn arbitrary_payloads_round_trip(
+        request_id in any::<u64>(),
+        rows_done in any::<u32>(),
+        rows_total in any::<u32>(),
+        elapsed_us in any::<u64>(),
+    ) {
+        let progress = WireProgress { request_id, rows_done, rows_total, elapsed_us };
+        let bytes = progress.encode();
+        prop_assert_eq!(WireProgress::decode(&bytes).unwrap(), progress);
+        let mut buf = Vec::new();
+        progress.encode_into(&mut buf);
+        prop_assert_eq!(buf, bytes);
+    }
+
+    /// Any single flipped bit decodes to a typed error or a well-formed
+    /// payload that re-encodes byte-identically — never a panic, never a
+    /// silent reinterpretation.
+    #[test]
+    fn random_single_bit_flips_never_panic(offset_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut bytes = sample().encode();
+        let offset = ((bytes.len() - 1) as f64 * offset_frac) as usize;
+        bytes[offset] ^= 1 << bit;
+        match WireProgress::decode(&bytes) {
+            Ok(decoded) => prop_assert_eq!(decoded.encode(), bytes),
+            Err(WireError::UnsupportedVersion(version)) => {
+                prop_assert!(offset < 2, "only version-byte flips may fire the version check");
+                prop_assert_ne!(version, PROTOCOL_VERSION);
+            }
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    /// Arbitrary random byte strings never panic; anything accepted must
+    /// carry the exact payload length and re-encode identically.
+    #[test]
+    fn random_byte_strings_never_panic(len in 0usize..64, seed in any::<u64>()) {
+        // xorshift64* keeps the generator dependency-free.
+        let mut state = seed | 1;
+        let mut bytes = Vec::with_capacity(len);
+        for _ in 0..len {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            bytes.push((state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 56) as u8);
+        }
+        if let Ok(decoded) = WireProgress::decode(&bytes) {
+            prop_assert_eq!(decoded.encode(), bytes);
+        }
+    }
+}
